@@ -1,0 +1,65 @@
+"""Engine micro-benchmarks (wall-clock, multi-round).
+
+Unlike the figure reproductions (which report deterministic simulated
+latency), these measure the actual Python engine: query execution,
+rule-engine fixpoint, and graph loading.  Useful for tracking
+performance regressions of the library itself.
+"""
+
+import pytest
+
+from repro.data.loader import load_direct
+from repro.graphdb.backends import NEO4J_LIKE
+from repro.graphdb.query.executor import Executor
+from repro.graphdb.query.parser import parse_query
+from repro.graphdb.session import GraphSession
+from repro.rules.base import Selection
+from repro.rules.engine import transform
+
+
+@pytest.fixture(scope="module")
+def med_graph(med):
+    return load_direct(med.logical(scale=0.5))
+
+
+def test_engine_pattern_query(benchmark, med, med_graph):
+    query = parse_query(med.queries["Q1"])
+
+    def run():
+        executor = Executor(GraphSession(med_graph, NEO4J_LIKE))
+        return executor.run(query)
+
+    result = benchmark(run)
+    assert result.rows
+
+
+def test_engine_aggregation_query(benchmark, med, med_graph):
+    query = parse_query(med.queries["Q9"])
+
+    def run():
+        executor = Executor(GraphSession(med_graph, NEO4J_LIKE))
+        return executor.run(query)
+
+    result = benchmark(run)
+    assert result.rows
+
+
+def test_engine_parser(benchmark, med):
+    texts = list(med.queries.values())
+
+    def run():
+        return [parse_query(t) for t in texts]
+
+    parsed = benchmark(run)
+    assert len(parsed) == len(texts)
+
+
+def test_rule_engine_fixpoint_med(benchmark, med):
+    state = benchmark(transform, med.ontology, Selection.all())
+    assert state.nodes
+
+
+def test_graph_loading_med(benchmark, med):
+    logical = med.logical(scale=0.25)
+    graph = benchmark(load_direct, logical)
+    assert graph.num_vertices == logical.num_instances

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures and result reporting.
+
+Benchmarks print each table (visible with ``pytest -s``) and also write
+it under ``benchmarks/results/`` so runs leave an artifact trail.
+EXPERIMENTS.md records representative outputs next to the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import build_pipeline
+from repro.bench.reporting import ExperimentTable
+from repro.datasets import build_fin, build_med
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(table: ExperimentTable, filename: str) -> None:
+    text = table.render()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def med():
+    return build_med()
+
+
+@pytest.fixture(scope="session")
+def fin():
+    return build_fin()
+
+
+@pytest.fixture(scope="session")
+def med_pipeline(med):
+    return build_pipeline(med, scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def fin_pipeline(fin):
+    return build_pipeline(fin, scale=1.0)

@@ -1,0 +1,44 @@
+"""repro: ontology-driven property graph schema optimization.
+
+A from-scratch reproduction of *"Property Graph Schema Optimization for
+Domain-Specific Knowledge Graphs"* (Lei et al., ICDE 2021), including:
+
+* the ontology model, relationship rules and schema optimizers
+  (:mod:`repro.ontology`, :mod:`repro.rules`, :mod:`repro.optimizer`,
+  :mod:`repro.schema`);
+* an instrumented in-memory property-graph engine with a Cypher-subset
+  query stack and simulated Neo4j-like / JanusGraph-like backend cost
+  profiles (:mod:`repro.graphdb`);
+* synthetic MED / FIN datasets matching the paper's published ontology
+  statistics, data loaders and an automatic DIR -> OPT query rewriter
+  (:mod:`repro.datasets`, :mod:`repro.data`, :mod:`repro.workload`);
+* experiment drivers regenerating every table and figure of the
+  evaluation section (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro.ontology.samples import figure2_medical_ontology
+    from repro.schema import optimize_schema_nsc, to_cypher_ddl
+
+    schema, mapping = optimize_schema_nsc(figure2_medical_ontology())
+    print(to_cypher_ddl(schema))
+"""
+
+__version__ = "1.0.0"
+
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.model import Ontology, RelationshipType
+from repro.optimizer.pgsg import optimize
+from repro.rules.base import Thresholds
+from repro.schema.generate import direct_schema, optimize_schema_nsc
+
+__all__ = [
+    "Ontology",
+    "OntologyBuilder",
+    "RelationshipType",
+    "Thresholds",
+    "direct_schema",
+    "optimize",
+    "optimize_schema_nsc",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from repro.bench.harness import (
+    BACKENDS,
+    JACCARD_PAIRS,
+    MICROBENCH_BUDGET_FRACTION,
+    MICROBENCH_THRESHOLDS,
+    Pipeline,
+    SPACE_FRACTIONS,
+    build_pipeline,
+    run_efficiency,
+    run_jaccard_sweep,
+    run_knapsack_ablation,
+    run_microbenchmark,
+    run_motivating,
+    run_space_sweep,
+    run_workload_experiment,
+)
+from repro.bench.reporting import ExperimentTable, speedup
+
+__all__ = [
+    "BACKENDS",
+    "ExperimentTable",
+    "JACCARD_PAIRS",
+    "MICROBENCH_BUDGET_FRACTION",
+    "MICROBENCH_THRESHOLDS",
+    "Pipeline",
+    "SPACE_FRACTIONS",
+    "build_pipeline",
+    "run_efficiency",
+    "run_jaccard_sweep",
+    "run_knapsack_ablation",
+    "run_microbenchmark",
+    "run_motivating",
+    "run_space_sweep",
+    "run_workload_experiment",
+    "speedup",
+]

@@ -1,0 +1,77 @@
+"""Plain-text experiment tables (paper-figure style output)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table with aligned text rendering."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in cells:
+            for i, value in enumerate(row):
+                widths[i] = max(widths[i], len(value))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(
+            "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(
+                "  ".join(v.ljust(widths[i]) for i, v in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        out = [",".join(self.headers)]
+        for row in self.rows:
+            out.append(",".join(_fmt(v) for v in row))
+        return "\n".join(out)
+
+    def column(self, header: str) -> list[object]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10000 else str(value)
+    return str(value)
+
+
+def speedup(baseline: float, optimized: float) -> float:
+    """Baseline/optimized ratio; 0-safe."""
+    if optimized <= 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / optimized

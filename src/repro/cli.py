@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``optimize``
+    Read an ontology (JSON or the OWL-ish functional syntax), optimize
+    its schema, and print DDL::
+
+        python -m repro optimize onto.json --budget 0.5 --format cypher
+
+``inspect``
+    Summarize an ontology: element counts, OntologyPR key concepts, and
+    the priced rule applications::
+
+        python -m repro inspect onto.json
+
+``demo``
+    Run a built-in dataset end-to-end (optimize, load, rewrite,
+    compare DIR vs OPT latency)::
+
+        python -m repro demo med --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.harness import build_pipeline
+from repro.bench.reporting import ExperimentTable, speedup
+from repro.exceptions import ReproError
+from repro.graphdb.backends import NEO4J_LIKE
+from repro.ontology.io import load_owl_functional, ontology_from_dict
+from repro.ontology.model import Ontology
+from repro.ontology.stats import synthesize_statistics
+from repro.ontology.validation import validate_ontology
+from repro.optimizer import CostBenefitModel, ontology_pagerank, optimize
+from repro.rules.base import Thresholds
+from repro.schema.ddl import to_cypher_ddl, to_gsql
+from repro.workload.runner import run_queries
+
+
+def load_ontology(path: str) -> Ontology:
+    """Load a JSON or OWL-ish ontology file."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        ontology = ontology_from_dict(json.loads(text))
+    else:
+        ontology = load_owl_functional(text, name=Path(path).stem)
+    validate_ontology(ontology)
+    return ontology
+
+
+def _common_inputs(args) -> tuple[Ontology, object, object, Thresholds]:
+    ontology = load_ontology(args.ontology)
+    stats = synthesize_statistics(
+        ontology, base_cardinality=args.base_cardinality
+    )
+    from repro.ontology.workload import WorkloadSummary
+
+    workload = (
+        WorkloadSummary.zipf(ontology)
+        if args.workload == "zipf"
+        else WorkloadSummary.uniform(ontology)
+    )
+    thresholds = Thresholds(args.theta1, args.theta2)
+    return ontology, stats, workload, thresholds
+
+
+def cmd_optimize(args) -> int:
+    ontology, stats, workload, thresholds = _common_inputs(args)
+    model = CostBenefitModel(ontology, stats, workload, thresholds)
+    budget = (
+        None if args.budget is None
+        else model.budget_for_fraction(args.budget)
+    )
+    result = optimize(ontology, stats, budget, workload, thresholds)
+    print(f"# {result.summary()}", file=sys.stderr)
+    if args.format == "gsql":
+        print(to_gsql(result.schema))
+    else:
+        print(to_cypher_ddl(result.schema))
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    ontology, stats, workload, thresholds = _common_inputs(args)
+    print(ontology.summary())
+    ranks = ontology_pagerank(ontology)
+    top = sorted(
+        ontology.concepts, key=lambda c: -ranks[c]
+    )[: args.top]
+    print(f"\nTop {len(top)} concepts by OntologyPR:")
+    for concept in top:
+        print(f"  {ranks[concept]:.4f}  {concept}")
+    model = CostBenefitModel(ontology, stats, workload, thresholds)
+    table = ExperimentTable(
+        "\nPriced rule applications",
+        ["rule family", "items", "total benefit", "total cost (B)"],
+    )
+    by_family: dict[str, list] = {}
+    for item in model.items:
+        by_family.setdefault(item.rel_type.value, []).append(item)
+    for family, items in sorted(by_family.items()):
+        table.add_row(
+            family, len(items),
+            round(sum(i.benefit for i in items), 1),
+            sum(i.cost for i in items),
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from repro.datasets import build_fin, build_med
+
+    if args.dataset == "fin":
+        dataset = build_fin()
+    else:
+        dataset = build_med()
+    pipeline = build_pipeline(dataset, scale=args.scale)
+    print(pipeline.result.summary())
+    print(pipeline.dir_graph.summary())
+    print(pipeline.opt_graph.summary())
+    table = ExperimentTable(
+        f"{dataset.name} microbenchmark (neo4j-like, ms simulated)",
+        ["query", "DIR", "OPT", "speedup"],
+    )
+    for qid in sorted(dataset.queries, key=lambda q: int(q[1:])):
+        dir_run = run_queries(
+            pipeline.dir_graph, NEO4J_LIKE,
+            [(qid, dataset.queries[qid])],
+        ).runs[0]
+        opt_run = run_queries(
+            pipeline.opt_graph, NEO4J_LIKE,
+            [(qid, pipeline.rewritten[qid])],
+        ).runs[0]
+        table.add_row(
+            qid, round(dir_run.latency_ms, 2),
+            round(opt_run.latency_ms, 2),
+            round(speedup(dir_run.latency_ms, opt_run.latency_ms), 2),
+        )
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Ontology-driven property graph schema optimization "
+            "(ICDE 2021 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("ontology", help="ontology file (JSON or OWL-ish)")
+        p.add_argument("--base-cardinality", type=int, default=1000,
+                       help="synthetic instance count per leaf concept")
+        p.add_argument("--workload", choices=("uniform", "zipf"),
+                       default="uniform")
+        p.add_argument("--theta1", type=float, default=0.66)
+        p.add_argument("--theta2", type=float, default=0.33)
+
+    p_opt = sub.add_parser("optimize", help="emit an optimized schema")
+    add_common(p_opt)
+    p_opt.add_argument(
+        "--budget", type=float, default=None,
+        help="space budget as a fraction of the NSC overhead "
+             "(omit for unconstrained Algorithm 5)",
+    )
+    p_opt.add_argument("--format", choices=("cypher", "gsql"),
+                       default="cypher")
+    p_opt.set_defaults(fn=cmd_optimize)
+
+    p_ins = sub.add_parser("inspect", help="summarize an ontology")
+    add_common(p_ins)
+    p_ins.add_argument("--top", type=int, default=10,
+                       help="how many key concepts to list")
+    p_ins.set_defaults(fn=cmd_inspect)
+
+    p_demo = sub.add_parser("demo", help="run a built-in dataset demo")
+    p_demo.add_argument("dataset", choices=("med", "fin"))
+    p_demo.add_argument("--scale", type=float, default=0.5)
+    p_demo.set_defaults(fn=cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Observed inputs: derive statistics and workloads from live artifacts.
+
+The optimizer consumes *data statistics* and *workload summaries*
+(Section 4.2).  The synthetic path fabricates them; this module closes
+the loop for real deployments:
+
+* :func:`statistics_from_logical` measures concept/relationship
+  cardinalities off a loaded :class:`LogicalDataset`;
+* :func:`statistics_from_graph` measures them off a DIR property graph
+  (labels are concepts, edge labels + endpoint labels identify the
+  relationships);
+* :class:`WorkloadRecorder` accumulates per-concept access counts from
+  executed queries and emits a
+  :class:`~repro.ontology.workload.WorkloadSummary`.
+"""
+
+from __future__ import annotations
+
+from repro.data.logical import LogicalDataset
+from repro.exceptions import DataGenerationError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.query.ast import Query
+from repro.graphdb.query.parser import parse_query
+from repro.ontology.model import Ontology
+from repro.ontology.stats import DataStatistics
+from repro.ontology.workload import WorkloadSummary
+
+
+def statistics_from_logical(logical: LogicalDataset) -> DataStatistics:
+    """Exact cardinalities of a logical dataset."""
+    stats = DataStatistics()
+    for concept in logical.ontology.concepts:
+        stats.concept_cardinality[concept] = len(
+            logical.instances_of(concept)
+        )
+    for rel_id in logical.ontology.relationships:
+        stats.relationship_cardinality[rel_id] = len(
+            logical.links_of(rel_id)
+        )
+    return stats
+
+
+def statistics_from_graph(
+    graph: PropertyGraph, ontology: Ontology
+) -> DataStatistics:
+    """Measure cardinalities off a DIR property graph.
+
+    Vertices must carry their concept as a label and edges the
+    relationship label - exactly what
+    :func:`~repro.data.loader.load_direct` produces.  Edge counts are
+    attributed to relationships by (label, endpoint concepts); an edge
+    that matches no ontology relationship raises, which catches graphs
+    that do not actually conform to the direct mapping.
+    """
+    stats = DataStatistics()
+    for concept in ontology.concepts:
+        stats.concept_cardinality[concept] = graph.label_count(concept)
+    for rel_id in ontology.relationships:
+        stats.relationship_cardinality[rel_id] = 0
+    for edge in graph.iter_edges():
+        src_labels = graph.vertex(edge.src).labels
+        dst_labels = graph.vertex(edge.dst).labels
+        rel = None
+        for src_label in src_labels:
+            for dst_label in dst_labels:
+                rel = ontology.find_relationship(
+                    edge.label, src_label, dst_label
+                )
+                if rel is not None:
+                    break
+            if rel is not None:
+                break
+        if rel is None:
+            raise DataGenerationError(
+                f"edge {edge.label!r} between {sorted(src_labels)} and "
+                f"{sorted(dst_labels)} matches no ontology relationship"
+            )
+        stats.relationship_cardinality[rel.rel_id] += 1
+    return stats
+
+
+class WorkloadRecorder:
+    """Accumulates concept access counts from observed queries.
+
+    Every node-pattern label that names an ontology concept counts as
+    one access per query occurrence; the recorder then emits the
+    normalized :class:`WorkloadSummary` the optimizers consume.
+    """
+
+    def __init__(self, ontology: Ontology):
+        self.ontology = ontology
+        self.counts: dict[str, int] = {c: 0 for c in ontology.concepts}
+        self.queries_seen = 0
+
+    def record(self, query: Query | str) -> None:
+        if isinstance(query, str):
+            query = parse_query(query)
+        self.queries_seen += 1
+        for pattern in query.patterns:
+            for node in pattern.nodes:
+                for label in node.labels:
+                    if label in self.counts:
+                        self.counts[label] += 1
+
+    def record_many(self, queries) -> None:
+        for query in queries:
+            self.record(query)
+
+    def summary(self, smoothing: float = 1.0) -> WorkloadSummary:
+        """The observed workload; ``smoothing`` avoids zero weights."""
+        if self.queries_seen == 0:
+            raise DataGenerationError(
+                "no queries recorded; cannot build a workload summary"
+            )
+        weights = {
+            concept: count + smoothing
+            for concept, count in self.counts.items()
+        }
+        return WorkloadSummary(
+            weights,
+            total_queries=self.queries_seen,
+            name="observed",
+        )

@@ -1,0 +1,317 @@
+"""Incremental update handling (Section 4.2 of the paper).
+
+*"Our approach can also handle updates (i.e., insert, delete, and
+modify) to the property graph if they do not incur any schema
+changes."*
+
+:class:`GraphUpdater` applies instance-level updates to the logical
+dataset and keeps the materialized DIR and OPT graphs consistent:
+
+* **insert_instance** creates the vertex (plus, for concepts below a
+  derived parent/union, the twin chain and its structural links - a
+  new child instance *is* a new parent/union instance);
+* **insert_link / delete_link** maintain edges and the replicated list
+  properties the optimized schema carries;
+* **set_property** updates the vertex and refreshes every list
+  property replicated from it.
+
+List properties are refreshed by recomputation from the logical links
+(the single source of truth), which keeps the updater simple and
+obviously correct; an entry-level delta would be the next optimization.
+Statistics-changing update streams that would *invalidate* rule choices
+are out of scope, as in the paper ("minimizing such transformation
+overheads is left as future work").
+"""
+
+from __future__ import annotations
+
+from repro.data.loader import LoadRegistry, _group_property
+from repro.data.logical import LogicalDataset
+from repro.exceptions import DataGenerationError
+from repro.graphdb.graph import PropertyGraph
+from repro.ontology.model import RelationshipType
+from repro.schema.mapping import SchemaMapping
+
+
+class GraphUpdater:
+    """Keeps DIR and OPT graphs in sync with logical updates."""
+
+    def __init__(
+        self,
+        logical: LogicalDataset,
+        mapping: SchemaMapping,
+        dir_graph: PropertyGraph,
+        dir_registry: LoadRegistry,
+        opt_graph: PropertyGraph,
+        opt_registry: LoadRegistry,
+    ):
+        self.logical = logical
+        self.mapping = mapping
+        self.ontology = logical.ontology
+        self.dir_graph = dir_graph
+        self.dir_registry = dir_registry
+        self.opt_graph = opt_graph
+        self.opt_registry = opt_registry
+        self._uid_counter = logical.num_instances
+        #: structural links created by the in-flight insert_instance
+        self._twin_links: dict[str, list[tuple[str, str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Inserts
+    # ------------------------------------------------------------------
+    def insert_instance(
+        self, concept: str, props: dict[str, object]
+    ) -> str:
+        """Insert an instance; returns its uid.
+
+        Derived concepts (union concepts / inheritance parents) cannot
+        be inserted directly - their instances exist only as twins of
+        member/child instances, matching the generator's data model.
+        """
+        if concept in self.ontology.derived_concepts():
+            raise DataGenerationError(
+                f"{concept!r} is a derived concept; insert a member or "
+                f"child instance instead"
+            )
+        uid = self._fresh_uid(concept)
+        self._twin_links = {}
+        self.logical.add_instance(concept, uid, dict(props))
+        group = [uid]
+        group += self._create_twin_chain(concept, uid)
+
+        # DIR: one vertex per instance + structural edges.
+        for member_uid in group:
+            member_concept = self.logical.concept_of[member_uid]
+            self.dir_registry.vertex_of[member_uid] = (
+                self.dir_graph.add_vertex(
+                    (member_concept,),
+                    self.logical.properties[member_uid],
+                )
+            )
+        for rel_id, pairs in self._twin_links.items():
+            rel = self.ontology.relationship(rel_id)
+            for src_uid, dst_uid in pairs:
+                src_vid = self.dir_registry.vertex_of[src_uid]
+                dst_vid = self.dir_registry.vertex_of[dst_uid]
+                # Structural instance edges point child/member first.
+                self.dir_graph.add_edge(dst_vid, src_vid, rel.label)
+
+        # OPT: one vertex per merge group.
+        self._materialize_opt_groups(group)
+        self._twin_links = {}
+        return uid
+
+    def insert_link(
+        self, rel_id: str, src_uid: str, dst_uid: str
+    ) -> None:
+        """Insert a functional link and maintain edges + lists."""
+        rel = self.ontology.relationship(rel_id)
+        if not rel.rel_type.is_functional:
+            raise DataGenerationError(
+                "structural links are created by insert_instance"
+            )
+        self.logical.add_link(rel_id, src_uid, dst_uid)
+        self.dir_graph.add_edge(
+            self.dir_registry.vertex_of[src_uid],
+            self.dir_registry.vertex_of[dst_uid],
+            rel.label,
+        )
+        if not self.mapping.is_collapsed(rel_id):
+            self.opt_graph.add_edge(
+                self.opt_registry.vertex_of[src_uid],
+                self.opt_registry.vertex_of[dst_uid],
+                rel.label,
+            )
+        self._refresh_lists_for_rel(rel_id, {src_uid, dst_uid})
+
+    def delete_link(
+        self, rel_id: str, src_uid: str, dst_uid: str
+    ) -> None:
+        """Delete one functional link and maintain edges + lists."""
+        rel = self.ontology.relationship(rel_id)
+        pairs = self.logical.links.get(rel_id, [])
+        try:
+            pairs.remove((src_uid, dst_uid))
+        except ValueError:
+            raise DataGenerationError(
+                f"no link {src_uid} -> {dst_uid} in {rel_id}"
+            ) from None
+        self._remove_one_edge(
+            self.dir_graph,
+            self.dir_registry.vertex_of[src_uid],
+            self.dir_registry.vertex_of[dst_uid],
+            rel.label,
+        )
+        if not self.mapping.is_collapsed(rel_id):
+            self._remove_one_edge(
+                self.opt_graph,
+                self.opt_registry.vertex_of[src_uid],
+                self.opt_registry.vertex_of[dst_uid],
+                rel.label,
+            )
+        self._refresh_lists_for_rel(rel_id, {src_uid, dst_uid})
+
+    def set_property(self, uid: str, name: str, value: object) -> None:
+        """Modify a property and refresh every list replicated from it."""
+        self.logical.properties[uid][name] = value
+        self.dir_graph.set_property(
+            self.dir_registry.vertex_of[uid], name, value
+        )
+        self.opt_graph.set_property(
+            self.opt_registry.vertex_of[uid], name, value
+        )
+        concept = self.logical.concept_of[uid]
+        for repl in self.mapping.replications:
+            if (
+                repl.source_concept == concept
+                and repl.source_property == name
+            ):
+                self._refresh_lists_for_rel(repl.rel_id, {uid})
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fresh_uid(self, concept: str) -> str:
+        self._uid_counter += 1
+        return f"{concept}#u{self._uid_counter}"
+
+    def _create_twin_chain(self, concept: str, uid: str) -> list[str]:
+        """Twins for every derived ancestor, recursively."""
+        created: list[str] = []
+        ancestors = [
+            rel for rel in self.ontology.in_edges(concept)
+            if rel.rel_type in (
+                RelationshipType.INHERITANCE, RelationshipType.UNION
+            )
+        ]
+        for rel in ancestors:
+            parent = rel.src
+            twin_uid = f"{parent}|{uid}"
+            if twin_uid not in self.logical.concept_of:
+                self.logical.add_instance(parent, twin_uid, {})
+                created.append(twin_uid)
+                created += self._create_twin_chain(parent, twin_uid)
+            self.logical.add_link(rel.rel_id, twin_uid, uid)
+            self._twin_links.setdefault(rel.rel_id, []).append(
+                (twin_uid, uid)
+            )
+        return created
+
+    def _materialize_opt_groups(self, uids: list[str]) -> None:
+        """Union-find the new instances along collapsed twin links and
+        create one OPT vertex per resulting group."""
+        parent = {uid: uid for uid in uids}
+
+        def find(u: str) -> str:
+            while parent[u] != u:
+                parent[u] = parent[parent[u]]
+                u = parent[u]
+            return u
+
+        for rel_id, pairs in self._twin_links.items():
+            if not self.mapping.is_collapsed(rel_id):
+                continue
+            for src_uid, dst_uid in pairs:
+                ra, rb = find(src_uid), find(dst_uid)
+                if ra != rb:
+                    parent[rb] = ra
+        groups: dict[str, list[str]] = {}
+        for uid in uids:
+            groups.setdefault(find(uid), []).append(uid)
+        for root, members in groups.items():
+            concepts = {self.logical.concept_of[u] for u in members}
+            labels = set(concepts)
+            for key, node_concepts in self._merged_nodes().items():
+                if node_concepts <= concepts:
+                    labels.add(key)
+            properties: dict[str, object] = {}
+            for member in sorted(members):
+                properties.update(self.logical.properties[member])
+            vid = self.opt_graph.add_vertex(frozenset(labels), properties)
+            for member in members:
+                self.opt_registry.vertex_of[member] = vid
+                self.opt_registry.root_of[member] = root
+            self.opt_registry.groups[root] = list(members)
+        # Non-collapsed structural links become OPT edges.
+        for rel_id, pairs in self._twin_links.items():
+            if self.mapping.is_collapsed(rel_id):
+                continue
+            rel = self.ontology.relationship(rel_id)
+            for src_uid, dst_uid in pairs:
+                self.opt_graph.add_edge(
+                    self.opt_registry.vertex_of[dst_uid],
+                    self.opt_registry.vertex_of[src_uid],
+                    rel.label,
+                )
+
+    def _merged_nodes(self) -> dict[str, frozenset[str]]:
+        merged = {}
+        for key, labels in self.mapping.node_labels.items():
+            concepts = frozenset(
+                label for label in labels
+                if label in self.ontology.concepts
+            )
+            if len(concepts) > 1 and key not in self.ontology.concepts:
+                merged[key] = concepts
+        return merged
+
+    def _remove_one_edge(
+        self, graph: PropertyGraph, src: int, dst: int, label: str
+    ) -> None:
+        for edge in graph.out_edges(src, label):
+            if edge.dst == dst:
+                graph.remove_edge(edge.eid)
+                return
+        raise DataGenerationError(
+            f"no {label!r} edge {src} -> {dst} in {graph.name}"
+        )
+
+    def _refresh_lists_for_rel(
+        self, rel_id: str, touched_uids: set[str]
+    ) -> None:
+        """Recompute list properties affected by changes around a rel."""
+        registry = self.opt_registry
+
+        class _UfView:
+            def find(_, uid: str) -> str:
+                return registry.root_of.get(uid, uid)
+
+        uf_view = _UfView()
+        for repl in self.mapping.replications:
+            if repl.rel_id != rel_id:
+                continue
+            owner_is_src = repl.direction == "fwd"
+            affected_owner_vids: set[int] = set()
+            for src_uid, dst_uid in self.logical.links_of(rel_id):
+                if not touched_uids & {src_uid, dst_uid}:
+                    continue
+                owner_uid = src_uid if owner_is_src else dst_uid
+                affected_owner_vids.add(registry.vertex_of[owner_uid])
+            # Also owners that may have LOST their last link.
+            for uid in touched_uids:
+                if uid in registry.vertex_of:
+                    affected_owner_vids.add(registry.vertex_of[uid])
+            for vid in affected_owner_vids:
+                if repl.owner_node not in self.opt_graph.vertex(
+                    vid
+                ).labels:
+                    continue
+                values: list[object] = []
+                for src_uid, dst_uid in self.logical.links_of(rel_id):
+                    owner_uid = src_uid if owner_is_src else dst_uid
+                    if registry.vertex_of.get(owner_uid) != vid:
+                        continue
+                    partner_uid = dst_uid if owner_is_src else src_uid
+                    value = _group_property(
+                        self.logical, uf_view, registry.groups,
+                        partner_uid, repl.source_concept,
+                        repl.source_property,
+                    )
+                    if value is not None:
+                        values.append(value)
+                if values:
+                    self.opt_graph.set_property(
+                        vid, repl.list_name, values
+                    )
+                else:
+                    self.opt_graph.remove_property(vid, repl.list_name)

@@ -1,0 +1,138 @@
+"""Shared dataset plumbing for the MED and FIN reproductions."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.data.generator import generate_logical
+from repro.data.logical import LogicalDataset
+from repro.exceptions import DataGenerationError
+from repro.ontology.model import Ontology, RelationshipType
+from repro.ontology.stats import DataStatistics, synthesize_statistics
+from repro.ontology.workload import WorkloadSummary
+
+
+@dataclass
+class Dataset:
+    """An ontology + statistics + the paper's benchmark queries."""
+
+    name: str
+    ontology: Ontology
+    stats: DataStatistics
+    #: query id (e.g. "Q1") -> Cypher text against the DIR schema
+    queries: dict[str, str] = field(default_factory=dict)
+    base_cardinality: int = 100
+    seed: int = 7
+
+    def workload(self, kind: str = "uniform") -> WorkloadSummary:
+        if kind == "uniform":
+            return WorkloadSummary.uniform(self.ontology)
+        if kind == "zipf":
+            return WorkloadSummary.zipf(self.ontology)
+        raise DataGenerationError(f"unknown workload kind {kind!r}")
+
+    def query_workload(self, boost: float = 4.0) -> WorkloadSummary:
+        """A workload summary biased toward the benchmark queries.
+
+        Concepts referenced by the microbenchmark queries get ``boost``
+        times the base weight - this stands in for the paper's observed
+        "workload summaries" input.
+        """
+        weights = {c: 1.0 for c in self.ontology.concepts}
+        for text in self.queries.values():
+            for concept in self.ontology.concepts:
+                if f":{concept}" in text:
+                    weights[concept] += boost
+        return WorkloadSummary(
+            weights, total_queries=1000, name="query-driven"
+        )
+
+    def logical(self, scale: float = 1.0, seed: int | None = None) -> LogicalDataset:
+        stats = self.stats if scale == 1.0 else self.stats.scaled(scale)
+        return generate_logical(
+            self.ontology, stats, seed=self.seed if seed is None else seed
+        )
+
+
+def fill_relationships(
+    ontology: Ontology,
+    rel_type: RelationshipType,
+    count: int,
+    seed: int,
+    label_prefix: str,
+    allowed_parents: list[str] | None = None,
+    allowed_children: list[str] | None = None,
+) -> int:
+    """Deterministically add ``count`` filler relationships.
+
+    For inheritance, ``allowed_parents``/``allowed_children`` restrict
+    the endpoints (the FIN ontology's 69 inheritance relationships
+    concentrate on a few abstract concepts) and cycles are rejected.
+    Returns the number of relationships actually added (always
+    ``count`` unless the space of candidate pairs is exhausted).
+    """
+    rng = random.Random(seed)
+    concepts = list(ontology.concepts)
+    existing = {
+        (r.rel_type, r.src, r.dst) for r in ontology.iter_relationships()
+    }
+    added = 0
+    attempts = 0
+    max_attempts = 200 * count + 1000
+    while added < count and attempts < max_attempts:
+        attempts += 1
+        if rel_type is RelationshipType.INHERITANCE and allowed_parents:
+            src = rng.choice(allowed_parents)
+        else:
+            src = rng.choice(concepts)
+        if rel_type is RelationshipType.INHERITANCE and allowed_children:
+            dst = rng.choice(allowed_children)
+        else:
+            dst = rng.choice(concepts)
+        if src == dst:
+            continue
+        if (rel_type, src, dst) in existing:
+            continue
+        if rel_type is RelationshipType.INHERITANCE:
+            if _creates_inheritance_cycle(ontology, src, dst):
+                continue
+            if dst in ontology.union_concepts():
+                continue  # keep union concepts out of hierarchies
+            label = "isA"
+        else:
+            label = f"{label_prefix}{added}"
+        ontology.add_relationship(label, src, dst, rel_type)
+        existing.add((rel_type, src, dst))
+        added += 1
+    if added < count:
+        raise DataGenerationError(
+            f"could only add {added}/{count} filler "
+            f"{rel_type.value} relationships"
+        )
+    return added
+
+
+def _creates_inheritance_cycle(
+    ontology: Ontology, parent: str, child: str
+) -> bool:
+    """Would parent->child close an inheritance cycle?"""
+    stack = [parent]
+    seen: set[str] = set()
+    while stack:
+        node = stack.pop()
+        if node == child:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(ontology.parents_of(node))
+    return False
+
+
+def derive_stats(
+    ontology: Ontology, base_cardinality: int, seed: int
+) -> DataStatistics:
+    return synthesize_statistics(
+        ontology, base_cardinality=base_cardinality, seed=seed
+    )

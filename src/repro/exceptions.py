@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class OntologyError(ReproError):
+    """Raised when an ontology is malformed or an operation is invalid."""
+
+
+class ValidationError(OntologyError):
+    """Raised when ontology validation finds integrity violations."""
+
+
+class SchemaError(ReproError):
+    """Raised for invalid property-graph-schema operations."""
+
+
+class OptimizationError(ReproError):
+    """Raised when a schema optimization algorithm cannot proceed."""
+
+
+class GraphError(ReproError):
+    """Raised by the property-graph storage engine."""
+
+
+class QueryError(ReproError):
+    """Raised for malformed queries (lexing, parsing, or binding errors)."""
+
+
+class QuerySyntaxError(QueryError):
+    """Raised when query text cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class RewriteError(ReproError):
+    """Raised when a DIR query cannot be rewritten against an OPT schema."""
+
+
+class DataGenerationError(ReproError):
+    """Raised when synthetic instance data cannot be generated."""

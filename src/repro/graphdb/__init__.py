@@ -1,0 +1,27 @@
+"""Instrumented in-memory property graph engine with a Cypher subset."""
+
+from repro.graphdb.backends import (
+    JANUSGRAPH_LIKE,
+    NEO4J_LIKE,
+    PROFILES,
+    BackendProfile,
+)
+from repro.graphdb.graph import Edge, PropertyGraph, Vertex
+from repro.graphdb.metrics import ExecutionMetrics, LruPageCache
+from repro.graphdb.query.executor import Executor, QueryResult
+from repro.graphdb.session import GraphSession
+
+__all__ = [
+    "BackendProfile",
+    "Edge",
+    "ExecutionMetrics",
+    "Executor",
+    "GraphSession",
+    "JANUSGRAPH_LIKE",
+    "LruPageCache",
+    "NEO4J_LIKE",
+    "PROFILES",
+    "PropertyGraph",
+    "QueryResult",
+    "Vertex",
+]

@@ -1,0 +1,261 @@
+"""In-memory property graph storage (Definition 2 of the paper).
+
+A directed multigraph whose vertices carry a *set of labels* (vertices
+produced by collapsing rules keep the labels of every merged concept -
+the same behaviour Neo4j multi-labels give) and whose vertices and edges
+carry property maps.  Adjacency is indexed by edge label in both
+directions, so expanding a typed pattern hop only touches matching
+edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.exceptions import GraphError
+
+
+@dataclass
+class Vertex:
+    vid: int
+    labels: frozenset[str]
+    properties: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Edge:
+    eid: int
+    src: int
+    dst: int
+    label: str
+    properties: dict[str, object] = field(default_factory=dict)
+
+
+class PropertyGraph:
+    """Vertex/edge stores with label and adjacency indexes."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._vertices: dict[int, Vertex] = {}
+        self._edges: dict[int, Edge] = {}
+        self._label_index: dict[str, list[int]] = {}
+        self._out: dict[int, dict[str, list[int]]] = {}
+        self._in: dict[int, dict[str, list[int]]] = {}
+        self._property_indexes: dict[tuple[str, str], dict] = {}
+        self._next_vid = 0
+        self._next_eid = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(
+        self,
+        labels: Iterable[str] | str,
+        properties: dict[str, object] | None = None,
+    ) -> int:
+        if isinstance(labels, str):
+            labels = (labels,)
+        label_set = frozenset(labels)
+        if not label_set:
+            raise GraphError("a vertex needs at least one label")
+        vid = self._next_vid
+        self._next_vid += 1
+        self._vertices[vid] = Vertex(vid, label_set, dict(properties or {}))
+        for label in label_set:
+            self._label_index.setdefault(label, []).append(vid)
+        self._out[vid] = {}
+        self._in[vid] = {}
+        for (label, prop), index in self._property_indexes.items():
+            if label in label_set:
+                value = self._vertices[vid].properties.get(prop)
+                if value is not None:
+                    index.setdefault(value, []).append(vid)
+        return vid
+
+    def add_edge(
+        self,
+        src: int,
+        dst: int,
+        label: str,
+        properties: dict[str, object] | None = None,
+    ) -> int:
+        for endpoint in (src, dst):
+            if endpoint not in self._vertices:
+                raise GraphError(f"unknown vertex {endpoint}")
+        eid = self._next_eid
+        self._next_eid += 1
+        self._edges[eid] = Edge(eid, src, dst, label, dict(properties or {}))
+        self._out[src].setdefault(label, []).append(eid)
+        self._in[dst].setdefault(label, []).append(eid)
+        return eid
+
+    def set_property(self, vid: int, name: str, value: object) -> None:
+        vertex = self.vertex(vid)
+        old = vertex.properties.get(name)
+        vertex.properties[name] = value
+        for (label, prop), index in self._property_indexes.items():
+            if prop != name or label not in vertex.labels:
+                continue
+            if old is not None and vid in index.get(old, ()):
+                index[old].remove(vid)
+            if value is not None:
+                index.setdefault(value, []).append(vid)
+
+    def remove_property(self, vid: int, name: str) -> None:
+        vertex = self.vertex(vid)
+        old = vertex.properties.pop(name, None)
+        if old is None:
+            return
+        for (label, prop), index in self._property_indexes.items():
+            if prop == name and label in vertex.labels:
+                if vid in index.get(old, ()):
+                    index[old].remove(vid)
+
+    def remove_edge(self, eid: int) -> None:
+        """Remove an edge (update handling, Section 4.2 of the paper)."""
+        edge = self.edge(eid)
+        del self._edges[eid]
+        self._out[edge.src][edge.label].remove(eid)
+        self._in[edge.dst][edge.label].remove(eid)
+
+    def remove_vertex(self, vid: int) -> None:
+        """Remove a vertex and every incident edge."""
+        vertex = self.vertex(vid)
+        for edge in list(self.out_edges(vid)) + list(self.in_edges(vid)):
+            if edge.eid in self._edges:
+                self.remove_edge(edge.eid)
+        for label in vertex.labels:
+            self._label_index[label].remove(vid)
+        for (label, prop), index in self._property_indexes.items():
+            if label in vertex.labels:
+                value = vertex.properties.get(prop)
+                if value is not None and vid in index.get(value, ()):
+                    index[value].remove(vid)
+        del self._vertices[vid]
+        del self._out[vid]
+        del self._in[vid]
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def vertex(self, vid: int) -> Vertex:
+        try:
+            return self._vertices[vid]
+        except KeyError:
+            raise GraphError(f"unknown vertex {vid}") from None
+
+    def edge(self, eid: int) -> Edge:
+        try:
+            return self._edges[eid]
+        except KeyError:
+            raise GraphError(f"unknown edge {eid}") from None
+
+    def has_label(self, vid: int, label: str) -> bool:
+        return label in self.vertex(vid).labels
+
+    def vertices_with_label(self, label: str) -> list[int]:
+        return list(self._label_index.get(label, ()))
+
+    def label_count(self, label: str) -> int:
+        return len(self._label_index.get(label, ()))
+
+    def labels(self) -> list[str]:
+        return sorted(self._label_index)
+
+    def out_edges(self, vid: int, label: str | None = None) -> list[Edge]:
+        adjacency = self._out.get(vid, {})
+        return self._edges_from(adjacency, label)
+
+    def in_edges(self, vid: int, label: str | None = None) -> list[Edge]:
+        adjacency = self._in.get(vid, {})
+        return self._edges_from(adjacency, label)
+
+    def _edges_from(
+        self, adjacency: dict[str, list[int]], label: str | None
+    ) -> list[Edge]:
+        if label is not None:
+            return [self._edges[e] for e in adjacency.get(label, ())]
+        result: list[Edge] = []
+        for edge_ids in adjacency.values():
+            result.extend(self._edges[e] for e in edge_ids)
+        return result
+
+    def degree(self, vid: int) -> int:
+        out_deg = sum(len(v) for v in self._out.get(vid, {}).values())
+        in_deg = sum(len(v) for v in self._in.get(vid, {}).values())
+        return out_deg + in_deg
+
+    def iter_vertices(self) -> Iterator[Vertex]:
+        return iter(self._vertices.values())
+
+    def iter_edges(self) -> Iterator[Edge]:
+        return iter(self._edges.values())
+
+    # ------------------------------------------------------------------
+    # Property indexes (exact-match lookups for {prop: value} patterns)
+    # ------------------------------------------------------------------
+    def create_property_index(self, label: str, prop: str) -> None:
+        key = (label, prop)
+        if key in self._property_indexes:
+            return
+        index: dict = {}
+        for vid in self._label_index.get(label, ()):
+            value = self._vertices[vid].properties.get(prop)
+            if value is not None:
+                index.setdefault(value, []).append(vid)
+        self._property_indexes[key] = index
+
+    def has_property_index(self, label: str, prop: str) -> bool:
+        return (label, prop) in self._property_indexes
+
+    def lookup_property(
+        self, label: str, prop: str, value: object
+    ) -> list[int]:
+        try:
+            index = self._property_indexes[(label, prop)]
+        except KeyError:
+            raise GraphError(
+                f"no property index on ({label!r}, {prop!r})"
+            ) from None
+        return list(index.get(value, ()))
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def size_bytes(self, edge_bytes: int = 16) -> int:
+        """Approximate storage footprint (used to sanity-check budgets)."""
+        from repro.ontology.model import DataType
+
+        total = 0
+        for vertex in self._vertices.values():
+            for value in vertex.properties.values():
+                if isinstance(value, list):
+                    total += DataType.STRING.size_bytes * len(value)
+                elif isinstance(value, bool):
+                    total += DataType.BOOL.size_bytes
+                elif isinstance(value, int):
+                    total += DataType.INT.size_bytes
+                elif isinstance(value, float):
+                    total += DataType.FLOAT.size_bytes
+                else:
+                    total += DataType.STRING.size_bytes
+        total += edge_bytes * len(self._edges)
+        return total
+
+    def summary(self) -> str:
+        return (
+            f"PropertyGraph {self.name!r}: {self.num_vertices:,} vertices, "
+            f"{self.num_edges:,} edges, {len(self._label_index)} labels"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.summary()}>"

@@ -1,0 +1,77 @@
+"""Execution metrics and the simulated latency model.
+
+The paper's gains come from doing *less work per query* - fewer edge
+traversals, fewer vertex/property reads, less page I/O.  The engine
+counts each kind of work; a :class:`BackendProfile` (see
+:mod:`repro.graphdb.backends`) weights the counts into a deterministic
+simulated latency.  Shapes (who wins, by what factor) therefore carry
+over from the paper even though absolute milliseconds differ from the
+authors' testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionMetrics:
+    """Work counters for one query execution (or a workload)."""
+
+    edge_traversals: int = 0
+    vertex_reads: int = 0
+    property_reads: int = 0
+    index_lookups: int = 0
+    page_hits: int = 0
+    page_misses: int = 0
+    rows: int = 0
+    queries: int = 0
+
+    def merge(self, other: "ExecutionMetrics") -> None:
+        self.edge_traversals += other.edge_traversals
+        self.vertex_reads += other.vertex_reads
+        self.property_reads += other.property_reads
+        self.index_lookups += other.index_lookups
+        self.page_hits += other.page_hits
+        self.page_misses += other.page_misses
+        self.rows += other.rows
+        self.queries += other.queries
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "edge_traversals": self.edge_traversals,
+            "vertex_reads": self.vertex_reads,
+            "property_reads": self.property_reads,
+            "index_lookups": self.index_lookups,
+            "page_hits": self.page_hits,
+            "page_misses": self.page_misses,
+            "rows": self.rows,
+            "queries": self.queries,
+        }
+
+
+@dataclass
+class LruPageCache:
+    """A tiny LRU page cache; only hit/miss accounting matters here."""
+
+    capacity: int
+    _pages: dict[tuple, None] = field(default_factory=dict)
+
+    def touch(self, page_id: tuple) -> bool:
+        """Access a page; returns True on a hit."""
+        if page_id in self._pages:
+            self._pages.pop(page_id)
+            self._pages[page_id] = None
+            return True
+        if self.capacity > 0 and len(self._pages) >= self.capacity:
+            oldest = next(iter(self._pages))
+            del self._pages[oldest]
+        if self.capacity > 0:
+            self._pages[page_id] = None
+        return False
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    def __len__(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,473 @@
+"""Query executor: pattern matching, filtering, aggregation.
+
+Bindings map pattern variables to :class:`VertexBinding` /
+:class:`EdgeBinding` wrappers.  All graph access flows through the
+:class:`~repro.graphdb.session.GraphSession`, which records the work
+counters the latency model consumes.
+
+Aggregation follows Cypher semantics: when any return item contains an
+aggregate function, the non-aggregated items become grouping keys;
+``size(collect(x))`` style nesting is evaluated inside-out at group
+level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import QueryError
+from repro.graphdb.metrics import ExecutionMetrics
+from repro.graphdb.query.ast import (
+    AGGREGATE_FUNCTIONS,
+    BoolOp,
+    Comparison,
+    Expr,
+    FuncCall,
+    Literal,
+    NotOp,
+    NullCheck,
+    PropertyRef,
+    Query,
+    ReturnItem,
+    Star,
+    Variable,
+    contains_aggregate,
+)
+from repro.graphdb.query.functions import (
+    apply_aggregate,
+    apply_scalar,
+    compare,
+)
+from repro.graphdb.query.parser import parse_query
+from repro.graphdb.query.planner import (
+    ExpandStep,
+    JoinCheckStep,
+    NodeSpec,
+    Plan,
+    ScanStep,
+    build_plan,
+)
+from repro.graphdb.session import GraphSession
+
+
+@dataclass(frozen=True)
+class VertexBinding:
+    vid: int
+
+
+@dataclass(frozen=True)
+class EdgeBinding:
+    eid: int
+
+
+Binding = dict[str, object]
+
+
+@dataclass
+class QueryResult:
+    columns: list[str]
+    rows: list[tuple]
+    metrics: ExecutionMetrics
+    latency_ms: float
+
+    def single_value(self) -> object:
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise QueryError(
+                f"expected a single value, got {len(self.rows)} row(s)"
+            )
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list:
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise QueryError(f"no column {name!r}") from None
+        return [row[index] for row in self.rows]
+
+
+class Executor:
+    """Executes parsed queries against one instrumented session."""
+
+    def __init__(self, session: GraphSession):
+        self.session = session
+
+    def run(self, query: Query | str) -> QueryResult:
+        if isinstance(query, str):
+            query = parse_query(query)
+        plan = build_plan(query, self.session.graph)
+        bindings = self._match(plan)
+        if query.where is not None:
+            bindings = [
+                b for b in bindings
+                if self._eval_predicate(query.where, b)
+            ]
+        columns, rows = self._project(query, bindings)
+        if query.distinct:
+            rows = _dedupe(rows)
+        if query.order_by:
+            rows = self._order(query, columns, rows)
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        metrics = self.session.reset_metrics()
+        metrics.rows = len(rows)
+        metrics.queries = 1
+        latency = self.session.profile.latency_ms(metrics)
+        return QueryResult(columns, rows, metrics, latency)
+
+    # ------------------------------------------------------------------
+    # Pattern matching
+    # ------------------------------------------------------------------
+    def _match(self, plan: Plan) -> list[Binding]:
+        bindings: list[Binding] = [{}]
+        for step in plan.steps:
+            if isinstance(step, ScanStep):
+                bindings = self._scan(step, plan.node_specs, bindings)
+            elif isinstance(step, ExpandStep):
+                bindings = self._expand(step, plan.node_specs, bindings)
+            elif isinstance(step, JoinCheckStep):
+                bindings = self._join_check(step, bindings)
+            if not bindings:
+                return []
+        return bindings
+
+    def _candidates(self, spec: NodeSpec) -> list[int]:
+        session = self.session
+        graph = session.graph
+        for prop, value in spec.props.items():
+            for label in spec.labels:
+                if graph.has_property_index(label, prop):
+                    return session.index_lookup(label, prop, value)
+        if spec.labels:
+            label = min(spec.labels, key=graph.label_count)
+            return session.label_scan(label)
+        return [v.vid for v in graph.iter_vertices()]
+
+    def _accept_vertex(self, vid: int, spec: NodeSpec) -> bool:
+        labels = self.session.read_labels(vid)
+        if not set(spec.labels) <= labels:
+            return False
+        for prop, value in spec.props.items():
+            if self.session.read_property(vid, prop) != value:
+                return False
+        return True
+
+    def _scan(
+        self,
+        step: ScanStep,
+        specs: dict[str, NodeSpec],
+        bindings: list[Binding],
+    ) -> list[Binding]:
+        spec = specs[step.var]
+        matched = [
+            vid for vid in self._candidates(spec)
+            if self._accept_vertex(vid, spec)
+        ]
+        return [
+            {**binding, step.var: VertexBinding(vid)}
+            for binding in bindings
+            for vid in matched
+        ]
+
+    def _expand_one(
+        self, vid: int, step: ExpandStep
+    ) -> list[tuple[int, int]]:
+        """(eid, neighbor vid) pairs reachable from ``vid`` over the edge.
+
+        For variable-length patterns (``-[:T*m..n]->``) a path search
+        runs per Cypher semantics (no relationship repeats within one
+        path); each distinct path yields one result whose ``eid`` is
+        the last edge taken.
+        """
+        edge_spec = step.edge
+        if step.from_var == edge_spec.src_var:
+            direction = edge_spec.direction
+        else:  # walking the pattern backwards
+            flip = {"out": "in", "in": "out", "any": "any"}
+            direction = flip[edge_spec.direction]
+        if edge_spec.min_hops == 1 and edge_spec.max_hops == 1:
+            return self._adjacent(vid, edge_spec.labels, direction)
+        return self._expand_paths(
+            vid, edge_spec.labels, direction,
+            edge_spec.min_hops, edge_spec.max_hops,
+        )
+
+    def _adjacent(
+        self, vid: int, labels: tuple[str, ...], direction: str
+    ) -> list[tuple[int, int]]:
+        results: list[tuple[int, int]] = []
+        for label in labels or (None,):
+            for edge in self.session.expand(vid, label, direction):
+                neighbor = edge.dst if edge.src == vid else edge.src
+                results.append((edge.eid, neighbor))
+        return results
+
+    def _expand_paths(
+        self,
+        vid: int,
+        labels: tuple[str, ...],
+        direction: str,
+        min_hops: int,
+        max_hops: int,
+    ) -> list[tuple[int, int]]:
+        results: list[tuple[int, int]] = []
+        if min_hops == 0:
+            results.append((-1, vid))
+        # DFS over paths; Cypher forbids reusing a relationship within
+        # one path but allows revisiting vertices.
+        stack: list[tuple[int, int, frozenset[int], int]] = [
+            (vid, 0, frozenset(), -1)
+        ]
+        while stack:
+            current, depth, used, last_eid = stack.pop()
+            if depth == max_hops:
+                continue
+            for eid, neighbor in self._adjacent(
+                current, labels, direction
+            ):
+                if eid in used:
+                    continue
+                if depth + 1 >= min_hops:
+                    results.append((eid, neighbor))
+                stack.append(
+                    (neighbor, depth + 1, used | {eid}, eid)
+                )
+        return results
+
+    def _expand(
+        self,
+        step: ExpandStep,
+        specs: dict[str, NodeSpec],
+        bindings: list[Binding],
+    ) -> list[Binding]:
+        spec = specs[step.to_var]
+        out: list[Binding] = []
+        for binding in bindings:
+            from_binding = binding[step.from_var]
+            assert isinstance(from_binding, VertexBinding)
+            for eid, neighbor in self._expand_one(from_binding.vid, step):
+                if not self._accept_vertex(neighbor, spec):
+                    continue
+                extended = {**binding, step.to_var: VertexBinding(neighbor)}
+                plain_hop = (
+                    step.edge.min_hops, step.edge.max_hops
+                ) == (1, 1)
+                if step.edge.rel_var and plain_hop:
+                    # Variable-length patterns bind a path in Cypher;
+                    # we bind relationship variables on plain hops only.
+                    extended[step.edge.rel_var] = EdgeBinding(eid)
+                out.append(extended)
+        return out
+
+    def _join_check(
+        self, step: JoinCheckStep, bindings: list[Binding]
+    ) -> list[Binding]:
+        edge_spec = step.edge
+        variable_length = (
+            edge_spec.min_hops, edge_spec.max_hops
+        ) != (1, 1)
+        out: list[Binding] = []
+        for binding in bindings:
+            src = binding[edge_spec.src_var]
+            dst = binding[edge_spec.dst_var]
+            assert isinstance(src, VertexBinding)
+            assert isinstance(dst, VertexBinding)
+            matched_eid = None
+            if variable_length:
+                for eid, neighbor in self._expand_paths(
+                    src.vid, edge_spec.labels, edge_spec.direction,
+                    edge_spec.min_hops, edge_spec.max_hops,
+                ):
+                    if neighbor == dst.vid:
+                        matched_eid = eid
+                        break
+            else:
+                for label in edge_spec.labels or (None,):
+                    for edge in self.session.expand(
+                        src.vid, label, edge_spec.direction
+                    ):
+                        neighbor = (
+                            edge.dst if edge.src == src.vid else edge.src
+                        )
+                        if neighbor == dst.vid:
+                            matched_eid = edge.eid
+                            break
+                    if matched_eid is not None:
+                        break
+            if matched_eid is None:
+                continue
+            if edge_spec.rel_var and not variable_length:
+                binding = {
+                    **binding, edge_spec.rel_var: EdgeBinding(matched_eid)
+                }
+            out.append(binding)
+        return out
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def _eval_row(self, expr: Expr, binding: Binding) -> object:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, Star):
+            return 1
+        if isinstance(expr, Variable):
+            if expr.name not in binding:
+                raise QueryError(f"unbound variable {expr.name!r}")
+            return binding[expr.name]
+        if isinstance(expr, PropertyRef):
+            bound = binding.get(expr.var)
+            if bound is None:
+                raise QueryError(f"unbound variable {expr.var!r}")
+            if isinstance(bound, VertexBinding):
+                return self.session.read_property(bound.vid, expr.prop)
+            if isinstance(bound, EdgeBinding):
+                return self.session.read_edge_property(bound.eid, expr.prop)
+            raise QueryError(
+                f"variable {expr.var!r} is not a vertex or edge"
+            )
+        if isinstance(expr, FuncCall):
+            if expr.name in AGGREGATE_FUNCTIONS:
+                raise QueryError(
+                    f"aggregate {expr.name}() outside aggregation context"
+                )
+            args = [self._eval_row(arg, binding) for arg in expr.args]
+            return apply_scalar(expr.name, args)
+        if isinstance(expr, (Comparison, BoolOp, NotOp, NullCheck)):
+            return self._eval_predicate(expr, binding)
+        raise QueryError(f"cannot evaluate expression {expr!r}")
+
+    def _eval_predicate(self, expr: Expr, binding: Binding) -> bool:
+        if isinstance(expr, Comparison):
+            return compare(
+                expr.op,
+                self._eval_row(expr.lhs, binding),
+                self._eval_row(expr.rhs, binding),
+            )
+        if isinstance(expr, NullCheck):
+            value = self._eval_row(expr.expr, binding)
+            return value is not None if expr.negated else value is None
+        if isinstance(expr, BoolOp):
+            results = (
+                self._eval_predicate(op, binding) for op in expr.operands
+            )
+            return all(results) if expr.op == "and" else any(results)
+        if isinstance(expr, NotOp):
+            return not self._eval_predicate(expr.operand, binding)
+        return bool(self._eval_row(expr, binding))
+
+    def _eval_group(self, expr: Expr, group: list[Binding]) -> object:
+        if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS:
+            if not expr.args:
+                raise QueryError(f"{expr.name}() needs an argument")
+            arg = expr.args[0]
+            values = [self._eval_row(arg, b) for b in group]
+            return apply_aggregate(
+                expr.name, values, distinct=expr.distinct,
+                flatten=expr.flatten,
+            )
+        if isinstance(expr, FuncCall):
+            args = [self._eval_group(arg, group) for arg in expr.args]
+            return apply_scalar(expr.name, args)
+        if not contains_aggregate(expr):
+            if not group:
+                return None
+            return self._eval_row(expr, group[0])
+        raise QueryError(
+            f"unsupported aggregate nesting in {expr!r}"
+        )  # pragma: no cover - parser produces FuncCall nests only
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+    def _project(
+        self, query: Query, bindings: list[Binding]
+    ) -> tuple[list[str], list[tuple]]:
+        items = query.return_items
+        columns = [
+            item.output_name(i) for i, item in enumerate(items)
+        ]
+        has_aggregate = any(
+            contains_aggregate(item.expr) for item in items
+        )
+        if not has_aggregate:
+            rows = [
+                tuple(self._eval_row(item.expr, b) for item in items)
+                for b in bindings
+            ]
+            return columns, rows
+
+        grouping_indices = [
+            i for i, item in enumerate(items)
+            if not contains_aggregate(item.expr)
+        ]
+        groups: dict[tuple, list[Binding]] = {}
+        for binding in bindings:
+            key = tuple(
+                _hashable(self._eval_row(items[i].expr, binding))
+                for i in grouping_indices
+            )
+            groups.setdefault(key, []).append(binding)
+        if not groups and not grouping_indices:
+            groups[()] = []  # global aggregate over zero matches
+        rows = [
+            tuple(self._eval_group(item.expr, group) for item in items)
+            for group in groups.values()
+        ]
+        return columns, rows
+
+    def _order(
+        self, query: Query, columns: list[str], rows: list[tuple]
+    ) -> list[tuple]:
+        indices: list[tuple[int, bool]] = []
+        for order in query.order_by:
+            index = _order_column(order.expr, query.return_items, columns)
+            indices.append((index, order.descending))
+        for index, descending in reversed(indices):
+            rows = sorted(
+                rows,
+                key=lambda row: _sort_key(row[index]),
+                reverse=descending,
+            )
+        return rows
+
+
+def _order_column(
+    expr: Expr, items: tuple[ReturnItem, ...], columns: list[str]
+) -> int:
+    if isinstance(expr, Variable) and expr.name in columns:
+        return columns.index(expr.name)
+    for i, item in enumerate(items):
+        if item.expr == expr:
+            return i
+    raise QueryError(
+        "ORDER BY must reference a returned alias or expression"
+    )
+
+
+def _hashable(value: object) -> object:
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    return value
+
+
+def _sort_key(value: object) -> tuple:
+    if value is None:
+        return (1, 0, "")
+    if isinstance(value, bool):
+        return (0, 0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, 0, value)
+    if isinstance(value, str):
+        return (0, 1, value)
+    return (0, 2, str(value))
+
+
+def _dedupe(rows: list[tuple]) -> list[tuple]:
+    seen: set = set()
+    result: list[tuple] = []
+    for row in rows:
+        key = tuple(_hashable(v) for v in row)
+        if key not in seen:
+            seen.add(key)
+            result.append(row)
+    return result

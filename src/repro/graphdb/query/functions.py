@@ -1,0 +1,115 @@
+"""Aggregate and scalar function implementations for the executor.
+
+Null handling follows Cypher: aggregates skip null inputs; ``size`` of
+null is null; comparisons involving null are false (a simplification of
+Cypher's ternary logic that matches how the benchmark queries behave).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import QueryError
+
+
+def _flatten(values: Sequence) -> list:
+    """Expand list elements in-place (used by rewritten aggregates)."""
+    flat: list = []
+    for value in values:
+        if isinstance(value, list):
+            flat.extend(value)
+        elif value is not None:
+            flat.append(value)
+    return flat
+
+
+def _non_null(values: Sequence) -> list:
+    return [v for v in values if v is not None]
+
+
+def apply_aggregate(
+    name: str,
+    values: Sequence,
+    distinct: bool = False,
+    flatten: bool = False,
+) -> object:
+    """Apply aggregate ``name`` over per-row ``values``."""
+    values = _flatten(values) if flatten else _non_null(values)
+    if distinct:
+        seen: list = []
+        for value in values:
+            key = tuple(value) if isinstance(value, list) else value
+            if key not in seen:
+                seen.append(key)
+        values = [
+            list(v) if isinstance(v, tuple) else v for v in seen
+        ]
+    if name == "count":
+        return len(values)
+    if name == "collect":
+        return list(values)
+    if name == "sum":
+        return sum(values) if values else 0
+    if name == "avg":
+        return sum(values) / len(values) if values else None
+    if name == "min":
+        return min(values) if values else None
+    if name == "max":
+        return max(values) if values else None
+    raise QueryError(f"unknown aggregate function {name!r}")
+
+
+def apply_scalar(name: str, args: Sequence) -> object:
+    """Apply scalar function ``name`` to already-evaluated arguments."""
+    if name == "size":
+        if not args:
+            raise QueryError("size() needs one argument")
+        value = args[0]
+        if value is None:
+            return None
+        if isinstance(value, (list, str)):
+            return len(value)
+        raise QueryError(f"size() of non-collection {type(value).__name__}")
+    if name == "head":
+        value = args[0] if args else None
+        if isinstance(value, list):
+            return value[0] if value else None
+        return value
+    if name == "coalesce":
+        for value in args:
+            if value is not None:
+                return value
+        return None
+    raise QueryError(f"unknown scalar function {name!r}")
+
+
+def compare(op: str, lhs: object, rhs: object) -> bool:
+    """Evaluate a comparison with null-is-false semantics."""
+    if op == "in":
+        if rhs is None or lhs is None:
+            return False
+        if not isinstance(rhs, (list, tuple)):
+            raise QueryError("IN expects a list on the right-hand side")
+        return lhs in rhs
+    if lhs is None or rhs is None:
+        return False
+    if op == "=":
+        return lhs == rhs
+    if op == "<>":
+        return lhs != rhs
+    if op == "contains":
+        if not isinstance(lhs, str) or not isinstance(rhs, str):
+            return False
+        return rhs in lhs
+    try:
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        if op == ">=":
+            return lhs >= rhs
+    except TypeError:
+        return False
+    raise QueryError(f"unknown comparison operator {op!r}")

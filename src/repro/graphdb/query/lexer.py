@@ -1,0 +1,114 @@
+"""Tokenizer for the Cypher subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import QuerySyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "match", "where", "return", "as", "and", "or", "not", "distinct",
+        "order", "by", "limit", "asc", "desc", "is", "null", "in",
+        "contains", "true", "false",
+    }
+)
+
+#: token kinds: KEYWORD IDENT STRING NUMBER OP EOF
+TWO_CHAR_OPS = ("<>", "<=", ">=", "->", "<-")
+SINGLE_CHAR_OPS = "()[]{}:,.=<>-+|*/"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    value: object
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        # ``value`` holds the lower-cased form; ``text`` keeps the
+        # original spelling so keywords can double as plain names.
+        return self.kind == "KEYWORD" and self.value == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "OP" and self.text == op
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises QuerySyntaxError on unknown characters."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "/" and text[i:i + 2] == "//":  # line comment
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "`":
+            end = text.find("`", i + 1)
+            if end < 0:
+                raise QuerySyntaxError("unterminated backtick name", i)
+            name = text[i + 1:end]
+            tokens.append(Token("IDENT", name, name, i))
+            i = end + 1
+            continue
+        if ch in "'\"":
+            end = i + 1
+            chunks: list[str] = []
+            while end < n and text[end] != ch:
+                if text[end] == "\\" and end + 1 < n:
+                    chunks.append(text[end + 1])
+                    end += 2
+                else:
+                    chunks.append(text[end])
+                    end += 1
+            if end >= n:
+                raise QuerySyntaxError("unterminated string literal", i)
+            value = "".join(chunks)
+            tokens.append(Token("STRING", value, value, i))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and text[i].isdigit():
+                i += 1
+            # A decimal point only when followed by a digit ("1..3" in
+            # variable-length paths must stay three tokens).
+            if (
+                i + 1 < n and text[i] == "." and text[i + 1].isdigit()
+            ):
+                i += 1
+                while i < n and text[i].isdigit():
+                    i += 1
+            raw = text[start:i]
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(Token("NUMBER", raw, value, start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("KEYWORD", word, lowered, start))
+            else:
+                tokens.append(Token("IDENT", word, word, start))
+            continue
+        two = text[i:i + 2]
+        if two in TWO_CHAR_OPS:
+            tokens.append(Token("OP", two, two, i))
+            i += 2
+            continue
+        if ch in SINGLE_CHAR_OPS:
+            tokens.append(Token("OP", ch, ch, i))
+            i += 1
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", "", None, n))
+    return tokens

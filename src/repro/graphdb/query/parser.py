@@ -1,0 +1,417 @@
+"""Recursive-descent parser for the Cypher subset.
+
+Supported grammar (case-insensitive keywords)::
+
+    query      := MATCH patterns (MATCH patterns)* [WHERE expr]
+                  RETURN [DISTINCT] items [ORDER BY orders] [LIMIT n]
+    patterns   := pattern (',' pattern)*
+    pattern    := [ident '='] node (rel node)*
+    node       := '(' [ident] (':' ident)* ['{' ident ':' literal ... '}'] ')'
+    rel        := '-' '[' body ']' ('->' | '-')  |  '<-' '[' body ']' '-'
+    body       := [ident] [':' ident ('|' ident)*]
+    expr       := or-expression over comparisons, IS [NOT] NULL,
+                  CONTAINS, IN, NOT, parentheses
+    items      := item (',' item)*;  item := expr [AS ident]
+
+Functions are identifiers followed by '(' and may take DISTINCT:
+``count(*)``, ``count(DISTINCT x)``, ``collect(x)``, ``size(...)``, etc.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QuerySyntaxError
+from repro.graphdb.query.ast import (
+    BoolOp,
+    Comparison,
+    Expr,
+    FuncCall,
+    Literal,
+    NodePattern,
+    NotOp,
+    NullCheck,
+    OrderItem,
+    PathPattern,
+    PropertyRef,
+    Query,
+    RelPattern,
+    ReturnItem,
+    Star,
+    Variable,
+)
+from repro.graphdb.query.lexer import Token, tokenize
+
+#: Upper bound substituted for an open-ended ``*`` (keeps traversals
+#: finite; Cypher leaves this unbounded).
+_DEFAULT_MAX_HOPS = 8
+
+
+def parse_query(text: str) -> Query:
+    """Parse query text into a :class:`Query` AST."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone expression (handy in tests)."""
+    parser = _Parser(tokenize(text))
+    expr = parser._expression()
+    parser._expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _accept_op(self, op: str) -> bool:
+        if self._current.is_op(op):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._current.is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            raise QuerySyntaxError(
+                f"expected {op!r}, found {self._current.text!r}",
+                self._current.position,
+            )
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise QuerySyntaxError(
+                f"expected {word.upper()}, found {self._current.text!r}",
+                self._current.position,
+            )
+
+    def _expect_ident(self) -> str:
+        if self._current.kind != "IDENT":
+            raise QuerySyntaxError(
+                f"expected identifier, found {self._current.text!r}",
+                self._current.position,
+            )
+        return self._advance().text
+
+    def _expect_name(self) -> str:
+        """An identifier, also accepting keywords used as plain names.
+
+        Property and label names such as ``desc`` or ``order`` collide
+        with keywords; after ``.``/``:`` or inside a property map there
+        is no ambiguity, so keywords are allowed there.
+        """
+        if self._current.kind in ("IDENT", "KEYWORD"):
+            return self._advance().text
+        raise QuerySyntaxError(
+            f"expected name, found {self._current.text!r}",
+            self._current.position,
+        )
+
+    def _expect_eof(self) -> None:
+        if self._current.kind != "EOF":
+            raise QuerySyntaxError(
+                f"unexpected trailing input {self._current.text!r}",
+                self._current.position,
+            )
+
+    # ------------------------------------------------------------------
+    # Query structure
+    # ------------------------------------------------------------------
+    def parse_query(self) -> Query:
+        patterns: list[PathPattern] = []
+        self._expect_keyword("match")
+        patterns.extend(self._patterns())
+        while self._accept_keyword("match"):
+            patterns.extend(self._patterns())
+        where = None
+        if self._accept_keyword("where"):
+            where = self._expression()
+        self._expect_keyword("return")
+        distinct = self._accept_keyword("distinct")
+        items = [self._return_item()]
+        while self._accept_op(","):
+            items.append(self._return_item())
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._order_item())
+            while self._accept_op(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self._accept_keyword("limit"):
+            token = self._advance()
+            if token.kind != "NUMBER" or not isinstance(token.value, int):
+                raise QuerySyntaxError(
+                    "LIMIT expects an integer", token.position
+                )
+            limit = token.value
+        self._expect_eof()
+        return Query(
+            patterns=tuple(patterns),
+            return_items=tuple(items),
+            where=where,
+            distinct=distinct,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _patterns(self) -> list[PathPattern]:
+        patterns = [self._path_pattern()]
+        while self._current.is_op(","):
+            # A comma may start either another pattern or (in RETURN) the
+            # caller handles it; inside MATCH it is always a pattern.
+            self._advance()
+            patterns.append(self._path_pattern())
+        return patterns
+
+    def _path_pattern(self) -> PathPattern:
+        path_var = None
+        if (
+            self._current.kind == "IDENT"
+            and self._tokens[self._pos + 1].is_op("=")
+        ):
+            path_var = self._advance().text
+            self._advance()  # '='
+        nodes = [self._node_pattern()]
+        rels: list[RelPattern] = []
+        while self._current.is_op("-") or self._current.is_op("<-"):
+            rels.append(self._rel_pattern())
+            nodes.append(self._node_pattern())
+        return PathPattern(tuple(nodes), tuple(rels), path_var)
+
+    def _node_pattern(self) -> NodePattern:
+        self._expect_op("(")
+        var = None
+        if self._current.kind == "IDENT":
+            var = self._advance().text
+        labels: list[str] = []
+        while self._accept_op(":"):
+            labels.append(self._expect_name())
+        props: list[tuple[str, Literal]] = []
+        if self._accept_op("{"):
+            while not self._current.is_op("}"):
+                name = self._expect_name()
+                self._expect_op(":")
+                props.append((name, self._literal()))
+                if not self._accept_op(","):
+                    break
+            self._expect_op("}")
+        self._expect_op(")")
+        return NodePattern(var, tuple(labels), tuple(props))
+
+    def _rel_pattern(self) -> RelPattern:
+        if self._accept_op("<-"):
+            var, labels, hops = self._rel_body()
+            self._expect_op("-")
+            return RelPattern(var, labels, "in", *hops)
+        self._expect_op("-")
+        var, labels, hops = self._rel_body()
+        if self._accept_op("->"):
+            return RelPattern(var, labels, "out", *hops)
+        self._expect_op("-")
+        return RelPattern(var, labels, "any", *hops)
+
+    def _rel_body(
+        self,
+    ) -> tuple[str | None, tuple[str, ...], tuple[int, int]]:
+        var = None
+        labels: list[str] = []
+        hops = (1, 1)
+        if self._accept_op("["):
+            if self._current.kind == "IDENT":
+                var = self._advance().text
+            if self._accept_op(":"):
+                labels.append(self._expect_name())
+                while self._accept_op("|"):
+                    labels.append(self._expect_name())
+            if self._accept_op("*"):
+                hops = self._hop_range()
+            self._expect_op("]")
+        return var, tuple(labels), hops
+
+    def _hop_range(self) -> tuple[int, int]:
+        """``*``, ``*n``, ``*n..m`` or ``*..m`` after the labels."""
+        low = 1
+        high = None
+        if self._current.kind == "NUMBER":
+            low = int(self._advance().value)
+            high = low
+        if self._current.is_op("."):
+            self._advance()
+            self._expect_op(".")
+            if self._current.kind == "NUMBER":
+                high = int(self._advance().value)
+            else:
+                raise QuerySyntaxError(
+                    "variable-length upper bound required",
+                    self._current.position,
+                )
+        if high is None:
+            high = _DEFAULT_MAX_HOPS
+        if low < 0 or high < low:
+            raise QuerySyntaxError(
+                f"invalid hop range *{low}..{high}",
+                self._current.position,
+            )
+        return low, high
+
+    def _return_item(self) -> ReturnItem:
+        expr = self._expression()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        return ReturnItem(expr, alias)
+
+    def _order_item(self) -> OrderItem:
+        expr = self._expression()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        elif self._accept_keyword("asc"):
+            descending = False
+        return OrderItem(expr, descending)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        operands = [self._and_expr()]
+        while self._accept_keyword("or"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("or", tuple(operands))
+
+    def _and_expr(self) -> Expr:
+        operands = [self._not_expr()]
+        while self._accept_keyword("and"):
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BoolOp("and", tuple(operands))
+
+    def _not_expr(self) -> Expr:
+        if self._accept_keyword("not"):
+            return NotOp(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        lhs = self._operand()
+        if self._current.is_keyword("is"):
+            self._advance()
+            negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            return NullCheck(lhs, negated)
+        for op in ("=", "<>", "<=", ">=", "<", ">"):
+            if self._current.is_op(op):
+                self._advance()
+                return Comparison(lhs, op, self._operand())
+        if self._current.is_keyword("contains"):
+            self._advance()
+            return Comparison(lhs, "contains", self._operand())
+        if self._current.is_keyword("in"):
+            self._advance()
+            return Comparison(lhs, "in", self._operand())
+        return lhs
+
+    def _operand(self) -> Expr:
+        token = self._current
+        if token.is_op("("):
+            self._advance()
+            inner = self._expression()
+            self._expect_op(")")
+            return inner
+        if token.is_op("["):
+            self._advance()
+            values: list[object] = []
+            while not self._current.is_op("]"):
+                literal = self._literal()
+                values.append(literal.value)
+                if not self._accept_op(","):
+                    break
+            self._expect_op("]")
+            return Literal(values)
+        if token.is_op("-"):
+            self._advance()
+            number = self._advance()
+            if number.kind != "NUMBER":
+                raise QuerySyntaxError(
+                    "expected number after unary minus", number.position
+                )
+            return Literal(-number.value)
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            self._advance()
+            return Literal(token.value)
+        if token.is_keyword("true"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("null"):
+            self._advance()
+            return Literal(None)
+        if token.kind == "IDENT":
+            name = self._advance().text
+            if self._current.is_op("("):
+                return self._func_call(name)
+            if self._accept_op("."):
+                prop = self._expect_name()
+                return PropertyRef(name, prop)
+            return Variable(name)
+        raise QuerySyntaxError(
+            f"unexpected token {token.text!r}", token.position
+        )
+
+    def _func_call(self, name: str) -> FuncCall:
+        self._expect_op("(")
+        distinct = self._accept_keyword("distinct")
+        args: list[Expr] = []
+        if self._accept_op("*"):
+            args.append(Star())
+        elif not self._current.is_op(")"):
+            args.append(self._expression())
+            while self._accept_op(","):
+                args.append(self._expression())
+        self._expect_op(")")
+        return FuncCall(name.lower(), tuple(args), distinct=distinct)
+
+    def _literal(self) -> Literal:
+        token = self._advance()
+        if token.kind in ("NUMBER", "STRING"):
+            return Literal(token.value)
+        if token.is_keyword("true"):
+            return Literal(True)
+        if token.is_keyword("false"):
+            return Literal(False)
+        if token.is_keyword("null"):
+            return Literal(None)
+        if token.is_op("-"):
+            number = self._advance()
+            if number.kind != "NUMBER":
+                raise QuerySyntaxError(
+                    "expected number after unary minus", number.position
+                )
+            return Literal(-number.value)
+        raise QuerySyntaxError(
+            f"expected literal, found {token.text!r}", token.position
+        )

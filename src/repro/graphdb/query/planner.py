@@ -1,0 +1,168 @@
+"""Pattern-matching planner.
+
+Turns the MATCH patterns of a query into an ordered list of steps:
+
+* ``ScanStep`` - produce candidate bindings for one variable from a
+  property-index lookup, a label scan, or (last resort) an all-vertices
+  scan;
+* ``ExpandStep`` - extend bindings along one relationship pattern via
+  adjacency, checking the far node's labels/property filters inline;
+* ``JoinCheckStep`` - verify a relationship between two already-bound
+  variables (cycles in the pattern graph).
+
+Start-point choice is selectivity-driven: an exact property filter with
+an index beats a label scan, and smaller labels beat bigger ones - the
+same heuristics production engines apply.  Disconnected pattern
+components each get their own scan (cartesian product).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.exceptions import QueryError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.query.ast import (
+    Literal,
+    NodePattern,
+    Query,
+    RelPattern,
+)
+
+
+@dataclass
+class NodeSpec:
+    """Merged constraints for one pattern variable."""
+
+    var: str
+    labels: set[str] = field(default_factory=set)
+    props: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """One relationship pattern between two variables."""
+
+    src_var: str        # pattern-order source (left node)
+    dst_var: str
+    rel_var: str | None
+    labels: tuple[str, ...]
+    direction: str      # out: src->dst, in: dst->src, any
+    min_hops: int = 1   # variable-length patterns: -[:T*m..n]->
+    max_hops: int = 1
+
+
+@dataclass(frozen=True)
+class ScanStep:
+    var: str
+
+
+@dataclass(frozen=True)
+class ExpandStep:
+    from_var: str
+    to_var: str
+    edge: EdgeSpec
+
+
+@dataclass(frozen=True)
+class JoinCheckStep:
+    edge: EdgeSpec
+
+
+@dataclass
+class Plan:
+    steps: list
+    node_specs: dict[str, NodeSpec]
+
+
+def build_plan(query: Query, graph: PropertyGraph) -> Plan:
+    """Plan the MATCH portion of ``query`` against ``graph``."""
+    specs, edges = _collect(query)
+    if not specs:
+        raise QueryError("query has no node patterns")
+
+    remaining_edges = list(edges)
+    bound: set[str] = set()
+    steps: list = []
+
+    def estimate(spec: NodeSpec) -> tuple[int, int]:
+        """(cost class, estimated cardinality): lower is better."""
+        for prop in spec.props:
+            for label in spec.labels:
+                if graph.has_property_index(label, prop):
+                    return (0, 1)
+        if spec.labels:
+            smallest = min(graph.label_count(l) for l in spec.labels)
+            cost_class = 1 if spec.props else 2
+            return (cost_class, smallest)
+        return (3, graph.num_vertices)
+
+    unbound = set(specs)
+    while unbound:
+        # Pick the cheapest unbound variable as this component's start.
+        start = min(unbound, key=lambda v: (estimate(specs[v]), v))
+        steps.append(ScanStep(start))
+        bound.add(start)
+        unbound.discard(start)
+        # Greedily expand along pattern edges into the bound set.
+        progress = True
+        while progress:
+            progress = False
+            for edge in list(remaining_edges):
+                src_bound = edge.src_var in bound
+                dst_bound = edge.dst_var in bound
+                if src_bound and dst_bound:
+                    steps.append(JoinCheckStep(edge))
+                    remaining_edges.remove(edge)
+                    progress = True
+                elif src_bound or dst_bound:
+                    from_var = edge.src_var if src_bound else edge.dst_var
+                    to_var = edge.dst_var if src_bound else edge.src_var
+                    steps.append(ExpandStep(from_var, to_var, edge))
+                    bound.add(to_var)
+                    unbound.discard(to_var)
+                    remaining_edges.remove(edge)
+                    progress = True
+    return Plan(steps, specs)
+
+
+def _collect(
+    query: Query,
+) -> tuple[dict[str, NodeSpec], list[EdgeSpec]]:
+    """Merge node patterns by variable and list relationship patterns."""
+    specs: dict[str, NodeSpec] = {}
+    edges: list[EdgeSpec] = []
+    fresh = (f"_anon{i}" for i in itertools.count())
+
+    def intern(node: NodePattern) -> str:
+        var = node.var or next(fresh)
+        spec = specs.setdefault(var, NodeSpec(var))
+        spec.labels.update(node.labels)
+        for name, literal in node.props:
+            _merge_prop(spec, name, literal)
+        return var
+
+    for pattern in query.patterns:
+        node_vars = [intern(node) for node in pattern.nodes]
+        for i, rel in enumerate(pattern.rels):
+            edges.append(
+                EdgeSpec(
+                    src_var=node_vars[i],
+                    dst_var=node_vars[i + 1],
+                    rel_var=rel.var,
+                    labels=rel.labels,
+                    direction=rel.direction,
+                    min_hops=rel.min_hops,
+                    max_hops=rel.max_hops,
+                )
+            )
+    return specs, edges
+
+
+def _merge_prop(spec: NodeSpec, name: str, literal: Literal) -> None:
+    if name in spec.props and spec.props[name] != literal.value:
+        raise QueryError(
+            f"conflicting property filters on {spec.var}.{name}"
+        )
+    spec.props[name] = literal.value

@@ -1,0 +1,100 @@
+"""Execution context: instrumented access to a property graph.
+
+Every read the query executor performs goes through a
+:class:`GraphSession`, which counts the work (edge traversals, vertex and
+property reads) and simulates page I/O through an LRU cache sized by the
+backend profile.  Vertices live on property pages, adjacency lists on
+adjacency pages; ids are clustered onto pages in insertion order, which
+approximates how both Neo4j record stores and JanusGraph's adjacency
+layout behave.
+"""
+
+from __future__ import annotations
+
+from repro.graphdb.backends import BackendProfile, NEO4J_LIKE
+from repro.graphdb.graph import Edge, PropertyGraph
+from repro.graphdb.metrics import ExecutionMetrics, LruPageCache
+
+
+class GraphSession:
+    """Instrumented read API over a :class:`PropertyGraph`."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        profile: BackendProfile = NEO4J_LIKE,
+        cache: LruPageCache | None = None,
+    ):
+        self.graph = graph
+        self.profile = profile
+        self.cache = cache or LruPageCache(profile.cache_pages)
+        self.metrics = ExecutionMetrics()
+
+    # ------------------------------------------------------------------
+    # Page simulation
+    # ------------------------------------------------------------------
+    def _touch(self, kind: str, ordinal: int, per_page: int) -> None:
+        page = (kind, ordinal // max(1, per_page))
+        if self.cache.touch(page):
+            self.metrics.page_hits += 1
+        else:
+            self.metrics.page_misses += 1
+
+    def _touch_vertex_page(self, vid: int) -> None:
+        self._touch("v", vid, self.profile.vertices_per_page)
+
+    def _touch_adjacency_page(self, vid: int) -> None:
+        self._touch("a", vid, self.profile.adjacency_per_page)
+
+    # ------------------------------------------------------------------
+    # Instrumented reads
+    # ------------------------------------------------------------------
+    def read_labels(self, vid: int) -> frozenset[str]:
+        self.metrics.vertex_reads += 1
+        self._touch_vertex_page(vid)
+        return self.graph.vertex(vid).labels
+
+    def read_property(self, vid: int, name: str) -> object:
+        self.metrics.property_reads += 1
+        self._touch_vertex_page(vid)
+        return self.graph.vertex(vid).properties.get(name)
+
+    def read_edge_property(self, eid: int, name: str) -> object:
+        self.metrics.property_reads += 1
+        return self.graph.edge(eid).properties.get(name)
+
+    def expand(
+        self, vid: int, label: str | None, direction: str
+    ) -> list[Edge]:
+        """Adjacent edges of ``vid``; each returned edge is a traversal."""
+        self._touch_adjacency_page(vid)
+        if direction == "out":
+            edges = self.graph.out_edges(vid, label)
+        elif direction == "in":
+            edges = self.graph.in_edges(vid, label)
+        else:
+            edges = self.graph.out_edges(vid, label) + self.graph.in_edges(
+                vid, label
+            )
+        self.metrics.edge_traversals += len(edges)
+        return edges
+
+    def label_scan(self, label: str) -> list[int]:
+        self.metrics.index_lookups += 1
+        return self.graph.vertices_with_label(label)
+
+    def index_lookup(self, label: str, prop: str, value: object) -> list[int]:
+        self.metrics.index_lookups += 1
+        return self.graph.lookup_property(label, prop, value)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset_metrics(self) -> ExecutionMetrics:
+        """Return the collected metrics and start a fresh counter."""
+        finished = self.metrics
+        self.metrics = ExecutionMetrics()
+        return finished
+
+    def latency_ms(self) -> float:
+        return self.profile.latency_ms(self.metrics)

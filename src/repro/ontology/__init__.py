@@ -1,0 +1,39 @@
+"""Ontology data model, builders, statistics and workload summaries."""
+
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.model import (
+    Concept,
+    DataProperty,
+    DataType,
+    ISA_LABEL,
+    Ontology,
+    Relationship,
+    RelationshipType,
+    UNION_OF_LABEL,
+    jaccard_similarity,
+)
+from repro.ontology.stats import (
+    DataStatistics,
+    direct_graph_size_bytes,
+    synthesize_statistics,
+)
+from repro.ontology.validation import validate_ontology
+from repro.ontology.workload import WorkloadSummary
+
+__all__ = [
+    "Concept",
+    "DataProperty",
+    "DataStatistics",
+    "DataType",
+    "ISA_LABEL",
+    "Ontology",
+    "OntologyBuilder",
+    "Relationship",
+    "RelationshipType",
+    "UNION_OF_LABEL",
+    "WorkloadSummary",
+    "direct_graph_size_bytes",
+    "jaccard_similarity",
+    "synthesize_statistics",
+    "validate_ontology",
+]

@@ -1,0 +1,105 @@
+"""Fluent builder for ontologies.
+
+Example::
+
+    onto = (
+        OntologyBuilder("medical")
+        .concept("Drug", name="STRING", brand="STRING")
+        .concept("Indication", desc="STRING")
+        .one_to_many("treat", "Drug", "Indication")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import OntologyError
+from repro.ontology.model import (
+    Concept,
+    DataProperty,
+    DataType,
+    Ontology,
+    RelationshipType,
+)
+
+
+class OntologyBuilder:
+    """Incrementally build an :class:`~repro.ontology.model.Ontology`."""
+
+    def __init__(self, name: str = "ontology"):
+        self._ontology = Ontology(name)
+        self._built = False
+
+    def concept(
+        self, concept_name: str, /, **properties: str | DataType
+    ) -> "OntologyBuilder":
+        """Add a concept with keyword-specified data properties.
+
+        Property values may be :class:`DataType` members or their names
+        (``"STRING"``, ``"INT"``, ...).  ``concept_name`` is positional-only
+        so properties named ``concept_name`` (or ``name``) stay usable.
+        """
+        concept = Concept(concept_name)
+        for prop_name, dtype in properties.items():
+            if isinstance(dtype, str):
+                dtype = DataType.from_name(dtype)
+            concept.add_property(DataProperty(prop_name, dtype))
+        self._ontology.add_concept(concept)
+        return self
+
+    def prop(self, concept: str, name: str, dtype: str | DataType = DataType.STRING) -> "OntologyBuilder":
+        """Add a single data property to an existing concept."""
+        if isinstance(dtype, str):
+            dtype = DataType.from_name(dtype)
+        self._ontology.concept(concept).add_property(DataProperty(name, dtype))
+        return self
+
+    def relationship(
+        self,
+        label: str,
+        src: str,
+        dst: str,
+        rel_type: RelationshipType | str,
+    ) -> "OntologyBuilder":
+        self._ontology.add_relationship(label, src, dst, rel_type)
+        return self
+
+    def one_to_one(self, label: str, src: str, dst: str) -> "OntologyBuilder":
+        return self.relationship(label, src, dst, RelationshipType.ONE_TO_ONE)
+
+    def one_to_many(self, label: str, src: str, dst: str) -> "OntologyBuilder":
+        return self.relationship(label, src, dst, RelationshipType.ONE_TO_MANY)
+
+    def many_to_many(self, label: str, src: str, dst: str) -> "OntologyBuilder":
+        return self.relationship(label, src, dst, RelationshipType.MANY_TO_MANY)
+
+    def union(self, union_concept: str, *members: str) -> "OntologyBuilder":
+        """Declare ``union_concept`` as the union of ``members``."""
+        if not members:
+            raise OntologyError("a union needs at least one member concept")
+        for member in members:
+            self.relationship(
+                "unionOf", union_concept, member, RelationshipType.UNION
+            )
+        return self
+
+    def inherits(self, parent: str, *children: str) -> "OntologyBuilder":
+        """Declare inheritance relationships parent -> each child."""
+        if not children:
+            raise OntologyError("inherits() needs at least one child concept")
+        for child in children:
+            self.relationship(
+                "isA", parent, child, RelationshipType.INHERITANCE
+            )
+        return self
+
+    def build(self, validate: bool = True) -> Ontology:
+        """Finalize and (optionally) validate the ontology."""
+        if self._built:
+            raise OntologyError("builder already consumed; create a new one")
+        self._built = True
+        if validate:
+            from repro.ontology.validation import validate_ontology
+
+            validate_ontology(self._ontology)
+        return self._ontology

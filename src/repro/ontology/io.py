@@ -1,0 +1,169 @@
+"""Ontology serialization: JSON round-trip and a tiny OWL-ish loader.
+
+The JSON format is the library's native interchange format::
+
+    {
+      "name": "medical",
+      "concepts": {"Drug": {"name": "STRING", "brand": "STRING"}, ...},
+      "relationships": [
+        {"label": "treat", "src": "Drug", "dst": "Indication",
+         "type": "1:M"},
+        ...
+      ]
+    }
+
+The OWL-ish loader accepts a small line-oriented subset of functional
+OWL syntax so that hand-written ontology files remain readable::
+
+    Class(Drug)
+    DataProperty(Drug name STRING)
+    ObjectProperty(treat Drug Indication 1:M)
+    SubClassOf(DrugFoodInteraction DrugInteraction)
+    UnionOf(Risk ContraIndication BlackBoxWarning)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import OntologyError
+from repro.ontology.model import (
+    Concept,
+    DataProperty,
+    DataType,
+    Ontology,
+    RelationshipType,
+)
+
+
+def ontology_to_dict(ontology: Ontology) -> dict:
+    """Serialize an ontology to plain JSON-compatible data."""
+    return {
+        "name": ontology.name,
+        "concepts": {
+            concept.name: {
+                p.name: p.data_type.label for p in concept.properties.values()
+            }
+            for concept in ontology.iter_concepts()
+        },
+        "relationships": [
+            {
+                "id": rel.rel_id,
+                "label": rel.label,
+                "src": rel.src,
+                "dst": rel.dst,
+                "type": rel.rel_type.value,
+            }
+            for rel in ontology.iter_relationships()
+        ],
+    }
+
+
+def ontology_from_dict(data: dict) -> Ontology:
+    """Deserialize an ontology previously produced by ontology_to_dict."""
+    try:
+        ontology = Ontology(data.get("name", "ontology"))
+        for concept_name, props in data["concepts"].items():
+            concept = Concept(concept_name)
+            for prop_name, type_name in props.items():
+                concept.add_property(
+                    DataProperty(prop_name, DataType.from_name(type_name))
+                )
+            ontology.add_concept(concept)
+        for rel in data["relationships"]:
+            ontology.add_relationship(
+                rel["label"],
+                rel["src"],
+                rel["dst"],
+                RelationshipType(rel["type"]),
+                rel_id=rel.get("id"),
+            )
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise OntologyError(f"malformed ontology document: {exc}") from exc
+    return ontology
+
+
+def dump_json(ontology: Ontology, path: str | Path) -> None:
+    # Keys keep insertion order: concept declaration order is semantic
+    # (merged schema-node names follow it, per Figure 6).
+    Path(path).write_text(
+        json.dumps(ontology_to_dict(ontology), indent=2)
+    )
+
+
+def load_json(path: str | Path) -> Ontology:
+    return ontology_from_dict(json.loads(Path(path).read_text()))
+
+
+def dumps(ontology: Ontology) -> str:
+    return json.dumps(ontology_to_dict(ontology), indent=2)
+
+
+def loads(text: str) -> Ontology:
+    return ontology_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# OWL-ish functional-syntax subset
+# ----------------------------------------------------------------------
+def load_owl_functional(text: str, name: str = "ontology") -> Ontology:
+    """Parse the line-oriented OWL-ish subset described in the module doc."""
+    ontology = Ontology(name)
+    pending_rels: list[tuple[str, str, str, RelationshipType]] = []
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, rest = line.partition("(")
+        if not rest.endswith(")"):
+            raise OntologyError(f"line {lineno}: missing closing parenthesis")
+        args = rest[:-1].split()
+        if head == "Class":
+            _expect_args(args, 1, lineno)
+            ontology.add_concept(args[0])
+        elif head == "DataProperty":
+            _expect_args(args, 3, lineno)
+            concept, prop, type_name = args
+            ontology.concept(concept).add_property(
+                DataProperty(prop, DataType.from_name(type_name))
+            )
+        elif head == "ObjectProperty":
+            _expect_args(args, 4, lineno)
+            label, src, dst, type_name = args
+            pending_rels.append(
+                (label, src, dst, RelationshipType(type_name))
+            )
+        elif head == "SubClassOf":
+            _expect_args(args, 2, lineno)
+            child, parent = args
+            pending_rels.append(
+                ("isA", parent, child, RelationshipType.INHERITANCE)
+            )
+        elif head == "UnionOf":
+            if len(args) < 2:
+                raise OntologyError(
+                    f"line {lineno}: UnionOf needs a union and >=1 member"
+                )
+            union_concept, *members = args
+            for member in members:
+                pending_rels.append(
+                    (
+                        "unionOf",
+                        union_concept,
+                        member,
+                        RelationshipType.UNION,
+                    )
+                )
+        else:
+            raise OntologyError(f"line {lineno}: unknown directive {head!r}")
+    for label, src, dst, rel_type in pending_rels:
+        ontology.add_relationship(label, src, dst, rel_type)
+    return ontology
+
+
+def _expect_args(args: list[str], count: int, lineno: int) -> None:
+    if len(args) != count:
+        raise OntologyError(
+            f"line {lineno}: expected {count} arguments, got {len(args)}"
+        )

@@ -1,0 +1,423 @@
+"""Core ontology data model.
+
+An :class:`Ontology` follows Definition 1 of the paper: a set of concepts
+``C``, data properties ``P`` attached to concepts, and typed relationships
+``R`` between concepts.  Relationship types are the five the paper's rules
+operate on: ``1:1``, ``1:M``, ``M:N``, ``union`` and ``inheritance``.
+
+Conventions (matching the paper's Algorithms 1-4):
+
+* For a **union** relationship, ``src`` is the *union* concept and ``dst``
+  is the *member* concept.
+* For an **inheritance** relationship, ``src`` is the *parent* concept and
+  ``dst`` is the *child* concept.
+* For a **1:M** relationship, ``src`` is the "one" side and ``dst`` is the
+  "many" side (one ``src`` instance relates to many ``dst`` instances).
+
+At the *instance* level (property graphs built from the ontology), ``isA``
+edges point child -> parent and ``unionOf`` edges point member -> union,
+which matches the example queries in Section 5.3 of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+from repro.exceptions import OntologyError
+
+#: Edge label used for materialized inheritance relationships.
+ISA_LABEL = "isA"
+
+#: Edge label used for materialized union-membership relationships.
+UNION_OF_LABEL = "unionOf"
+
+
+class RelationshipType(str, Enum):
+    """The five relationship types handled by the optimization rules."""
+
+    ONE_TO_ONE = "1:1"
+    ONE_TO_MANY = "1:M"
+    MANY_TO_MANY = "M:N"
+    UNION = "union"
+    INHERITANCE = "inheritance"
+
+    @property
+    def is_functional(self) -> bool:
+        """True for 1:1, 1:M and M:N relationships (OWL ObjectProperties)."""
+        return self in (
+            RelationshipType.ONE_TO_ONE,
+            RelationshipType.ONE_TO_MANY,
+            RelationshipType.MANY_TO_MANY,
+        )
+
+    @property
+    def is_structural(self) -> bool:
+        """True for union and inheritance relationships."""
+        return not self.is_functional
+
+
+class DataType(Enum):
+    """Primitive data-property types with their storage size in bytes.
+
+    The byte sizes feed the cost model (Equation 4/5 uses ``p.type`` as the
+    data-type size of a property).
+    """
+
+    BOOL = ("BOOL", 1)
+    INT = ("INT", 8)
+    FLOAT = ("FLOAT", 8)
+    DATE = ("DATE", 8)
+    STRING = ("STRING", 32)
+    TEXT = ("TEXT", 256)
+
+    def __init__(self, label: str, size_bytes: int):
+        self.label = label
+        self.size_bytes = size_bytes
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        """Look up a data type by its (case-insensitive) name."""
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise OntologyError(f"unknown data type: {name!r}") from None
+
+
+@dataclass(frozen=True)
+class DataProperty:
+    """A data property (OWL DataProperty) attached to a concept."""
+
+    name: str
+    data_type: DataType = DataType.STRING
+
+    @property
+    def size_bytes(self) -> int:
+        return self.data_type.size_bytes
+
+
+@dataclass
+class Concept:
+    """A concept (OWL class) with its data properties."""
+
+    name: str
+    properties: dict[str, DataProperty] = field(default_factory=dict)
+
+    def add_property(self, prop: DataProperty) -> None:
+        if prop.name in self.properties:
+            raise OntologyError(
+                f"concept {self.name!r} already has property {prop.name!r}"
+            )
+        self.properties[prop.name] = prop
+
+    def property_names(self) -> frozenset[str]:
+        return frozenset(self.properties)
+
+    @property
+    def total_property_bytes(self) -> int:
+        """Sum of the data-type sizes of all properties of this concept."""
+        return sum(p.size_bytes for p in self.properties.values())
+
+    def copy(self) -> "Concept":
+        return Concept(self.name, dict(self.properties))
+
+
+@dataclass(frozen=True)
+class Relationship:
+    """A typed relationship (OWL ObjectProperty / isA / unionOf).
+
+    ``label`` is the edge label used when the relationship is materialized
+    in a property graph.  Inheritance relationships always use ``isA`` and
+    union relationships always use ``unionOf``.
+    """
+
+    rel_id: str
+    label: str
+    src: str
+    dst: str
+    rel_type: RelationshipType
+
+    def endpoints(self) -> frozenset[str]:
+        return frozenset((self.src, self.dst))
+
+    def touches(self, concept: str) -> bool:
+        return concept == self.src or concept == self.dst
+
+    def other(self, concept: str) -> str:
+        """The endpoint that is not ``concept`` (self-loops return itself)."""
+        if concept == self.src:
+            return self.dst
+        if concept == self.dst:
+            return self.src
+        raise OntologyError(
+            f"concept {concept!r} is not an endpoint of {self.rel_id}"
+        )
+
+
+class Ontology:
+    """A mutable ontology: concepts, data properties and relationships.
+
+    Relationships get stable identifiers (``r0001``, ``r0002``, ...) so that
+    the optimizer, the schema mapping and the query rewriter can refer to
+    them unambiguously even after the schema has been transformed.
+    """
+
+    def __init__(self, name: str = "ontology"):
+        self.name = name
+        self.concepts: dict[str, Concept] = {}
+        self.relationships: dict[str, Relationship] = {}
+        self._out: dict[str, set[str]] = {}
+        self._in: dict[str, set[str]] = {}
+        self._id_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_concept(self, concept: Concept | str) -> Concept:
+        if isinstance(concept, str):
+            concept = Concept(concept)
+        if concept.name in self.concepts:
+            raise OntologyError(f"duplicate concept {concept.name!r}")
+        self.concepts[concept.name] = concept
+        self._out[concept.name] = set()
+        self._in[concept.name] = set()
+        return concept
+
+    def add_relationship(
+        self,
+        label: str,
+        src: str,
+        dst: str,
+        rel_type: RelationshipType | str,
+        rel_id: str | None = None,
+    ) -> Relationship:
+        """Add a relationship; endpoints must already exist as concepts."""
+        rel_type = RelationshipType(rel_type)
+        for endpoint in (src, dst):
+            if endpoint not in self.concepts:
+                raise OntologyError(f"unknown concept {endpoint!r}")
+        if rel_type is RelationshipType.INHERITANCE:
+            label = ISA_LABEL
+        elif rel_type is RelationshipType.UNION:
+            label = UNION_OF_LABEL
+        if rel_id is None:
+            rel_id = f"r{next(self._id_counter):04d}"
+        if rel_id in self.relationships:
+            raise OntologyError(f"duplicate relationship id {rel_id!r}")
+        rel = Relationship(rel_id, label, src, dst, rel_type)
+        self.relationships[rel_id] = rel
+        self._out[src].add(rel_id)
+        self._in[dst].add(rel_id)
+        return rel
+
+    def remove_relationship(self, rel_id: str) -> Relationship:
+        rel = self.relationships.pop(rel_id, None)
+        if rel is None:
+            raise OntologyError(f"unknown relationship {rel_id!r}")
+        self._out[rel.src].discard(rel_id)
+        self._in[rel.dst].discard(rel_id)
+        return rel
+
+    def remove_concept(self, name: str) -> Concept:
+        """Remove a concept and every relationship touching it."""
+        concept = self.concepts.pop(name, None)
+        if concept is None:
+            raise OntologyError(f"unknown concept {name!r}")
+        for rel in list(self.relationships.values()):
+            if rel.touches(name):
+                self.remove_relationship(rel.rel_id)
+        del self._out[name]
+        del self._in[name]
+        return concept
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def concept(self, name: str) -> Concept:
+        try:
+            return self.concepts[name]
+        except KeyError:
+            raise OntologyError(f"unknown concept {name!r}") from None
+
+    def relationship(self, rel_id: str) -> Relationship:
+        try:
+            return self.relationships[rel_id]
+        except KeyError:
+            raise OntologyError(f"unknown relationship {rel_id!r}") from None
+
+    def out_edges(self, concept: str) -> list[Relationship]:
+        """Relationships with ``concept`` as their source (``ci.outE``)."""
+        return [self.relationships[r] for r in sorted(self._out[concept])]
+
+    def in_edges(self, concept: str) -> list[Relationship]:
+        """Relationships with ``concept`` as their destination (``ci.inE``)."""
+        return [self.relationships[r] for r in sorted(self._in[concept])]
+
+    def edges_of(self, concept: str) -> list[Relationship]:
+        """All relationships touching ``concept`` (``ci.Ri``)."""
+        ids = self._out[concept] | self._in[concept]
+        return [self.relationships[r] for r in sorted(ids)]
+
+    def relationships_of_type(
+        self, rel_type: RelationshipType
+    ) -> list[Relationship]:
+        return [
+            r for r in self.relationships.values() if r.rel_type is rel_type
+        ]
+
+    def find_relationship(
+        self, label: str, concept_a: str, concept_b: str
+    ) -> Relationship | None:
+        """Find a relationship by label and (unordered) endpoints.
+
+        The query rewriter uses this to resolve a pattern hop such as
+        ``(a:Drug)-[:treat]->(b:Indication)`` back to its ontology
+        relationship.
+        """
+        wanted = frozenset((concept_a, concept_b))
+        for rel in self.relationships.values():
+            if rel.label == label and rel.endpoints() == wanted:
+                return rel
+        return None
+
+    def iter_concepts(self) -> Iterator[Concept]:
+        return iter(self.concepts.values())
+
+    def iter_relationships(self) -> Iterator[Relationship]:
+        return iter(self.relationships.values())
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def union_concepts(self) -> set[str]:
+        """Concepts that act as the union side of a union relationship."""
+        return {
+            r.src
+            for r in self.relationships.values()
+            if r.rel_type is RelationshipType.UNION
+        }
+
+    def parent_concepts(self) -> set[str]:
+        """Concepts that act as the parent side of an inheritance."""
+        return {
+            r.src
+            for r in self.relationships.values()
+            if r.rel_type is RelationshipType.INHERITANCE
+        }
+
+    def members_of(self, union_concept: str) -> list[str]:
+        return [
+            r.dst
+            for r in self.out_edges(union_concept)
+            if r.rel_type is RelationshipType.UNION
+        ]
+
+    def children_of(self, parent: str) -> list[str]:
+        return [
+            r.dst
+            for r in self.out_edges(parent)
+            if r.rel_type is RelationshipType.INHERITANCE
+        ]
+
+    def parents_of(self, child: str) -> list[str]:
+        return [
+            r.src
+            for r in self.in_edges(child)
+            if r.rel_type is RelationshipType.INHERITANCE
+        ]
+
+    def derived_concepts(self) -> set[str]:
+        """Concepts whose instances are derived twins (unions and parents).
+
+        See :mod:`repro.data.generator`: instances of union concepts are
+        twins of member instances, and instances of parent concepts are
+        twins of child instances.
+        """
+        return self.union_concepts() | self.parent_concepts()
+
+    # ------------------------------------------------------------------
+    # Summary statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_concepts(self) -> int:
+        return len(self.concepts)
+
+    @property
+    def num_properties(self) -> int:
+        return sum(len(c.properties) for c in self.concepts.values())
+
+    @property
+    def num_relationships(self) -> int:
+        return len(self.relationships)
+
+    def relationship_type_counts(self) -> dict[RelationshipType, int]:
+        counts = {t: 0 for t in RelationshipType}
+        for rel in self.relationships.values():
+            counts[rel.rel_type] += 1
+        return counts
+
+    def summary(self) -> str:
+        counts = self.relationship_type_counts()
+        parts = ", ".join(
+            f"{n} {t.value}" for t, n in counts.items() if n
+        )
+        return (
+            f"Ontology {self.name!r}: {self.num_concepts} concepts, "
+            f"{self.num_properties} properties, "
+            f"{self.num_relationships} relationships ({parts})"
+        )
+
+    # ------------------------------------------------------------------
+    # Copying / equality
+    # ------------------------------------------------------------------
+    def copy(self) -> "Ontology":
+        clone = Ontology(self.name)
+        for concept in self.concepts.values():
+            clone.add_concept(concept.copy())
+        for rel in self.relationships.values():
+            clone.add_relationship(
+                rel.label, rel.src, rel.dst, rel.rel_type, rel_id=rel.rel_id
+            )
+        # Keep generating ids after the highest existing one.
+        max_id = 0
+        for rel_id in self.relationships:
+            if rel_id.startswith("r") and rel_id[1:].isdigit():
+                max_id = max(max_id, int(rel_id[1:]))
+        clone._id_counter = itertools.count(max_id + 1)
+        return clone
+
+    def structurally_equal(self, other: "Ontology") -> bool:
+        """True when both ontologies have identical concepts/props/rels."""
+        if set(self.concepts) != set(other.concepts):
+            return False
+        for name, concept in self.concepts.items():
+            if concept.properties != other.concepts[name].properties:
+                return False
+        mine = {
+            (r.label, r.src, r.dst, r.rel_type)
+            for r in self.relationships.values()
+        }
+        theirs = {
+            (r.label, r.src, r.dst, r.rel_type)
+            for r in other.relationships.values()
+        }
+        return mine == theirs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.summary()}>"
+
+
+def jaccard_similarity(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard similarity of two property-name sets (Equation 1).
+
+    Returns 0.0 when both sets are empty (the paper leaves this case
+    undefined; 0.0 keeps the inheritance rule inert, which is the safe
+    choice because there is nothing to copy either way).
+    """
+    set_a, set_b = set(a), set(b)
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return len(set_a & set_b) / len(union)

@@ -1,0 +1,72 @@
+"""Small sample ontologies used in the paper's figures and in tests."""
+
+from __future__ import annotations
+
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.model import Ontology
+
+
+def figure2_medical_ontology() -> Ontology:
+    """The medical ontology of Figure 2 in the paper.
+
+    Concepts: Drug, Indication, Condition, DrugInteraction,
+    DrugFoodInteraction, DrugLabInteraction, Risk (union of
+    ContraIndication and BlackBoxWarning).
+
+    Relationships: Drug -treat(1:M)-> Indication,
+    Indication -has(1:1)-> Condition, Drug -has(1:M)-> DrugInteraction,
+    DrugInteraction isA DrugFoodInteraction / DrugLabInteraction,
+    Drug -cause(1:M)-> Risk, Risk unionOf ContraIndication /
+    BlackBoxWarning.
+    """
+    return (
+        OntologyBuilder("figure2-medical")
+        .concept("Drug", name="STRING", brand="STRING")
+        .concept("Indication", desc="STRING")
+        .concept("Condition", name="STRING")
+        .concept("DrugInteraction", summary="STRING")
+        .concept("DrugFoodInteraction", risk="STRING")
+        .concept("DrugLabInteraction", mechanism="STRING")
+        .concept("Risk")
+        .concept("ContraIndication", description="STRING")
+        .concept("BlackBoxWarning", note="STRING", route="STRING")
+        .one_to_many("treat", "Drug", "Indication")
+        .one_to_one("has", "Indication", "Condition")
+        .one_to_many("has", "Drug", "DrugInteraction")
+        .inherits("DrugInteraction", "DrugFoodInteraction",
+                  "DrugLabInteraction")
+        .one_to_many("cause", "Drug", "Risk")
+        .union("Risk", "ContraIndication", "BlackBoxWarning")
+        .build()
+    )
+
+
+def figure1_mini_ontology() -> Ontology:
+    """The fragment used in the paper's motivating examples (Figure 1).
+
+    Drug -treat(1:M)-> Indication plus the DrugInteraction inheritance
+    triangle.
+    """
+    return (
+        OntologyBuilder("figure1-mini")
+        .concept("Drug", name="STRING", brand="STRING")
+        .concept("Indication", desc="STRING")
+        .concept("DrugInteraction", summary="STRING")
+        .concept("DrugFoodInteraction", risk="STRING")
+        .concept("DrugLabInteraction", mechanism="STRING")
+        .one_to_many("treat", "Drug", "Indication")
+        .one_to_many("has", "Drug", "DrugInteraction")
+        .inherits("DrugInteraction", "DrugFoodInteraction",
+                  "DrugLabInteraction")
+        .build()
+    )
+
+
+def chain_ontology(length: int = 3) -> Ontology:
+    """A 1:M chain C0 -> C1 -> ... used to test transitive propagation."""
+    builder = OntologyBuilder(f"chain-{length}")
+    for i in range(length):
+        builder.concept(f"C{i}", **{f"p{i}": "STRING"})
+    for i in range(length - 1):
+        builder.one_to_many(f"link{i}", f"C{i}", f"C{i + 1}")
+    return builder.build()

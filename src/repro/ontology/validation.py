@@ -1,0 +1,101 @@
+"""Ontology integrity validation.
+
+The rule engine and the optimizers assume a handful of structural
+invariants; :func:`validate_ontology` checks them up front so that
+violations surface as clear errors instead of corrupt schemas:
+
+* relationship endpoints exist (enforced at construction, re-checked);
+* the inheritance relation is acyclic;
+* union membership is acyclic and a union concept is not its own member;
+* a concept is not simultaneously a union concept and a member of itself
+  through any chain;
+* no duplicate (label, src, dst) functional relationships.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ValidationError
+from repro.ontology.model import Ontology, RelationshipType
+
+
+def _find_cycle(adjacency: dict[str, list[str]]) -> list[str] | None:
+    """Return one cycle as a list of nodes, or None when acyclic."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in adjacency}
+    stack: list[str] = []
+
+    def visit(node: str) -> list[str] | None:
+        color[node] = GRAY
+        stack.append(node)
+        for nxt in adjacency.get(node, ()):
+            if color.get(nxt, WHITE) == GRAY:
+                return stack[stack.index(nxt):] + [nxt]
+            if color.get(nxt, WHITE) == WHITE:
+                cycle = visit(nxt)
+                if cycle is not None:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in adjacency:
+        if color[node] == WHITE:
+            cycle = visit(node)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def validate_ontology(ontology: Ontology) -> None:
+    """Raise :class:`ValidationError` when an invariant is violated."""
+    _check_endpoints(ontology)
+    _check_self_loops(ontology)
+    _check_acyclic(ontology, RelationshipType.INHERITANCE, "inheritance")
+    _check_acyclic(ontology, RelationshipType.UNION, "union")
+    _check_duplicate_functional(ontology)
+
+
+def _check_endpoints(ontology: Ontology) -> None:
+    for rel in ontology.iter_relationships():
+        for endpoint in (rel.src, rel.dst):
+            if endpoint not in ontology.concepts:
+                raise ValidationError(
+                    f"relationship {rel.rel_id} references unknown "
+                    f"concept {endpoint!r}"
+                )
+
+
+def _check_acyclic(
+    ontology: Ontology, rel_type: RelationshipType, what: str
+) -> None:
+    adjacency: dict[str, list[str]] = {c: [] for c in ontology.concepts}
+    for rel in ontology.iter_relationships():
+        if rel.rel_type is rel_type:
+            adjacency[rel.src].append(rel.dst)
+    cycle = _find_cycle(adjacency)
+    if cycle is not None:
+        raise ValidationError(
+            f"{what} relationships form a cycle: {' -> '.join(cycle)}"
+        )
+
+
+def _check_duplicate_functional(ontology: Ontology) -> None:
+    seen: set[tuple[str, str, str]] = set()
+    for rel in ontology.iter_relationships():
+        if not rel.rel_type.is_functional:
+            continue
+        key = (rel.label, rel.src, rel.dst)
+        if key in seen:
+            raise ValidationError(
+                f"duplicate functional relationship {key!r}"
+            )
+        seen.add(key)
+
+
+def _check_self_loops(ontology: Ontology) -> None:
+    for rel in ontology.iter_relationships():
+        if rel.src == rel.dst and rel.rel_type.is_structural:
+            raise ValidationError(
+                f"{rel.rel_type.value} relationship {rel.rel_id} is a "
+                f"self-loop on {rel.src!r}"
+            )

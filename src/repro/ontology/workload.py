@@ -1,0 +1,125 @@
+"""Workload summaries: access frequencies over ontology elements.
+
+The paper (Section 4.2): *"Access frequencies provide an abstraction of the
+workload in terms of how each concept, relationship, and data property
+[is] accessed by each query in the workload. We use AF(ci -rk-> cj.Pj) to
+indicate the frequency of queries that access a data property in cj.Pj
+from the concept ci through the relationship rk."*
+
+Two standard summaries are provided, matching the evaluation section:
+
+* :meth:`WorkloadSummary.uniform` - every concept equally likely;
+* :meth:`WorkloadSummary.zipf` - Zipf-distributed weight over concepts
+  ranked by degree ("the Zipf workload gives more access to the key
+  concepts in the ontology").
+
+When no prior knowledge exists the paper assumes a uniform distribution;
+callers that pass ``workload=None`` to the optimizers get exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import OntologyError
+from repro.ontology.model import Ontology, Relationship
+
+
+@dataclass
+class WorkloadSummary:
+    """Per-concept access weights, normalized to sum to 1.
+
+    ``total_queries`` scales weights into absolute query counts, which is
+    what the benefit model consumes (AF values are "the number of
+    queries").
+    """
+
+    concept_weights: dict[str, float]
+    total_queries: int = 1000
+    name: str = "custom"
+    #: Optional per-(rel_id, property) multiplicative bias, default 1.0.
+    property_bias: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        total = sum(self.concept_weights.values())
+        if total <= 0:
+            raise OntologyError("workload weights must have a positive sum")
+        self.concept_weights = {
+            c: w / total for c, w in self.concept_weights.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Access-frequency accessors
+    # ------------------------------------------------------------------
+    def af_concept(self, concept: str) -> float:
+        """AF(ci): expected number of queries touching ``concept``."""
+        return self.total_queries * self.concept_weights.get(concept, 0.0)
+
+    def af_relationship(self, rel: Relationship) -> float:
+        """AF(ci -r-> cj): queries traversing relationship ``rel``.
+
+        Modeled as the mean of the endpoint frequencies: a traversal is as
+        frequent as interest in either endpoint.
+        """
+        src_w = self.concept_weights.get(rel.src, 0.0)
+        dst_w = self.concept_weights.get(rel.dst, 0.0)
+        return self.total_queries * (src_w + dst_w) / 2.0
+
+    def af_property(
+        self, rel: Relationship, prop: str, n_props: int
+    ) -> float:
+        """AF(ci -r-> cj.p): queries reading property ``p`` across ``rel``.
+
+        The relationship frequency is split evenly over the destination's
+        ``n_props`` properties, optionally scaled by a per-property bias.
+        """
+        if n_props <= 0:
+            return 0.0
+        bias = self.property_bias.get((rel.rel_id, prop), 1.0)
+        return self.af_relationship(rel) * bias / n_props
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(
+        cls, ontology: Ontology, total_queries: int = 1000
+    ) -> "WorkloadSummary":
+        """Every concept accessed with equal probability."""
+        weights = {c: 1.0 for c in ontology.concepts}
+        return cls(weights, total_queries, name="uniform")
+
+    @classmethod
+    def zipf(
+        cls,
+        ontology: Ontology,
+        s: float = 1.0,
+        total_queries: int = 1000,
+    ) -> "WorkloadSummary":
+        """Zipf(s) weights over concepts ranked by (undirected) degree.
+
+        High-degree concepts are the domain's key concepts (the same
+        intuition OntologyPR formalizes), so they receive the head of the
+        Zipf distribution.
+        """
+        degree = {
+            c: len(ontology.edges_of(c)) for c in ontology.concepts
+        }
+        ranked = sorted(
+            ontology.concepts, key=lambda c: (-degree[c], c)
+        )
+        weights = {
+            concept: 1.0 / (rank + 1) ** s
+            for rank, concept in enumerate(ranked)
+        }
+        return cls(weights, total_queries, name="zipf")
+
+    @classmethod
+    def from_counts(
+        cls, counts: dict[str, int], name: str = "observed"
+    ) -> "WorkloadSummary":
+        """Build a summary from observed per-concept query counts."""
+        total = sum(counts.values())
+        if total <= 0:
+            raise OntologyError("observed counts must have a positive sum")
+        return cls(dict(counts), total_queries=total, name=name)

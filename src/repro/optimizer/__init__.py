@@ -1,0 +1,43 @@
+"""Schema optimization algorithms (Section 4 of the paper)."""
+
+from repro.optimizer.concept_centric import (
+    concept_scores,
+    optimize_concept_centric,
+)
+from repro.optimizer.costmodel import CostBenefitModel, RuleItem
+from repro.optimizer.exhaustive import optimal_selection, optimize_exhaustive
+from repro.optimizer.knapsack import (
+    KnapsackResult,
+    knapsack_exact,
+    knapsack_fptas,
+    knapsack_greedy,
+)
+from repro.optimizer.nsc import optimize_nsc
+from repro.optimizer.pagerank import (
+    PageRankResult,
+    ontology_pagerank,
+    pagerank,
+)
+from repro.optimizer.pgsg import optimize
+from repro.optimizer.relation_centric import optimize_relation_centric
+from repro.optimizer.result import OptimizationResult
+
+__all__ = [
+    "CostBenefitModel",
+    "KnapsackResult",
+    "OptimizationResult",
+    "PageRankResult",
+    "RuleItem",
+    "concept_scores",
+    "knapsack_exact",
+    "optimal_selection",
+    "optimize_exhaustive",
+    "knapsack_fptas",
+    "knapsack_greedy",
+    "ontology_pagerank",
+    "optimize",
+    "optimize_concept_centric",
+    "optimize_nsc",
+    "optimize_relation_centric",
+    "pagerank",
+]

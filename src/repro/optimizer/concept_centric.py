@@ -1,0 +1,104 @@
+"""Algorithm 7: the concept-centric (CC) optimization algorithm.
+
+Concepts are ranked by ``Score(ci) = pr(ci) * AF(ci) / Size(ci)``
+(Equation 2), where ``pr`` is the OntologyPR centrality, ``AF`` the
+concept's access frequency, and ``Size`` its storage footprint.  The
+algorithm walks concepts in descending score order and greedily applies
+every affordable rule on the relationships touching each concept.
+
+Budget handling: a rule application is selected only when its cost fits
+the remaining budget; scanning continues in score order (first-fit by
+priority).  This matches Algorithm 7's space-exhaustion behavior without
+overshooting the budget (the paper's pseudocode breaks after S drops
+below zero; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ontology.model import Ontology
+from repro.ontology.stats import DataStatistics
+from repro.ontology.workload import WorkloadSummary
+from repro.optimizer.costmodel import CostBenefitModel, RuleItem
+from repro.optimizer.pagerank import ontology_pagerank
+from repro.optimizer.result import OptimizationResult
+from repro.rules.base import Thresholds
+from repro.rules.engine import transform
+from repro.schema.generate import generate_schema
+
+
+def concept_scores(
+    ontology: Ontology,
+    stats: DataStatistics,
+    workload: WorkloadSummary,
+) -> tuple[dict[str, float], int]:
+    """Equation 2 scores for every concept; returns (scores, pr iters)."""
+    pr = ontology_pagerank(ontology)
+    scores = {}
+    for concept in ontology.concepts:
+        size = max(1, stats.size_of_concept(ontology, concept))
+        scores[concept] = (
+            pr[concept] * workload.af_concept(concept) / size
+        )
+    return scores, pr.iterations
+
+
+def optimize_concept_centric(
+    ontology: Ontology,
+    stats: DataStatistics,
+    space_limit: int,
+    workload: WorkloadSummary | None = None,
+    thresholds: Thresholds | None = None,
+) -> OptimizationResult:
+    """Run the concept-centric algorithm under ``space_limit`` bytes."""
+    started = time.perf_counter()
+    thresholds = thresholds or Thresholds()
+    workload = workload or WorkloadSummary.uniform(ontology)
+    model = CostBenefitModel(ontology, stats, workload, thresholds)
+
+    scores, pr_iterations = concept_scores(ontology, stats, workload)
+    ranked_concepts = sorted(
+        ontology.concepts, key=lambda c: (-scores[c], c)
+    )
+
+    selected: list[RuleItem] = []
+    seen: set[tuple[str, str, str | None]] = set()
+    remaining = space_limit
+    for concept in ranked_concepts:
+        # Local ordering: the concept's items by descending benefit.
+        local_items = sorted(
+            model.items_touching(concept),
+            key=lambda item: (-item.benefit, item.key),
+        )
+        for item in local_items:
+            if item.key in seen:
+                continue
+            seen.add(item.key)
+            if item.benefit <= 0:
+                continue
+            if item.cost <= remaining:
+                selected.append(item)
+                remaining -= item.cost
+
+    selection = model.selection_from_items(selected)
+    state = transform(ontology, selection, thresholds)
+    schema, mapping = generate_schema(state, name="cc")
+    elapsed = time.perf_counter() - started
+    return OptimizationResult(
+        algorithm="CC",
+        schema=schema,
+        mapping=mapping,
+        state=state,
+        selection=selection,
+        selected_items=selected,
+        total_benefit=model.benefit_of(selected),
+        total_cost=model.cost_of(selected),
+        benefit_ratio=model.benefit_ratio(selected),
+        space_limit=space_limit,
+        elapsed_seconds=elapsed,
+        extras={
+            "pagerank_iterations": pr_iterations,
+            "concept_order": ranked_concepts,
+        },
+    )

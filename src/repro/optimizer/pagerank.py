@@ -1,0 +1,150 @@
+"""OntologyPR: the modified PageRank of Algorithm 6.
+
+Differences from vanilla PageRank, per Section 4.2.1:
+
+* **Unions** - every edge incident to a union concept is rewired to each
+  of its member concepts, then the union concept is removed, so its rank
+  mass flows to/from the members.
+* **Inheritance** - ``isA`` relationships are removed before the power
+  iteration; afterwards each concept's score is raised to the highest
+  score among its inheritance ancestors (a child inherits its parent's
+  centrality).
+* **Out-degree** - a reverse edge is added for every remaining
+  relationship, making the graph effectively undirected (in- and
+  out-degree count equally toward key-concept-ness).
+
+Union concepts do not exist in the modified graph; they are assigned the
+maximum score among their members afterwards, so the concept-centric
+algorithm can still rank their relationships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ontology.model import Ontology, RelationshipType
+
+
+@dataclass
+class PageRankResult:
+    """Scores per concept plus power-iteration telemetry."""
+
+    scores: dict[str, float]
+    iterations: int
+
+    def __getitem__(self, concept: str) -> float:
+        return self.scores[concept]
+
+
+def pagerank(
+    adjacency: dict[str, list[str]],
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iterations: int = 500,
+) -> tuple[dict[str, float], int]:
+    """Plain power-iteration PageRank over an adjacency mapping.
+
+    Dangling nodes distribute their mass uniformly, the classic fix.
+    Returns (scores, iterations).
+    """
+    nodes = sorted(adjacency)
+    n = len(nodes)
+    if n == 0:
+        return {}, 0
+    rank = {node: 1.0 / n for node in nodes}
+    out_degree = {node: len(adjacency[node]) for node in nodes}
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        dangling_mass = sum(
+            rank[node] for node in nodes if out_degree[node] == 0
+        )
+        incoming = {node: 0.0 for node in nodes}
+        for node in nodes:
+            if out_degree[node] == 0:
+                continue
+            share = rank[node] / out_degree[node]
+            for neighbor in adjacency[node]:
+                incoming[neighbor] += share
+        base = (1.0 - damping) / n + damping * dangling_mass / n
+        new_rank = {
+            node: base + damping * incoming[node] for node in nodes
+        }
+        delta = sum(abs(new_rank[node] - rank[node]) for node in nodes)
+        rank = new_rank
+        if delta < tol:
+            break
+    return rank, iterations
+
+
+def ontology_pagerank(
+    ontology: Ontology,
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iterations: int = 500,
+) -> PageRankResult:
+    """Algorithm 6: centrality scores for every concept of an ontology."""
+    union_concepts = ontology.union_concepts()
+    members: dict[str, list[str]] = {
+        u: ontology.members_of(u) for u in union_concepts
+    }
+
+    # Build the modified edge list: drop inheritance, rewire unions,
+    # then add a reverse edge per remaining relationship.
+    edges: list[tuple[str, str]] = []
+    for rel in ontology.iter_relationships():
+        if rel.rel_type is RelationshipType.INHERITANCE:
+            continue
+        if rel.rel_type is RelationshipType.UNION:
+            continue  # the unionOf edge itself carries no mass
+        edges.append((rel.src, rel.dst))
+
+    def expand(concept: str) -> list[str]:
+        """Replace a union concept by its members (transitively)."""
+        if concept not in union_concepts:
+            return [concept]
+        expanded: list[str] = []
+        for member in members[concept]:
+            expanded.extend(expand(member))
+        return expanded
+
+    adjacency: dict[str, list[str]] = {
+        c: []
+        for c in ontology.concepts
+        if c not in union_concepts
+    }
+    for src, dst in edges:
+        for s in expand(src):
+            for d in expand(dst):
+                if s == d:
+                    continue
+                adjacency[s].append(d)
+                adjacency[d].append(s)  # reverse edge (out-degree rule)
+
+    scores, iterations = pagerank(adjacency, damping, tol, max_iterations)
+
+    # Re-attach inheritance: a child inherits the best ancestor score.
+    final = dict(scores)
+
+    def ancestor_max(concept: str, seen: frozenset[str]) -> float:
+        best = final.get(concept, 0.0)
+        for parent in ontology.parents_of(concept):
+            if parent in seen or parent in union_concepts:
+                continue
+            best = max(
+                best, ancestor_max(parent, seen | {concept})
+            )
+        return best
+
+    for concept in ontology.concepts:
+        if concept in union_concepts:
+            continue
+        final[concept] = ancestor_max(concept, frozenset())
+
+    # Union concepts take the best member score (they were dissolved).
+    for union_concept in union_concepts:
+        member_scores = [
+            final.get(m, 0.0) for m in expand(union_concept)
+        ]
+        final[union_concept] = max(member_scores) if member_scores else 0.0
+
+    return PageRankResult(final, iterations)

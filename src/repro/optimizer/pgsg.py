@@ -1,0 +1,46 @@
+"""PGSG: the property-graph-schema generator facade.
+
+Section 5.1: *"PGSG chooses the property graph schema with a higher total
+benefit score from relation-centric (RC) and concept-centric (CC)
+algorithms."*  :func:`optimize` runs both and returns the winner (ties go
+to RC, which carries the near-optimality guarantee); both candidates stay
+available on the result for inspection.
+"""
+
+from __future__ import annotations
+
+from repro.ontology.model import Ontology
+from repro.ontology.stats import DataStatistics
+from repro.ontology.workload import WorkloadSummary
+from repro.optimizer.concept_centric import optimize_concept_centric
+from repro.optimizer.nsc import optimize_nsc
+from repro.optimizer.relation_centric import optimize_relation_centric
+from repro.optimizer.result import OptimizationResult
+from repro.rules.base import Thresholds
+
+
+def optimize(
+    ontology: Ontology,
+    stats: DataStatistics,
+    space_limit: int | None = None,
+    workload: WorkloadSummary | None = None,
+    thresholds: Thresholds | None = None,
+    eps: float = 0.1,
+) -> OptimizationResult:
+    """Produce the best schema under ``space_limit`` bytes.
+
+    ``space_limit=None`` means no constraint (Algorithm 5).
+    """
+    if space_limit is None:
+        return optimize_nsc(ontology, stats, workload, thresholds)
+    rc = optimize_relation_centric(
+        ontology, stats, space_limit, workload, thresholds, eps=eps
+    )
+    cc = optimize_concept_centric(
+        ontology, stats, space_limit, workload, thresholds
+    )
+    winner = rc if rc.total_benefit >= cc.total_benefit else cc
+    winner.extras["rc_benefit"] = rc.total_benefit
+    winner.extras["cc_benefit"] = cc.total_benefit
+    winner.extras["candidates"] = {"RC": rc, "CC": cc}
+    return winner

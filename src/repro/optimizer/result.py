@@ -1,0 +1,41 @@
+"""Shared result type for the schema-optimization algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.optimizer.costmodel import RuleItem
+from repro.rules.base import SchemaState, Selection
+from repro.schema.mapping import SchemaMapping
+from repro.schema.model import PropertyGraphSchema
+
+
+@dataclass
+class OptimizationResult:
+    """Everything an optimizer run produced."""
+
+    algorithm: str
+    schema: PropertyGraphSchema
+    mapping: SchemaMapping
+    state: SchemaState
+    selection: Selection
+    selected_items: list[RuleItem]
+    total_benefit: float
+    total_cost: int
+    benefit_ratio: float
+    space_limit: int | None
+    elapsed_seconds: float = 0.0
+    extras: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        budget = (
+            "unbounded" if self.space_limit is None
+            else f"{self.space_limit:,} B"
+        )
+        return (
+            f"{self.algorithm}: BR={self.benefit_ratio:.3f}, "
+            f"benefit={self.total_benefit:.1f}, "
+            f"cost={self.total_cost:,} B, budget={budget}, "
+            f"{len(self.selected_items)} rule applications, "
+            f"{self.elapsed_seconds * 1000:.1f} ms"
+        )

@@ -1,0 +1,33 @@
+"""Relationship rules (Section 3) and the fixpoint rule engine."""
+
+from repro.rules.base import (
+    Provenance,
+    SchemaEdge,
+    SchemaNode,
+    SchemaProperty,
+    SchemaState,
+    Selection,
+    Thresholds,
+)
+from repro.rules.engine import direct_state, transform
+from repro.rules.inheritance import apply_inheritance
+from repro.rules.one_to_many import apply_many_to_many, apply_one_to_many
+from repro.rules.one_to_one import apply_one_to_one
+from repro.rules.union import apply_union
+
+__all__ = [
+    "Provenance",
+    "SchemaEdge",
+    "SchemaNode",
+    "SchemaProperty",
+    "SchemaState",
+    "Selection",
+    "Thresholds",
+    "apply_inheritance",
+    "apply_many_to_many",
+    "apply_one_to_many",
+    "apply_one_to_one",
+    "apply_union",
+    "direct_state",
+    "transform",
+]

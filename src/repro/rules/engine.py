@@ -1,0 +1,102 @@
+"""Fixpoint rule engine (the core of Algorithms 5, 7 and 8).
+
+:func:`transform` starts from the direct mapping of an ontology and
+repeatedly applies the enabled rules until the schema state stops changing
+("repeat ... until O = O_prev" in Algorithm 5).  With
+``Selection.all()`` this is exactly the paper's space-unconstrained
+optimization; space-constrained algorithms pass the subset of rule
+applications they selected.
+
+Rules are dispatched in sorted relationship-id order, but because every
+rule operation is monotone the fixpoint is order-independent (Theorem 3);
+``tests/rules/test_confluence.py`` verifies this property with random
+orders.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import OptimizationError
+from repro.ontology.model import Ontology, Relationship, RelationshipType
+from repro.rules.base import SchemaState, Selection, Thresholds
+from repro.rules.inheritance import apply_inheritance
+from repro.rules.one_to_many import apply_many_to_many, apply_one_to_many
+from repro.rules.one_to_one import apply_one_to_one
+from repro.rules.union import apply_union
+
+#: Safety bound on fixpoint iterations; real ontologies converge in a
+#: handful of rounds (propagation depth is bounded by the ontology
+#: diameter).
+MAX_ITERATIONS = 1000
+
+
+def transform(
+    ontology: Ontology,
+    selection: Selection | None = None,
+    thresholds: Thresholds | None = None,
+    rule_order: list[str] | None = None,
+) -> SchemaState:
+    """Run the enabled rules to a fixpoint and return the final state.
+
+    ``rule_order`` overrides the per-iteration dispatch order (used by the
+    confluence tests); ids not present are appended in sorted order.
+    """
+    selection = selection or Selection.all()
+    state = SchemaState(ontology, thresholds)
+    order = _resolve_order(ontology, rule_order)
+
+    for _ in range(MAX_ITERATIONS):
+        before = state.fingerprint()
+        for rel_id in order:
+            rel = ontology.relationships.get(rel_id)
+            if rel is None:
+                continue
+            _dispatch(state, rel, selection)
+        if state.fingerprint() == before:
+            return state
+    raise OptimizationError(
+        f"rule engine did not converge within {MAX_ITERATIONS} iterations"
+    )
+
+
+def direct_state(ontology: Ontology,
+                 thresholds: Thresholds | None = None) -> SchemaState:
+    """The untransformed direct mapping (the paper's DIR baseline)."""
+    return SchemaState(ontology, thresholds)
+
+
+def _resolve_order(
+    ontology: Ontology, rule_order: list[str] | None
+) -> list[str]:
+    all_ids = sorted(ontology.relationships)
+    if not rule_order:
+        return all_ids
+    ordered = [rid for rid in rule_order if rid in ontology.relationships]
+    ordered.extend(rid for rid in all_ids if rid not in set(ordered))
+    return ordered
+
+
+def _dispatch(
+    state: SchemaState, rel: Relationship, selection: Selection
+) -> bool:
+    if rel.rel_type is RelationshipType.ONE_TO_ONE:
+        if selection.has_rel(rel.rel_id):
+            return apply_one_to_one(state, rel)
+        return False
+    if rel.rel_type is RelationshipType.UNION:
+        if selection.has_rel(rel.rel_id):
+            return apply_union(state, rel)
+        return False
+    if rel.rel_type is RelationshipType.INHERITANCE:
+        if selection.has_rel(rel.rel_id):
+            return apply_inheritance(state, rel)
+        return False
+    if rel.rel_type is RelationshipType.ONE_TO_MANY:
+        props = selection.props_for(rel.rel_id, "fwd")
+        return apply_one_to_many(state, rel, props)
+    if rel.rel_type is RelationshipType.MANY_TO_MANY:
+        fwd = selection.props_for(rel.rel_id, "fwd")
+        rev = selection.props_for(rel.rel_id, "rev")
+        return apply_many_to_many(state, rel, fwd, rev)
+    raise OptimizationError(
+        f"unhandled relationship type {rel.rel_type!r}"
+    )  # pragma: no cover - enum is closed

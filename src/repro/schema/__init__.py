@@ -1,0 +1,30 @@
+"""Property graph schema model, mapping trace and DDL emitters."""
+
+from repro.schema.ddl import to_cypher_ddl, to_gsql
+from repro.schema.generate import (
+    direct_schema,
+    generate_schema,
+    optimize_schema_nsc,
+)
+from repro.schema.mapping import CollapseKind, Replication, SchemaMapping
+from repro.schema.model import (
+    EdgeSchema,
+    PropertyGraphSchema,
+    PropertySchema,
+    VertexSchema,
+)
+
+__all__ = [
+    "CollapseKind",
+    "EdgeSchema",
+    "PropertyGraphSchema",
+    "PropertySchema",
+    "Replication",
+    "SchemaMapping",
+    "VertexSchema",
+    "direct_schema",
+    "generate_schema",
+    "optimize_schema_nsc",
+    "to_cypher_ddl",
+    "to_gsql",
+]

@@ -1,0 +1,76 @@
+"""Schema DDL emitters.
+
+Two dialects are provided:
+
+* :func:`to_cypher_ddl` - the compact Cypher-flavoured notation the paper
+  uses in its figures (e.g. Figure 4(a))::
+
+      Drug (name STRING, brand STRING),
+      (Drug)-[cause]->(ContraIndication)
+
+* :func:`to_gsql` - TigerGraph-style ``CREATE VERTEX`` / ``CREATE
+  DIRECTED EDGE`` statements.
+"""
+
+from __future__ import annotations
+
+from repro.schema.model import PropertyGraphSchema, PropertySchema
+
+
+def _prop_name(prop: PropertySchema) -> str:
+    """Quote replicated names such as ``Indication.desc`` with backticks."""
+    return f"`{prop.name}`" if "." in prop.name else prop.name
+
+
+def to_cypher_ddl(schema: PropertyGraphSchema) -> str:
+    """Emit the paper's figure-style schema notation."""
+    lines: list[str] = []
+    for label in sorted(schema.vertex_schemas):
+        vertex = schema.vertex_schemas[label]
+        props = ", ".join(
+            f"{_prop_name(p)} {p.ddl_type}"
+            for p in sorted(vertex.properties.values(), key=lambda p: p.name)
+        )
+        lines.append(f"{label} ({props})")
+    for edge in sorted(
+        schema.edge_schemas,
+        key=lambda e: (e.src_label, e.label, e.dst_label),
+    ):
+        lines.append(
+            f"({edge.src_label})-[{edge.label}]->({edge.dst_label})"
+        )
+    return ",\n".join(lines)
+
+
+def to_gsql(schema: PropertyGraphSchema) -> str:
+    """Emit TigerGraph-style DDL."""
+    type_map = {
+        "BOOL": "BOOL",
+        "INT": "INT",
+        "FLOAT": "DOUBLE",
+        "DATE": "DATETIME",
+        "STRING": "STRING",
+        "TEXT": "STRING",
+    }
+    lines: list[str] = []
+    for label in sorted(schema.vertex_schemas):
+        vertex = schema.vertex_schemas[label]
+        cols = ["PRIMARY_ID id STRING"]
+        for prop in sorted(vertex.properties.values(), key=lambda p: p.name):
+            base = type_map[prop.data_type.label]
+            gsql_type = f"LIST<{base}>" if prop.is_list else base
+            cols.append(f'"{prop.name}" {gsql_type}')
+        lines.append(
+            f"CREATE VERTEX {label} ({', '.join(cols)})"
+        )
+    for i, edge in enumerate(
+        sorted(
+            schema.edge_schemas,
+            key=lambda e: (e.src_label, e.label, e.dst_label),
+        )
+    ):
+        lines.append(
+            f"CREATE DIRECTED EDGE {edge.label}_{i} "
+            f"(FROM {edge.src_label}, TO {edge.dst_label})"
+        )
+    return "\n".join(lines)

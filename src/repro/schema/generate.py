@@ -1,0 +1,66 @@
+"""Generate a :class:`PropertyGraphSchema` + mapping from a rule-engine state.
+
+This is the ``generatePGS`` step of Algorithms 5, 7 and 8.
+"""
+
+from __future__ import annotations
+
+from repro.ontology.model import Ontology
+from repro.rules.base import SchemaState, Selection, Thresholds
+from repro.rules.engine import transform
+from repro.schema.mapping import SchemaMapping
+from repro.schema.model import (
+    EdgeSchema,
+    PropertyGraphSchema,
+    PropertySchema,
+    VertexSchema,
+)
+
+
+def generate_schema(
+    state: SchemaState, name: str = "pgs"
+) -> tuple[PropertyGraphSchema, SchemaMapping]:
+    """Convert a final rule-engine state into a schema and its mapping."""
+    mapping = SchemaMapping(state.ontology, state)
+    schema = PropertyGraphSchema(name)
+    for key in sorted(state.nodes):
+        node = state.nodes[key]
+        properties = {
+            prop.name: PropertySchema(prop.name, prop.data_type, prop.is_list)
+            for prop in node.properties.values()
+        }
+        extra = mapping.labels_of_node(key) - {key}
+        schema.add_vertex_schema(
+            VertexSchema(key, frozenset(extra), properties)
+        )
+    seen: set[tuple[str, str, str, str]] = set()
+    for edge in sorted(
+        state.edges, key=lambda e: (e.src, e.dst, e.label, e.origin_rel)
+    ):
+        dedupe_key = (edge.src, edge.dst, edge.label, edge.origin_rel)
+        if dedupe_key in seen:
+            continue
+        seen.add(dedupe_key)
+        schema.add_edge_schema(
+            EdgeSchema(edge.src, edge.dst, edge.label, edge.rel_type,
+                       edge.origin_rel)
+        )
+    return schema, mapping
+
+
+def direct_schema(
+    ontology: Ontology, name: str = "direct"
+) -> tuple[PropertyGraphSchema, SchemaMapping]:
+    """The DIR baseline: one vertex type per concept, one edge per rel."""
+    state = SchemaState(ontology)
+    return generate_schema(state, name)
+
+
+def optimize_schema_nsc(
+    ontology: Ontology,
+    thresholds: Thresholds | None = None,
+    name: str = "nsc",
+) -> tuple[PropertyGraphSchema, SchemaMapping]:
+    """Algorithm 5: full optimization without space constraints."""
+    state = transform(ontology, Selection.all(), thresholds)
+    return generate_schema(state, name)

@@ -1,0 +1,141 @@
+"""Property graph schema model (the optimizer's output).
+
+A :class:`PropertyGraphSchema` defines vertex types (with primary label,
+extra labels inherited from collapsed concepts, and typed properties) and
+edge types, mirroring what Cypher/GSQL/GraphQL-SDL schema DDL can express
+(Section 2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchemaError
+from repro.ontology.model import DataType, RelationshipType
+
+
+@dataclass(frozen=True)
+class PropertySchema:
+    """A typed property of a vertex schema."""
+
+    name: str
+    data_type: DataType
+    is_list: bool = False
+
+    @property
+    def ddl_type(self) -> str:
+        base = self.data_type.label
+        return f"LIST<{base}>" if self.is_list else base
+
+    @property
+    def size_bytes(self) -> int:
+        return self.data_type.size_bytes
+
+
+@dataclass
+class VertexSchema:
+    """A vertex type: primary label, extra labels, properties."""
+
+    label: str
+    extra_labels: frozenset[str] = frozenset()
+    properties: dict[str, PropertySchema] = field(default_factory=dict)
+
+    @property
+    def all_labels(self) -> frozenset[str]:
+        return self.extra_labels | {self.label}
+
+    def has_property(self, name: str) -> bool:
+        return name in self.properties
+
+    def property(self, name: str) -> PropertySchema:
+        try:
+            return self.properties[name]
+        except KeyError:
+            raise SchemaError(
+                f"vertex schema {self.label!r} has no property {name!r}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class EdgeSchema:
+    """An edge type between two vertex schemas."""
+
+    src_label: str
+    dst_label: str
+    label: str
+    rel_type: RelationshipType
+    origin_rel: str
+
+
+class PropertyGraphSchema:
+    """A complete property graph schema."""
+
+    def __init__(self, name: str = "pgs"):
+        self.name = name
+        self.vertex_schemas: dict[str, VertexSchema] = {}
+        self.edge_schemas: list[EdgeSchema] = []
+
+    def add_vertex_schema(self, vertex: VertexSchema) -> None:
+        if vertex.label in self.vertex_schemas:
+            raise SchemaError(f"duplicate vertex schema {vertex.label!r}")
+        self.vertex_schemas[vertex.label] = vertex
+
+    def add_edge_schema(self, edge: EdgeSchema) -> None:
+        for label in (edge.src_label, edge.dst_label):
+            if label not in self.vertex_schemas:
+                raise SchemaError(
+                    f"edge schema references unknown vertex {label!r}"
+                )
+        self.edge_schemas.append(edge)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def vertex(self, label: str) -> VertexSchema:
+        try:
+            return self.vertex_schemas[label]
+        except KeyError:
+            raise SchemaError(f"unknown vertex schema {label!r}") from None
+
+    def vertices_with_label(self, label: str) -> list[VertexSchema]:
+        """Vertex schemas carrying ``label`` (primary or extra)."""
+        return [
+            v for v in self.vertex_schemas.values()
+            if label in v.all_labels
+        ]
+
+    def edges_with_label(self, label: str) -> list[EdgeSchema]:
+        return [e for e in self.edge_schemas if e.label == label]
+
+    def edges_of_origin(self, rel_id: str) -> list[EdgeSchema]:
+        return [e for e in self.edge_schemas if e.origin_rel == rel_id]
+
+    # ------------------------------------------------------------------
+    # Summary
+    # ------------------------------------------------------------------
+    @property
+    def num_vertex_types(self) -> int:
+        return len(self.vertex_schemas)
+
+    @property
+    def num_edge_types(self) -> int:
+        return len(self.edge_schemas)
+
+    @property
+    def num_list_properties(self) -> int:
+        return sum(
+            1
+            for v in self.vertex_schemas.values()
+            for p in v.properties.values()
+            if p.is_list
+        )
+
+    def summary(self) -> str:
+        return (
+            f"PGS {self.name!r}: {self.num_vertex_types} vertex types, "
+            f"{self.num_edge_types} edge types, "
+            f"{self.num_list_properties} list properties"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.summary()}>"

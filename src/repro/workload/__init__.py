@@ -1,0 +1,30 @@
+"""Benchmark queries, workload generation, rewriting, and execution."""
+
+from repro.workload.generator import WorkloadQuery, mixed_workload
+from repro.workload.queries import (
+    ALL_QUERIES,
+    QUERY_CATALOG,
+    queries_for_dataset,
+    query_class,
+)
+from repro.workload.rewriter import QueryRewriter
+from repro.workload.runner import (
+    QueryRun,
+    WorkloadReport,
+    run_queries,
+    run_single,
+)
+
+__all__ = [
+    "ALL_QUERIES",
+    "QUERY_CATALOG",
+    "QueryRewriter",
+    "QueryRun",
+    "WorkloadQuery",
+    "WorkloadReport",
+    "mixed_workload",
+    "queries_for_dataset",
+    "query_class",
+    "run_queries",
+    "run_single",
+]

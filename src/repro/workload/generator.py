@@ -1,0 +1,49 @@
+"""Query-workload generation (Section 5.3's "Graph Query Workload").
+
+The paper builds, per dataset, a mixed workload of 15 queries spanning
+the three query classes, with access frequencies following a Zipf
+distribution over the ontology's concepts.  We sample (with replacement)
+from the dataset's microbenchmark queries using Zipf weights over the
+query ranks, which concentrates the workload on the queries touching
+key concepts, matching the paper's setup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.base import Dataset
+from repro.exceptions import DataGenerationError
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    qid: str
+    text: str
+
+
+def mixed_workload(
+    dataset: Dataset,
+    size: int = 15,
+    seed: int = 5,
+    distribution: str = "zipf",
+    s: float = 1.0,
+) -> list[WorkloadQuery]:
+    """A mixed workload of ``size`` queries over the dataset's templates."""
+    templates = sorted(dataset.queries.items())
+    if not templates:
+        raise DataGenerationError(
+            f"dataset {dataset.name!r} has no query templates"
+        )
+    if distribution == "zipf":
+        weights = [1.0 / (rank + 1) ** s for rank in range(len(templates))]
+    elif distribution == "uniform":
+        weights = [1.0] * len(templates)
+    else:
+        raise DataGenerationError(
+            f"unknown workload distribution {distribution!r}"
+        )
+    rng = random.Random(seed)
+    chosen = rng.choices(templates, weights=weights, k=size)
+    return [WorkloadQuery(qid, text) for qid, text in chosen]

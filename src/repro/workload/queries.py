@@ -1,0 +1,44 @@
+"""The paper's microbenchmark queries (Section 5.3, Figure 11).
+
+Q1-Q4 are graph pattern-matching queries (3 vertices, 2 edges), Q5-Q8
+vertex property lookups, Q9-Q12 aggregations.  MED owns Q1, Q2, Q5, Q6,
+Q9, Q10; FIN owns Q3, Q4, Q7, Q8, Q11, Q12 - the same assignment as the
+paper's Figure 11 x-axis labels.  The texts live with their datasets
+(:mod:`repro.datasets.med` / :mod:`repro.datasets.fin`); this module
+groups them by query class.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.fin import FIN_QUERIES
+from repro.datasets.med import MED_QUERIES
+
+#: qid -> (dataset name, query class)
+QUERY_CATALOG: dict[str, tuple[str, str]] = {
+    "Q1": ("MED", "pattern"),
+    "Q2": ("MED", "pattern"),
+    "Q3": ("FIN", "pattern"),
+    "Q4": ("FIN", "pattern"),
+    "Q5": ("MED", "lookup"),
+    "Q6": ("MED", "lookup"),
+    "Q7": ("FIN", "lookup"),
+    "Q8": ("FIN", "lookup"),
+    "Q9": ("MED", "aggregation"),
+    "Q10": ("MED", "aggregation"),
+    "Q11": ("FIN", "aggregation"),
+    "Q12": ("FIN", "aggregation"),
+}
+
+ALL_QUERIES: dict[str, str] = {**MED_QUERIES, **FIN_QUERIES}
+
+
+def queries_for_dataset(name: str) -> dict[str, str]:
+    return {
+        qid: ALL_QUERIES[qid]
+        for qid, (dataset, _cls) in QUERY_CATALOG.items()
+        if dataset == name
+    }
+
+
+def query_class(qid: str) -> str:
+    return QUERY_CATALOG[qid][1]

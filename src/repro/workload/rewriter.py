@@ -1,0 +1,627 @@
+"""Automatic DIR -> OPT query rewriting.
+
+The paper hand-rewrites each microbenchmark query into "the semantically
+equivalent quer[y] over OPT"; this module mechanizes that using the
+:class:`~repro.schema.mapping.SchemaMapping`:
+
+* **Collapse rewrites (mandatory).**  A pattern hop over a relationship
+  the optimizer *collapsed* (consumed ``isA``/``unionOf``/1:1) has no
+  edges in the OPT graph; the two endpoint variables are unified into
+  one node pattern carrying both label constraints (OPT vertices keep
+  the labels of every merged concept, so the unified pattern matches
+  exactly the merged vertices).
+
+* **Replication rewrites (optimization).**  A hop whose far node is used
+  *only* to read properties that were replicated as list properties on
+  the near node is removed; property reads become list reads, aggregates
+  get ``flatten`` semantics (``COUNT(f.p)``/``COUNT(f)`` become a
+  flattened count = sum of list sizes, ``COLLECT(f.p)`` a flattened
+  collect), and an ``IS NOT NULL`` guard preserves match-existence
+  semantics (vertices with no partner have no list property).  Hops
+  whose relationships survive unchanged keep their edges in OPT, so
+  skipping this rewrite is always safe, just slower.
+
+Queries that cannot be resolved against the ontology (unknown labels or
+edge labels) raise :class:`~repro.exceptions.RewriteError` in strict
+mode and are returned unchanged otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.exceptions import RewriteError
+from repro.graphdb.query.ast import (
+    AGGREGATE_FUNCTIONS,
+    BoolOp,
+    Expr,
+    FuncCall,
+    NodePattern,
+    NullCheck,
+    OrderItem,
+    PathPattern,
+    PropertyRef,
+    Query,
+    ReturnItem,
+    Star,
+    Variable,
+    contains_aggregate,
+    substitute_variable,
+    walk,
+)
+from repro.graphdb.query.parser import parse_query
+from repro.ontology.model import Ontology, Relationship
+from repro.schema.mapping import SchemaMapping
+
+#: Safety bound; every rewrite removes one hop, so this is generous.
+_MAX_PASSES = 100
+
+
+class QueryRewriter:
+    """Rewrites DIR queries into equivalent OPT queries."""
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        mapping: SchemaMapping,
+        strict: bool = False,
+    ):
+        self.ontology = ontology
+        self.mapping = mapping
+        self.strict = strict
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def rewrite(self, query: Query | str) -> Query:
+        if isinstance(query, str):
+            query = parse_query(query)
+        query = _ensure_node_vars(query)
+        for _ in range(_MAX_PASSES):
+            rewritten = self._rewrite_one_hop(query)
+            if rewritten is None:
+                return query
+            query = rewritten
+        raise RewriteError("rewriter did not converge")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Single-hop rewriting
+    # ------------------------------------------------------------------
+    def _rewrite_one_hop(self, query: Query) -> Query | None:
+        """Apply the first applicable rewrite; None when none applies."""
+        for p_index, pattern in enumerate(query.patterns):
+            for h_index, (left, rel_pattern, right) in enumerate(
+                pattern.hops()
+            ):
+                rel = self._resolve_rel(left, rel_pattern, right)
+                if rel is None:
+                    continue
+                if self.mapping.is_collapsed(rel.rel_id):
+                    return self._collapse_hop(query, p_index, h_index)
+                rewritten = self._try_replication(
+                    query, p_index, h_index, rel, left, right
+                )
+                if rewritten is not None:
+                    return rewritten
+        return None
+
+    def _resolve_rel(
+        self,
+        left: NodePattern,
+        rel_pattern,
+        right: NodePattern,
+    ) -> Relationship | None:
+        """Map a pattern hop back to its ontology relationship."""
+        if len(rel_pattern.labels) != 1:
+            return None
+        label = rel_pattern.labels[0]
+        for la in left.labels or ("",):
+            for lb in right.labels or ("",):
+                rel = self.ontology.find_relationship(label, la, lb)
+                if rel is not None:
+                    return rel
+        if self.strict:
+            raise RewriteError(
+                f"cannot resolve hop -[:{label}]- between labels "
+                f"{left.labels} and {right.labels}"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Collapse rewrite
+    # ------------------------------------------------------------------
+    def _collapse_hop(
+        self, query: Query, p_index: int, h_index: int
+    ) -> Query:
+        pattern = query.patterns[p_index]
+        left = pattern.nodes[h_index]
+        right = pattern.nodes[h_index + 1]
+        keep_var, drop_var = left.var, right.var
+        merged = NodePattern(
+            keep_var,
+            tuple(dict.fromkeys(left.labels + right.labels)),
+            tuple(dict.fromkeys(left.props + right.props)),
+        )
+        new_nodes = (
+            pattern.nodes[:h_index]
+            + (merged,)
+            + pattern.nodes[h_index + 2:]
+        )
+        new_rels = pattern.rels[:h_index] + pattern.rels[h_index + 1:]
+        new_pattern = PathPattern(new_nodes, new_rels, None)
+        query = query.with_(
+            patterns=(
+                query.patterns[:p_index]
+                + ((new_pattern,) if new_rels or len(new_nodes) == 1 else (new_pattern,))
+                + query.patterns[p_index + 1:]
+            )
+        )
+        if drop_var != keep_var:
+            query = _substitute_everywhere(query, drop_var, keep_var)
+        return query
+
+    # ------------------------------------------------------------------
+    # Replication rewrite
+    # ------------------------------------------------------------------
+    def _try_replication(
+        self,
+        query: Query,
+        p_index: int,
+        h_index: int,
+        rel: Relationship,
+        left: NodePattern,
+        right: NodePattern,
+    ) -> Query | None:
+        for far, near in ((right, left), (left, right)):
+            rewritten = self._try_replication_oriented(
+                query, p_index, h_index, rel, far, near
+            )
+            if rewritten is not None:
+                return rewritten
+        return None
+
+    def _try_replication_oriented(
+        self,
+        query: Query,
+        p_index: int,
+        h_index: int,
+        rel: Relationship,
+        far: NodePattern,
+        near: NodePattern,
+    ) -> Query | None:
+        far_var, near_var = far.var, near.var
+        if far_var is None or near_var is None or far_var == near_var:
+            return None
+        if far.props:
+            return None  # property filters on the far node: keep the hop
+        # The far node must appear in exactly this one hop.
+        if _hop_count(query, far_var) != 1:
+            return None
+        # The far node must be an endpoint of its chain (interior nodes
+        # connect two hops and cannot be dropped).
+        pattern = query.patterns[p_index]
+        position = h_index if pattern.nodes[h_index].var == far_var else h_index + 1
+        if position not in (0, len(pattern.nodes) - 1):
+            return None
+
+        # Determine the far concept: a label that identifies a concept.
+        far_concepts = [
+            label for label in far.labels if label in self.ontology.concepts
+        ]
+        if not far_concepts:
+            return None
+        near_concepts = [
+            label for label in near.labels
+            if label in self.ontology.concepts
+        ]
+        if not near_concepts:
+            return None
+        near_nodes = {
+            key
+            for concept in near_concepts
+            for key in self.mapping.resolve_concept(concept)
+        }
+
+        # Collect every usage of the far variable and find the list
+        # property that will replace it.
+        usages = _far_usages(query, far_var)
+        if usages is None:
+            return None
+        if not usages["props"] and not usages["bare_in_count"]:
+            # The hop is a pure existence/multiplicity constraint
+            # (e.g. count(*) over matches); removing it would change
+            # row multiplicity.
+            return None
+        if _uses_star(query):
+            return None
+        has_aggregates = any(
+            contains_aggregate(item.expr) for item in query.return_items
+        )
+        if not has_aggregates and not all(
+            isinstance(item.expr, PropertyRef)
+            and item.expr.var == far_var
+            for item in query.return_items
+        ):
+            # Without aggregation, replacing a far property by the local
+            # list turns N matched rows into one list-valued row per
+            # near vertex.  That is only the paper's intended shape when
+            # the query returns nothing but far-node properties (Q6);
+            # mixed projections keep their hop.
+            return None
+        substitutions: dict[str, str] = {}
+        for prop in usages["props"]:
+            repl = self._find_owned_replication(
+                rel.rel_id, far_concepts, prop, near_nodes
+            )
+            if repl is None:
+                return None
+            substitutions[prop] = repl.list_name
+        count_list_name: str | None = None
+        if usages["bare_in_count"]:
+            repl = self._any_owned_replication(
+                rel.rel_id, far_concepts, near_nodes
+            )
+            if repl is None:
+                return None
+            count_list_name = repl.list_name
+
+        # Rebuild the pattern without the far node and its hop.
+        new_nodes = tuple(
+            node for node in pattern.nodes if node.var != far_var
+        )
+        new_rels = pattern.rels[:h_index] + pattern.rels[h_index + 1:]
+        if len(new_nodes) != len(pattern.nodes) - 1:
+            return None  # far var appears twice in the chain: keep hop
+        new_pattern = PathPattern(new_nodes, new_rels, None)
+        new_query = query.with_(
+            patterns=(
+                query.patterns[:p_index]
+                + (new_pattern,)
+                + query.patterns[p_index + 1:]
+            )
+        )
+        new_query = _replace_far_usages(
+            new_query, far_var, near_var, substitutions, count_list_name
+        )
+
+        # Guard: the near vertex must actually have partners.
+        guard_list = (
+            next(iter(substitutions.values()), None) or count_list_name
+        )
+        if guard_list is not None:
+            guard = NullCheck(PropertyRef(near_var, guard_list), True)
+            where = (
+                guard if new_query.where is None
+                else BoolOp("and", (new_query.where, guard))
+            )
+            new_query = new_query.with_(where=where)
+        return new_query
+
+    def _find_owned_replication(
+        self,
+        rel_id: str,
+        far_concepts: list[str],
+        prop: str,
+        near_nodes: set[str],
+    ):
+        """A replication of the far property covering *every* near node.
+
+        The rewritten query reads the list property off every vertex
+        matching the near label, which spans all schema nodes the near
+        concept resolves to; each of them must carry the same list via
+        the same relationship, or contents would mix (the loader
+        populates each node's list from its own ``via_rel``).
+        """
+        for concept in far_concepts:
+            source_candidates = [concept]
+            # The property may originate further up a collapsed
+            # hierarchy (e.g. summary lives on DrugInteraction but the
+            # query labels the node DrugFoodInteraction).
+            source_candidates.extend(
+                c for c in self.ontology.concepts
+                if prop in self.ontology.concept(c).properties
+            )
+            for source in dict.fromkeys(source_candidates):
+                repl = self._covering_replication(
+                    rel_id, source, prop, near_nodes
+                )
+                if repl is not None:
+                    return repl
+        return None
+
+    def _covering_replication(
+        self, rel_id: str, source: str, prop: str, near_nodes: set[str]
+    ):
+        owners = {
+            r.owner_node: r
+            for r in self.mapping.replications_for_rel(rel_id)
+            if r.source_concept == source and r.source_property == prop
+        }
+        if not near_nodes or not near_nodes <= set(owners):
+            return None
+        names = {owners[node].list_name for node in near_nodes}
+        if len(names) != 1:
+            return None
+        repl = owners[next(iter(near_nodes))]
+        if self._list_name_ambiguous(repl, near_nodes):
+            return None
+        return repl
+
+    def _list_name_ambiguous(self, repl, near_nodes: set[str]) -> bool:
+        """Could another relationship's values share this list name?
+
+        Vertices merge along collapsed relationships, so a vertex
+        matched by the near label may also belong to another schema
+        node that carries the *same* list name populated via a
+        *different* relationship.  That only happens when the other
+        owner's concepts share a vertex component with the near
+        concepts - in which case the list content is ambiguous and the
+        hop must be kept.
+        """
+        near_components = {
+            self.mapping.component_of(concept)
+            for node in near_nodes
+            for concept in self.mapping.node_concepts(node)
+        }
+        for other in self.mapping.replications:
+            if other.rel_id == repl.rel_id:
+                continue
+            if other.list_name != repl.list_name:
+                continue
+            other_components = {
+                self.mapping.component_of(concept)
+                for concept in self.mapping.node_concepts(
+                    other.owner_node
+                )
+            }
+            if near_components & other_components:
+                return True
+        return False
+
+    def _any_owned_replication(
+        self,
+        rel_id: str,
+        far_concepts: list[str],
+        near_nodes: set[str],
+    ):
+        by_key: dict[tuple[str, str, str], set[str]] = {}
+        candidates: dict[tuple[str, str, str], object] = {}
+        for repl in self.mapping.replications_for_rel(rel_id):
+            key = (
+                repl.source_concept, repl.source_property, repl.list_name
+            )
+            by_key.setdefault(key, set()).add(repl.owner_node)
+            candidates[key] = repl
+        for key, owners in by_key.items():
+            if near_nodes <= owners and not self._list_name_ambiguous(
+                candidates[key], near_nodes
+            ):
+                return candidates[key]
+        return None
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+def _ensure_node_vars(query: Query) -> Query:
+    """Give every anonymous node pattern a fresh variable."""
+    counter = 0
+    new_patterns = []
+    for pattern in query.patterns:
+        nodes = []
+        for node in pattern.nodes:
+            if node.var is None:
+                node = replace(node, var=f"_rw{counter}")
+                counter += 1
+            nodes.append(node)
+        new_patterns.append(
+            PathPattern(tuple(nodes), pattern.rels, pattern.path_var)
+        )
+    return query.with_(patterns=tuple(new_patterns))
+
+
+def _substitute_everywhere(query: Query, old: str, new: str) -> Query:
+    patterns = []
+    for pattern in query.patterns:
+        nodes = tuple(
+            replace(node, var=new) if node.var == old else node
+            for node in pattern.nodes
+        )
+        patterns.append(PathPattern(nodes, pattern.rels, pattern.path_var))
+    return Query(
+        patterns=tuple(patterns),
+        return_items=tuple(
+            ReturnItem(substitute_variable(item.expr, old, new), item.alias)
+            for item in query.return_items
+        ),
+        where=(
+            substitute_variable(query.where, old, new)
+            if query.where is not None else None
+        ),
+        distinct=query.distinct,
+        order_by=tuple(
+            OrderItem(substitute_variable(o.expr, old, new), o.descending)
+            for o in query.order_by
+        ),
+        limit=query.limit,
+    )
+
+
+def _uses_star(query: Query) -> bool:
+    for item in query.return_items:
+        for node in walk(item.expr):
+            if isinstance(node, Star):
+                return True
+    return False
+
+
+def _hop_count(query: Query, var: str) -> int:
+    count = 0
+    for pattern in query.patterns:
+        for left, _rel, right in pattern.hops():
+            if left.var == var:
+                count += 1
+            if right.var == var:
+                count += 1
+    return count
+
+
+def _far_usages(query: Query, var: str) -> dict | None:
+    """Classify uses of ``var`` outside the pattern.
+
+    Returns ``{"props": set of property names, "bare_in_count": bool}``
+    or None when the variable is used in a way that blocks the rewrite:
+
+    * returned bare / collected as a vertex / ordered on;
+    * used as a *grouping key* (a property reference outside any
+      aggregate) while the query aggregates - replacing a scalar
+      grouping key with a list property would change the grouping.
+    """
+    props: set[str] = set()
+    bare_in_count = False
+    has_aggregates = any(
+        contains_aggregate(item.expr) for item in query.return_items
+    )
+
+    exprs: list[Expr] = [item.expr for item in query.return_items]
+    if query.where is not None:
+        exprs.append(query.where)
+    exprs.extend(order.expr for order in query.order_by)
+
+    for expr in exprs:
+        for node in walk(expr):
+            if isinstance(node, PropertyRef) and node.var == var:
+                props.add(node.prop)
+            elif isinstance(node, FuncCall):
+                for arg in node.args:
+                    if isinstance(arg, Variable) and arg.name == var:
+                        if node.name == "count" and not node.distinct:
+                            bare_in_count = True
+                        else:
+                            return None
+    # Grouping-key check: with aggregation, every far property use must
+    # sit inside an aggregate argument.
+    if has_aggregates:
+        for expr in exprs:
+            if _prop_use_outside_aggregate(expr, var):
+                return None
+    # Re-scan for bare variable uses not wrapped in count().
+    for expr in exprs:
+        if _has_unwrapped_bare(expr, var):
+            return None
+    return {"props": props, "bare_in_count": bare_in_count}
+
+
+def _prop_use_outside_aggregate(expr: Expr, var: str) -> bool:
+    """Does ``var.prop`` appear outside every aggregate function?"""
+    if isinstance(expr, PropertyRef):
+        return expr.var == var
+    if isinstance(expr, FuncCall):
+        if expr.name in AGGREGATE_FUNCTIONS:
+            return False  # inside an aggregate: fine
+        return any(
+            _prop_use_outside_aggregate(a, var) for a in expr.args
+        )
+    if isinstance(expr, BoolOp):
+        return any(
+            _prop_use_outside_aggregate(o, var) for o in expr.operands
+        )
+    if isinstance(expr, NullCheck):
+        return _prop_use_outside_aggregate(expr.expr, var)
+    if hasattr(expr, "lhs"):
+        return _prop_use_outside_aggregate(
+            expr.lhs, var
+        ) or _prop_use_outside_aggregate(expr.rhs, var)
+    if hasattr(expr, "operand"):
+        return _prop_use_outside_aggregate(expr.operand, var)
+    return False
+
+
+def _has_unwrapped_bare(expr: Expr, var: str) -> bool:
+    if isinstance(expr, Variable):
+        return expr.name == var
+    if isinstance(expr, PropertyRef):
+        return False
+    if isinstance(expr, FuncCall):
+        if expr.name == "count" and not expr.distinct:
+            return any(
+                _has_unwrapped_bare(arg, var)
+                for arg in expr.args
+                if not isinstance(arg, Variable)
+            )
+        return any(_has_unwrapped_bare(arg, var) for arg in expr.args)
+    if isinstance(expr, NullCheck):
+        return _has_unwrapped_bare(expr.expr, var)
+    if isinstance(expr, BoolOp):
+        return any(_has_unwrapped_bare(o, var) for o in expr.operands)
+    if hasattr(expr, "lhs"):
+        return _has_unwrapped_bare(expr.lhs, var) or _has_unwrapped_bare(
+            expr.rhs, var
+        )
+    if hasattr(expr, "operand"):
+        return _has_unwrapped_bare(expr.operand, var)
+    return False
+
+
+def _replace_far_usages(
+    query: Query,
+    far_var: str,
+    near_var: str,
+    substitutions: dict[str, str],
+    count_list_name: str | None,
+) -> Query:
+    def transform(expr: Expr) -> Expr:
+        if isinstance(expr, PropertyRef) and expr.var == far_var:
+            return PropertyRef(near_var, substitutions[expr.prop])
+        if isinstance(expr, FuncCall):
+            new_args = tuple(transform(arg) for arg in expr.args)
+            flatten = expr.flatten
+            if expr.name in AGGREGATE_FUNCTIONS:
+                if any(
+                    isinstance(a, Variable) and a.name == far_var
+                    for a in expr.args
+                ):
+                    # count(f) -> count over the flattened list property
+                    new_args = tuple(
+                        PropertyRef(near_var, count_list_name)
+                        if isinstance(a, Variable) and a.name == far_var
+                        else a
+                        for a in new_args
+                    )
+                    flatten = True
+                elif any(
+                    isinstance(a, PropertyRef) and a.var == far_var
+                    for a in expr.args
+                ):
+                    flatten = True
+            return replace(expr, args=new_args, flatten=flatten)
+        if isinstance(expr, BoolOp):
+            return BoolOp(
+                expr.op, tuple(transform(o) for o in expr.operands)
+            )
+        if isinstance(expr, NullCheck):
+            return NullCheck(transform(expr.expr), expr.negated)
+        if hasattr(expr, "lhs"):
+            return replace(
+                expr, lhs=transform(expr.lhs), rhs=transform(expr.rhs)
+            )
+        if hasattr(expr, "operand"):
+            return replace(expr, operand=transform(expr.operand))
+        return expr
+
+    return Query(
+        patterns=query.patterns,
+        return_items=tuple(
+            ReturnItem(transform(item.expr), item.alias)
+            for item in query.return_items
+        ),
+        where=(
+            transform(query.where) if query.where is not None else None
+        ),
+        distinct=query.distinct,
+        order_by=tuple(
+            OrderItem(transform(o.expr), o.descending)
+            for o in query.order_by
+        ),
+        limit=query.limit,
+    )

@@ -1,0 +1,95 @@
+"""Workload execution: run query lists, collect latency and work counts.
+
+Latency here is the *simulated* backend latency (deterministic, see
+:mod:`repro.graphdb.backends`); wall-clock execution time is also
+recorded for completeness.  One :class:`GraphSession` (and hence one
+page cache) is shared across a workload run, as a real backend would.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.graphdb.backends import BackendProfile
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.metrics import ExecutionMetrics
+from repro.graphdb.query.ast import Query
+from repro.graphdb.query.executor import Executor
+from repro.graphdb.session import GraphSession
+
+
+@dataclass
+class QueryRun:
+    qid: str
+    rows: int
+    latency_ms: float
+    wall_ms: float
+    metrics: ExecutionMetrics
+
+
+@dataclass
+class WorkloadReport:
+    backend: str
+    graph_name: str
+    runs: list[QueryRun] = field(default_factory=list)
+
+    @property
+    def total_latency_ms(self) -> float:
+        return sum(run.latency_ms for run in self.runs)
+
+    @property
+    def total_wall_ms(self) -> float:
+        return sum(run.wall_ms for run in self.runs)
+
+    @property
+    def total_metrics(self) -> ExecutionMetrics:
+        total = ExecutionMetrics()
+        for run in self.runs:
+            total.merge(run.metrics)
+        return total
+
+    def latency_of(self, qid: str) -> float:
+        return sum(r.latency_ms for r in self.runs if r.qid == qid)
+
+    def summary(self) -> str:
+        return (
+            f"{self.graph_name} on {self.backend}: "
+            f"{len(self.runs)} queries, "
+            f"{self.total_latency_ms:.1f} ms simulated "
+            f"({self.total_wall_ms:.1f} ms wall)"
+        )
+
+
+def run_queries(
+    graph: PropertyGraph,
+    profile: BackendProfile,
+    queries: list[tuple[str, Query | str]],
+) -> WorkloadReport:
+    """Execute ``queries`` (qid, text-or-AST pairs) on one session."""
+    session = GraphSession(graph, profile)
+    executor = Executor(session)
+    report = WorkloadReport(backend=profile.name, graph_name=graph.name)
+    for qid, query in queries:
+        started = time.perf_counter()
+        result = executor.run(query)
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        report.runs.append(
+            QueryRun(
+                qid=qid,
+                rows=len(result.rows),
+                latency_ms=result.latency_ms,
+                wall_ms=wall_ms,
+                metrics=result.metrics,
+            )
+        )
+    return report
+
+
+def run_single(
+    graph: PropertyGraph,
+    profile: BackendProfile,
+    query: Query | str,
+    qid: str = "q",
+) -> QueryRun:
+    return run_queries(graph, profile, [(qid, query)]).runs[0]

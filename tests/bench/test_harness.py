@@ -1,0 +1,107 @@
+"""Tests for the experiment drivers (shape assertions on small scales).
+
+Each driver is exercised at test scale; shape expectations mirror the
+paper's qualitative claims (see DESIGN.md section 4).  The full-scale
+numbers live in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    build_pipeline,
+    run_efficiency,
+    run_jaccard_sweep,
+    run_knapsack_ablation,
+    run_microbenchmark,
+    run_space_sweep,
+    run_workload_experiment,
+)
+
+
+class TestPipeline:
+    def test_pipeline_components(self, med_pipeline):
+        assert med_pipeline.dir_graph.num_vertices > 0
+        assert med_pipeline.opt_graph.num_vertices > 0
+        assert med_pipeline.opt_graph.num_vertices < (
+            med_pipeline.dir_graph.num_vertices
+        )
+        assert set(med_pipeline.rewritten) == set(
+            med_pipeline.dataset.queries
+        )
+
+    def test_budget_respected(self, med_pipeline):
+        result = med_pipeline.result
+        assert result.total_cost <= result.space_limit
+
+
+class TestSpaceSweep:
+    def test_rows_and_shape(self, med_small):
+        table = run_space_sweep(
+            med_small, fractions=(0.05, 0.25, 1.0),
+            workload_kinds=("uniform",),
+        )
+        assert len(table.rows) == 3
+        rc = table.column("RC BR")
+        assert rc == sorted(rc)          # monotone in budget
+        assert rc[-1] == pytest.approx(1.0)
+        cc = table.column("CC BR")
+        assert cc[-1] == pytest.approx(1.0)
+
+    def test_rc_dominates_cc(self, med_small):
+        table = run_space_sweep(
+            med_small, fractions=(0.1, 0.5), workload_kinds=("zipf",),
+        )
+        for rc, cc in zip(table.column("RC BR"), table.column("CC BR")):
+            assert rc >= cc - 0.05
+
+
+class TestJaccardSweep:
+    def test_robustness(self, med_small):
+        table = run_jaccard_sweep(
+            med_small,
+            pairs=((0.9, 0.1), (0.5, 0.5)),
+            workload_kinds=("uniform",),
+        )
+        assert len(table.rows) == 2
+        for value in table.column("RC BR"):
+            assert value >= 0.5  # paper: >= ~0.7 at 50% budget
+
+
+class TestMicrobenchmark:
+    def test_speedups(self, med_small):
+        table = run_microbenchmark([med_small], scale=1.0)
+        # 6 queries x 2 backends
+        assert len(table.rows) == 12
+        speedups = table.column("speedup")
+        assert all(s >= 0.9 for s in speedups)
+        assert any(s > 1.5 for s in speedups)
+
+
+class TestWorkloadExperiment:
+    def test_opt_wins(self, med_small):
+        table = run_workload_experiment([med_small], scale=1.0, size=6)
+        assert len(table.rows) == 2  # 2 backends
+        for row in table.rows:
+            direct_ms, opt_ms = row[2], row[3]
+            assert opt_ms < direct_ms
+
+
+class TestEfficiency:
+    def test_table_shape(self, med_small):
+        table = run_efficiency(
+            [med_small], fractions=(0.25, 0.75), repeats=1
+        )
+        assert len(table.rows) == 2
+        for row in table.rows:
+            assert row[2] > 0 and row[3] > 0  # RC ms, CC ms
+
+
+class TestKnapsackAblation:
+    def test_fptas_at_least_greedy(self, med_small):
+        table = run_knapsack_ablation(
+            med_small, fractions=(0.1, 0.5)
+        )
+        for fptas, greedy in zip(
+            table.column("FPTAS BR"), table.column("greedy BR")
+        ):
+            assert fptas >= greedy - 0.1

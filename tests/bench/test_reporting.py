@@ -1,0 +1,56 @@
+"""Tests for experiment tables."""
+
+import pytest
+
+from repro.bench.reporting import ExperimentTable, speedup
+
+
+class TestExperimentTable:
+    def _table(self):
+        table = ExperimentTable("Demo", ["name", "value"])
+        table.add_row("alpha", 1.2345)
+        table.add_row("beta", 12345)
+        table.add_note("a note")
+        return table
+
+    def test_render_contains_everything(self):
+        text = self._table().render()
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "1.23" in text
+        assert "note: a note" in text
+
+    def test_alignment(self):
+        lines = self._table().render().splitlines()
+        header = lines[2]
+        separator = lines[3]
+        assert len(header) == len(separator)
+
+    def test_csv(self):
+        csv = self._table().to_csv()
+        assert csv.splitlines()[0] == "name,value"
+        assert "alpha" in csv
+
+    def test_column(self):
+        table = self._table()
+        assert table.column("name") == ["alpha", "beta"]
+        with pytest.raises(ValueError):
+            table.column("nope")
+
+    def test_number_formats(self):
+        table = ExperimentTable("n", ["x"])
+        table.add_row(0.00012)
+        table.add_row(0)
+        table.add_row(123456.7)
+        text = table.render()
+        assert "0.0001" in text
+        assert "123,457" in text
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_zero_optimized(self):
+        assert speedup(10.0, 0.0) == float("inf")
+        assert speedup(0.0, 0.0) == 1.0

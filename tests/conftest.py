@@ -1,0 +1,49 @@
+"""Shared fixtures: sample ontologies, small datasets, tiny pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_pipeline
+from repro.datasets import build_fin, build_med
+from repro.ontology.samples import (
+    figure1_mini_ontology,
+    figure2_medical_ontology,
+)
+from repro.ontology.stats import synthesize_statistics
+
+
+@pytest.fixture()
+def fig2():
+    return figure2_medical_ontology()
+
+
+@pytest.fixture()
+def fig1():
+    return figure1_mini_ontology()
+
+
+@pytest.fixture()
+def fig2_stats(fig2):
+    return synthesize_statistics(fig2, base_cardinality=40, seed=3)
+
+
+@pytest.fixture(scope="session")
+def med_small():
+    return build_med(base_cardinality=30, seed=11)
+
+
+@pytest.fixture(scope="session")
+def fin_small():
+    return build_fin(base_cardinality=6, seed=13)
+
+
+@pytest.fixture(scope="session")
+def med_pipeline(med_small):
+    """A full MED pipeline at test scale (optimize + load + rewrite)."""
+    return build_pipeline(med_small, scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def fin_pipeline(fin_small):
+    return build_pipeline(fin_small, scale=1.0)

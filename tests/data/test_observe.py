@@ -1,0 +1,110 @@
+"""Tests for observed statistics and workload recording."""
+
+import pytest
+
+from repro.data.generator import generate_logical
+from repro.data.loader import load_direct
+from repro.data.observe import (
+    WorkloadRecorder,
+    statistics_from_graph,
+    statistics_from_logical,
+)
+from repro.exceptions import DataGenerationError
+from repro.graphdb.graph import PropertyGraph
+
+
+@pytest.fixture()
+def logical(fig2, fig2_stats):
+    return generate_logical(fig2, fig2_stats, seed=3)
+
+
+class TestStatisticsFromLogical:
+    def test_matches_generation_stats(self, fig2, fig2_stats, logical):
+        observed = statistics_from_logical(logical)
+        assert observed.concept_cardinality == (
+            fig2_stats.concept_cardinality
+        )
+        # 1:1 and inheritance counts are exact; M:N may dedupe samples.
+        for rel in fig2.iter_relationships():
+            assert observed.rel_card(rel.rel_id) == len(
+                logical.links_of(rel.rel_id)
+            )
+
+    def test_usable_by_optimizer(self, fig2, logical):
+        from repro.optimizer import CostBenefitModel
+
+        observed = statistics_from_logical(logical)
+        observed.validate_against(fig2)
+        model = CostBenefitModel(fig2, observed)
+        assert model.total_cost > 0
+
+
+class TestStatisticsFromGraph:
+    def test_round_trip_through_dir_graph(self, fig2, logical):
+        graph = load_direct(logical)
+        observed = statistics_from_graph(graph, fig2)
+        expected = statistics_from_logical(logical)
+        assert observed.concept_cardinality == (
+            expected.concept_cardinality
+        )
+        assert observed.relationship_cardinality == (
+            expected.relationship_cardinality
+        )
+
+    def test_nonconforming_graph_rejected(self, fig2):
+        graph = PropertyGraph()
+        a = graph.add_vertex("Drug", {})
+        b = graph.add_vertex("Indication", {})
+        graph.add_edge(a, b, "notInOntology")
+        with pytest.raises(DataGenerationError):
+            statistics_from_graph(graph, fig2)
+
+
+class TestWorkloadRecorder:
+    def test_counts_concept_labels(self, fig2):
+        recorder = WorkloadRecorder(fig2)
+        recorder.record(
+            "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN d.name"
+        )
+        recorder.record("MATCH (d:Drug) RETURN count(*)")
+        assert recorder.counts["Drug"] == 2
+        assert recorder.counts["Indication"] == 1
+        assert recorder.queries_seen == 2
+
+    def test_unknown_labels_ignored(self, fig2):
+        recorder = WorkloadRecorder(fig2)
+        recorder.record("MATCH (x:Nowhere) RETURN x")
+        assert all(v == 0 for v in recorder.counts.values())
+
+    def test_summary_weights(self, fig2):
+        recorder = WorkloadRecorder(fig2)
+        recorder.record_many(
+            ["MATCH (d:Drug) RETURN d"] * 9
+            + ["MATCH (i:Indication) RETURN i"]
+        )
+        summary = recorder.summary(smoothing=0.0)
+        assert summary.concept_weights["Drug"] == pytest.approx(0.9)
+        assert summary.name == "observed"
+        assert summary.total_queries == 10
+
+    def test_smoothing_avoids_zero_sum(self, fig2):
+        recorder = WorkloadRecorder(fig2)
+        recorder.record("MATCH (d:Drug) RETURN d")
+        summary = recorder.summary(smoothing=1.0)
+        assert all(w > 0 for w in summary.concept_weights.values())
+
+    def test_empty_recorder_rejected(self, fig2):
+        with pytest.raises(DataGenerationError):
+            WorkloadRecorder(fig2).summary()
+
+    def test_drives_optimization(self, fig2, fig2_stats):
+        from repro.optimizer import optimize
+
+        recorder = WorkloadRecorder(fig2)
+        recorder.record_many(
+            ["MATCH (d:Drug)-[:treat]->(i:Indication) RETURN i.desc"] * 5
+        )
+        result = optimize(
+            fig2, fig2_stats, 10**7, recorder.summary()
+        )
+        assert result.total_benefit > 0

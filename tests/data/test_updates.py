@@ -1,0 +1,208 @@
+"""Tests for incremental update handling (Section 4.2)."""
+
+import pytest
+
+from repro.data import (
+    GraphUpdater,
+    LoadRegistry,
+    generate_logical,
+    load_direct,
+    load_optimized,
+)
+from repro.exceptions import DataGenerationError
+from repro.graphdb import Executor, GraphSession, NEO4J_LIKE
+from repro.schema.generate import optimize_schema_nsc
+
+
+@pytest.fixture()
+def setup(fig2, fig2_stats):
+    logical = generate_logical(fig2, fig2_stats, seed=1)
+    _, mapping = optimize_schema_nsc(fig2)
+    dir_registry, opt_registry = LoadRegistry(), LoadRegistry()
+    dir_graph = load_direct(logical, registry=dir_registry)
+    opt_graph = load_optimized(logical, mapping, registry=opt_registry)
+    updater = GraphUpdater(
+        logical, mapping, dir_graph, dir_registry, opt_graph,
+        opt_registry,
+    )
+    return {
+        "ontology": fig2,
+        "logical": logical,
+        "mapping": mapping,
+        "dir": dir_graph,
+        "opt": opt_graph,
+        "updater": updater,
+        "opt_registry": opt_registry,
+    }
+
+
+def count(graph, query):
+    return Executor(
+        GraphSession(graph, NEO4J_LIKE)
+    ).run(query).single_value()
+
+
+class TestInsertInstance:
+    def test_plain_concept(self, setup):
+        before = setup["dir"].label_count("Drug")
+        uid = setup["updater"].insert_instance(
+            "Drug", {"name": "newdrug", "brand": "nb"}
+        )
+        assert setup["dir"].label_count("Drug") == before + 1
+        assert setup["opt"].label_count("Drug") == before + 1
+        assert setup["logical"].concept_of[uid] == "Drug"
+
+    def test_member_creates_union_twin(self, setup):
+        updater = setup["updater"]
+        uid = updater.insert_instance(
+            "ContraIndication", {"description": "x"}
+        )
+        # DIR: member vertex + Risk twin + unionOf edge.
+        twin = f"Risk|{uid}"
+        assert setup["logical"].concept_of[twin] == "Risk"
+        dir_q = (
+            "MATCH (ci:ContraIndication {description: 'x'})-"
+            "[:unionOf]->(r:Risk) RETURN count(*)"
+        )
+        assert count(setup["dir"], dir_q) == 1
+        # OPT: one merged vertex with both labels.
+        opt_q = (
+            "MATCH (v:Risk:ContraIndication {description: 'x'}) "
+            "RETURN count(*)"
+        )
+        assert count(setup["opt"], opt_q) == 1
+
+    def test_child_creates_parent_twin_chain(self, setup):
+        updater = setup["updater"]
+        uid = updater.insert_instance(
+            "DrugFoodInteraction", {"risk": "high"}
+        )
+        assert f"DrugInteraction|{uid}" in setup["logical"].concept_of
+        opt_q = (
+            "MATCH (v:DrugFoodInteraction:DrugInteraction "
+            "{risk: 'high'}) RETURN count(*)"
+        )
+        assert count(setup["opt"], opt_q) == 1
+
+    def test_derived_concept_rejected(self, setup):
+        with pytest.raises(DataGenerationError):
+            setup["updater"].insert_instance("Risk", {})
+        with pytest.raises(DataGenerationError):
+            setup["updater"].insert_instance("DrugInteraction", {})
+
+
+class TestInsertLink:
+    def test_edge_and_list_maintained(self, setup):
+        updater = setup["updater"]
+        logical = setup["logical"]
+        onto = setup["ontology"]
+        treat = onto.find_relationship("treat", "Drug", "Indication")
+        drug = logical.instances_of("Drug")[0]
+        ind = logical.instances_of("Indication")[0]
+        dir_before = count(
+            setup["dir"],
+            "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN count(*)",
+        )
+        updater.insert_link(treat.rel_id, drug, ind)
+        assert count(
+            setup["dir"],
+            "MATCH (d:Drug)-[:treat]->(i:Indication) RETURN count(*)",
+        ) == dir_before + 1
+        # The drug's Indication.desc list includes the partner's desc.
+        vid = setup["opt_registry"].vertex_of[drug]
+        values = setup["opt"].vertex(vid).properties["Indication.desc"]
+        assert logical.properties[ind]["desc"] in values
+
+    def test_structural_link_rejected(self, setup):
+        onto = setup["ontology"]
+        isa = [
+            r for r in onto.iter_relationships() if r.label == "isA"
+        ][0]
+        with pytest.raises(DataGenerationError):
+            setup["updater"].insert_link(isa.rel_id, "a", "b")
+
+
+class TestDeleteLink:
+    def test_dir_opt_stay_equivalent(self, setup):
+        updater = setup["updater"]
+        logical = setup["logical"]
+        onto = setup["ontology"]
+        treat = onto.find_relationship("treat", "Drug", "Indication")
+        src, dst = logical.links_of(treat.rel_id)[0]
+        updater.delete_link(treat.rel_id, src, dst)
+        dir_count = count(
+            setup["dir"],
+            "MATCH (d:Drug)-[:treat]->(i:Indication) "
+            "RETURN count(i.desc)",
+        )
+        opt_total = sum(
+            len(v.properties.get("Indication.desc") or [])
+            for v in setup["opt"].iter_vertices()
+        )
+        assert dir_count == opt_total
+
+    def test_missing_link_rejected(self, setup):
+        onto = setup["ontology"]
+        treat = onto.find_relationship("treat", "Drug", "Indication")
+        with pytest.raises(DataGenerationError):
+            setup["updater"].delete_link(treat.rel_id, "nope", "nada")
+
+    def test_last_link_removes_list(self, setup):
+        updater = setup["updater"]
+        logical = setup["logical"]
+        onto = setup["ontology"]
+        treat = onto.find_relationship("treat", "Drug", "Indication")
+        # Find a drug with exactly one indication.
+        by_drug: dict[str, list[str]] = {}
+        for s, d in logical.links_of(treat.rel_id):
+            by_drug.setdefault(s, []).append(d)
+        drug, inds = next(
+            (s, ds) for s, ds in by_drug.items() if len(ds) == 1
+        )
+        updater.delete_link(treat.rel_id, drug, inds[0])
+        vid = setup["opt_registry"].vertex_of[drug]
+        assert "Indication.desc" not in setup["opt"].vertex(
+            vid
+        ).properties
+
+
+class TestSetProperty:
+    def test_vertex_and_lists_refreshed(self, setup):
+        updater = setup["updater"]
+        logical = setup["logical"]
+        onto = setup["ontology"]
+        treat = onto.find_relationship("treat", "Drug", "Indication")
+        drug, ind = logical.links_of(treat.rel_id)[0]
+        updater.set_property(ind, "desc", "FRESH")
+        vid = setup["opt_registry"].vertex_of[drug]
+        values = setup["opt"].vertex(vid).properties["Indication.desc"]
+        assert "FRESH" in values
+        # DIR vertex updated too.
+        dir_count = count(
+            setup["dir"],
+            "MATCH (i:Indication {desc: 'FRESH'}) RETURN count(*)",
+        )
+        assert dir_count == 1
+
+    def test_queries_stay_equivalent_after_mixed_updates(self, setup):
+        updater = setup["updater"]
+        logical = setup["logical"]
+        onto = setup["ontology"]
+        treat = onto.find_relationship("treat", "Drug", "Indication")
+        drug = logical.instances_of("Drug")[0]
+        new_ci = updater.insert_instance(
+            "ContraIndication", {"description": "added"}
+        )
+        cause = onto.find_relationship("cause", "Drug", "Risk")
+        updater.insert_link(cause.rel_id, drug, f"Risk|{new_ci}")
+        src, dst = logical.links_of(treat.rel_id)[0]
+        updater.delete_link(treat.rel_id, src, dst)
+        dir_q = (
+            "MATCH (d:Drug)-[:cause]->(r:Risk)<-[:unionOf]-"
+            "(ci:ContraIndication) RETURN count(*)"
+        )
+        opt_q = (
+            "MATCH (d:Drug)-[:cause]->(ci:Risk:ContraIndication) "
+            "RETURN count(*)"
+        )
+        assert count(setup["dir"], dir_q) == count(setup["opt"], opt_q)

@@ -1,0 +1,89 @@
+"""Tests for AST utilities (walk, substitution, rendering)."""
+
+from repro.graphdb.query.ast import (
+    Comparison,
+    FuncCall,
+    Literal,
+    PropertyRef,
+    Variable,
+    contains_aggregate,
+    expr_text,
+    query_text,
+    substitute_variable,
+    variables_used,
+    walk,
+)
+from repro.graphdb.query.parser import parse_expression, parse_query
+
+
+class TestWalk:
+    def test_walks_all_nodes(self):
+        expr = parse_expression("size(collect(a.x)) > b.y AND c.z = 1")
+        kinds = [type(n).__name__ for n in walk(expr)]
+        assert "FuncCall" in kinds
+        assert "PropertyRef" in kinds
+        assert "Comparison" in kinds
+
+    def test_contains_aggregate(self):
+        assert contains_aggregate(parse_expression("count(a)"))
+        assert contains_aggregate(parse_expression("size(collect(a.x))"))
+        assert not contains_aggregate(parse_expression("size(a.x)"))
+        assert not contains_aggregate(parse_expression("a.x = 1"))
+
+    def test_variables_used(self):
+        expr = parse_expression("a.x = 1 AND size(collect(b.y)) > 0")
+        assert variables_used(expr) == {"a", "b"}
+
+
+class TestSubstitution:
+    def test_renames_everywhere(self):
+        expr = parse_expression("a.x = 1 AND count(a) > size(a.y)")
+        renamed = substitute_variable(expr, "a", "z")
+        assert variables_used(renamed) == {"z"}
+
+    def test_leaves_other_vars(self):
+        expr = parse_expression("a.x = b.y")
+        renamed = substitute_variable(expr, "a", "z")
+        assert renamed == Comparison(
+            PropertyRef("z", "x"), "=", PropertyRef("b", "y")
+        )
+
+    def test_bare_variable(self):
+        assert substitute_variable(Variable("a"), "a", "b") == Variable("b")
+
+    def test_literal_untouched(self):
+        assert substitute_variable(Literal(5), "a", "b") == Literal(5)
+
+
+class TestRendering:
+    def test_expr_text_round_trippable(self):
+        samples = [
+            "a.x = 1",
+            "count(DISTINCT a.x)",
+            "size(collect(a.`B.p`))",
+            "a.x IS NOT NULL",
+        ]
+        for text in samples:
+            expr = parse_expression(text)
+            rendered = expr_text(expr)
+            assert parse_expression(rendered) == expr
+
+    def test_query_text_round_trip(self):
+        text = (
+            "MATCH (d:Drug {name: 'x'})-[t:treat]->(i:Indication) "
+            "WHERE i.sev > 2 RETURN d.name AS n, count(i) "
+            "ORDER BY n DESC LIMIT 3"
+        )
+        q = parse_query(text)
+        rendered = query_text(q)
+        assert parse_query(rendered) == q
+
+    def test_query_text_directions(self):
+        q = parse_query("MATCH (a)<-[:x]-(b)-[:y]-(c) RETURN a")
+        rendered = query_text(q)
+        assert "<-[:x]-" in rendered
+        assert "-[:y]-" in rendered
+
+    def test_funccall_without_var(self):
+        q = parse_query("MATCH (a) RETURN count(*)")
+        assert "count(*)" in query_text(q)

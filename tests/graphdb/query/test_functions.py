@@ -1,0 +1,123 @@
+"""Tests for aggregate/scalar function implementations."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graphdb.query.functions import (
+    apply_aggregate,
+    apply_scalar,
+    compare,
+)
+
+
+class TestAggregates:
+    def test_count_skips_nulls(self):
+        assert apply_aggregate("count", [1, None, 2]) == 2
+
+    def test_collect_skips_nulls(self):
+        assert apply_aggregate("collect", ["a", None, "b"]) == ["a", "b"]
+
+    def test_sum_empty_is_zero(self):
+        assert apply_aggregate("sum", []) == 0
+
+    def test_avg_empty_is_null(self):
+        assert apply_aggregate("avg", []) is None
+
+    def test_min_max(self):
+        assert apply_aggregate("min", [3, 1, 2]) == 1
+        assert apply_aggregate("max", [3, 1, 2]) == 3
+
+    def test_distinct(self):
+        assert apply_aggregate("count", [1, 1, 2], distinct=True) == 2
+
+    def test_distinct_handles_lists(self):
+        values = [[1, 2], [1, 2], [3]]
+        assert apply_aggregate("count", values, distinct=True) == 2
+
+    def test_flatten_count_is_sum_of_sizes(self):
+        values = [[1, 2], [3], None, [4, 5, 6]]
+        assert apply_aggregate("count", values, flatten=True) == 6
+
+    def test_flatten_collect(self):
+        values = [["a", "b"], ["c"]]
+        assert apply_aggregate("collect", values, flatten=True) == [
+            "a", "b", "c",
+        ]
+
+    def test_flatten_mixes_scalars(self):
+        values = [[1, 2], 3, None]
+        assert apply_aggregate("sum", values, flatten=True) == 6
+
+    def test_flatten_then_distinct(self):
+        values = [[1, 1], [1, 2]]
+        assert apply_aggregate(
+            "collect", values, distinct=True, flatten=True
+        ) == [1, 2]
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(QueryError):
+            apply_aggregate("median", [1])
+
+
+class TestScalars:
+    def test_size(self):
+        assert apply_scalar("size", [[1, 2, 3]]) == 3
+        assert apply_scalar("size", ["abc"]) == 3
+        assert apply_scalar("size", [None]) is None
+
+    def test_size_of_scalar_rejected(self):
+        with pytest.raises(QueryError):
+            apply_scalar("size", [42])
+
+    def test_size_requires_arg(self):
+        with pytest.raises(QueryError):
+            apply_scalar("size", [])
+
+    def test_head(self):
+        assert apply_scalar("head", [[7, 8]]) == 7
+        assert apply_scalar("head", [[]]) is None
+        assert apply_scalar("head", ["x"]) == "x"
+
+    def test_coalesce(self):
+        assert apply_scalar("coalesce", [None, None, 3]) == 3
+        assert apply_scalar("coalesce", [None]) is None
+
+    def test_unknown_scalar(self):
+        with pytest.raises(QueryError):
+            apply_scalar("upper", ["x"])
+
+
+class TestCompare:
+    @pytest.mark.parametrize("op,lhs,rhs,expected", [
+        ("=", 1, 1, True),
+        ("<>", 1, 2, True),
+        ("<", 1, 2, True),
+        ("<=", 2, 2, True),
+        (">", 3, 2, True),
+        (">=", 2, 3, False),
+        ("contains", "hello", "ell", True),
+        ("contains", "hello", "zz", False),
+        ("in", 2, [1, 2], True),
+        ("in", 5, [1, 2], False),
+    ])
+    def test_operators(self, op, lhs, rhs, expected):
+        assert compare(op, lhs, rhs) is expected
+
+    def test_null_is_false(self):
+        assert compare("=", None, 1) is False
+        assert compare("<", None, 1) is False
+        assert compare("in", None, [1]) is False
+
+    def test_type_mismatch_is_false(self):
+        assert compare("<", "a", 1) is False
+
+    def test_contains_non_string_is_false(self):
+        assert compare("contains", 5, "x") is False
+
+    def test_in_requires_list(self):
+        with pytest.raises(QueryError):
+            compare("in", 1, 2)
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryError):
+            compare("~=", 1, 1)

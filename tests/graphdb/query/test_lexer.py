@@ -1,0 +1,76 @@
+"""Tests for the query tokenizer."""
+
+import pytest
+
+from repro.exceptions import QuerySyntaxError
+from repro.graphdb.query.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.text) for t in tokenize(text)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("MATCH match Match")[:-1]
+        # value carries the canonical lower-cased keyword; text keeps
+        # the original spelling (keywords can double as plain names).
+        assert [t.value for t in tokens] == ["match"] * 3
+        assert [t.text for t in tokens] == ["MATCH", "match", "Match"]
+
+    def test_identifiers(self):
+        assert kinds("Drug drug_1 _x") == [
+            ("IDENT", "Drug"), ("IDENT", "drug_1"), ("IDENT", "_x"),
+        ]
+
+    def test_backtick_names(self):
+        tokens = tokenize("`Indication.desc`")
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].text == "Indication.desc"
+
+    def test_unterminated_backtick(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("`oops")
+
+    def test_string_literals(self):
+        tokens = tokenize("'hello' \"world\"")
+        assert [t.value for t in tokens[:-1]] == ["hello", "world"]
+
+    def test_string_escapes(self):
+        tokens = tokenize(r"'it\'s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert tokens[0].value == 42
+        assert tokens[1].value == pytest.approx(3.14)
+
+    def test_two_char_operators(self):
+        assert kinds("<> <= >= -> <-") == [
+            ("OP", "<>"), ("OP", "<="), ("OP", ">="),
+            ("OP", "->"), ("OP", "<-"),
+        ]
+
+    def test_single_char_operators(self):
+        assert [k for k, _ in kinds("()[]{}:,.=")] == ["OP"] * 10
+
+    def test_line_comment(self):
+        assert kinds("a // comment\n b") == [
+            ("IDENT", "a"), ("IDENT", "b"),
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("a @ b")
+
+    def test_eof_token(self):
+        tokens = tokenize("a")
+        assert tokens[-1].kind == "EOF"
+
+    def test_position_recorded(self):
+        tokens = tokenize("  abc")
+        assert tokens[0].position == 2

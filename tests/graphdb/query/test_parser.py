@@ -1,0 +1,190 @@
+"""Tests for the Cypher-subset parser."""
+
+import pytest
+
+from repro.exceptions import QuerySyntaxError
+from repro.graphdb.query.ast import (
+    BoolOp,
+    Comparison,
+    FuncCall,
+    Literal,
+    NullCheck,
+    PropertyRef,
+    Star,
+    Variable,
+)
+from repro.graphdb.query.parser import parse_expression, parse_query
+
+
+class TestPatterns:
+    def test_single_node(self):
+        q = parse_query("MATCH (n:Drug) RETURN n")
+        pattern = q.patterns[0]
+        assert pattern.nodes[0].var == "n"
+        assert pattern.nodes[0].labels == ("Drug",)
+
+    def test_multi_label_node(self):
+        q = parse_query("MATCH (n:Drug:Generic) RETURN n")
+        assert q.patterns[0].nodes[0].labels == ("Drug", "Generic")
+
+    def test_anonymous_node(self):
+        q = parse_query("MATCH (:Drug)-[:treat]->() RETURN count(*)")
+        assert q.patterns[0].nodes[0].var is None
+        assert q.patterns[0].nodes[1].labels == ()
+
+    def test_property_filter(self):
+        q = parse_query("MATCH (n:Drug {name: 'aspirin', doses: 3}) RETURN n")
+        props = dict(q.patterns[0].nodes[0].props)
+        assert props["name"].value == "aspirin"
+        assert props["doses"].value == 3
+
+    def test_directions(self):
+        q = parse_query(
+            "MATCH (a)-[:x]->(b)<-[:y]-(c)-[:z]-(d) RETURN a"
+        )
+        dirs = [r.direction for r in q.patterns[0].rels]
+        assert dirs == ["out", "in", "any"]
+
+    def test_rel_var_and_types(self):
+        q = parse_query("MATCH (a)-[r:knows|likes]->(b) RETURN r")
+        rel = q.patterns[0].rels[0]
+        assert rel.var == "r"
+        assert rel.labels == ("knows", "likes")
+
+    def test_bare_rel(self):
+        q = parse_query("MATCH (a)-->(b) RETURN a")
+        # '-->' tokenizes as '-' + '->': an empty relationship body.
+        assert q.patterns[0].rels[0].labels == ()
+
+    def test_path_variable(self):
+        q = parse_query("MATCH p=(a)-[:x]->(b) RETURN a")
+        assert q.patterns[0].path_var == "p"
+
+    def test_multiple_patterns(self):
+        q = parse_query("MATCH (a:X), (b:Y) RETURN a, b")
+        assert len(q.patterns) == 2
+
+    def test_multiple_match_clauses(self):
+        q = parse_query("MATCH (a:X) MATCH (b:Y) RETURN a, b")
+        assert len(q.patterns) == 2
+
+    def test_keyword_label_allowed(self):
+        q = parse_query("MATCH (n:Order) RETURN n.desc")
+        assert q.patterns[0].nodes[0].labels == ("Order",)
+
+
+class TestReturn:
+    def test_aliases(self):
+        q = parse_query("MATCH (n:A) RETURN n.x AS value, n.y")
+        assert q.return_items[0].alias == "value"
+        assert q.return_items[1].alias is None
+        assert q.return_items[1].output_name(1) == "n.y"
+
+    def test_distinct(self):
+        q = parse_query("MATCH (n:A) RETURN DISTINCT n.x")
+        assert q.distinct
+
+    def test_count_star(self):
+        q = parse_query("MATCH (n:A) RETURN count(*)")
+        expr = q.return_items[0].expr
+        assert isinstance(expr, FuncCall)
+        assert isinstance(expr.args[0], Star)
+
+    def test_count_distinct(self):
+        q = parse_query("MATCH (n:A) RETURN count(DISTINCT n.x)")
+        assert q.return_items[0].expr.distinct
+
+    def test_nested_functions(self):
+        q = parse_query("MATCH (n:A) RETURN size(collect(n.x))")
+        outer = q.return_items[0].expr
+        assert outer.name == "size"
+        assert outer.args[0].name == "collect"
+
+    def test_backtick_property(self):
+        q = parse_query("MATCH (n:A) RETURN n.`Indication.desc`")
+        expr = q.return_items[0].expr
+        assert expr == PropertyRef("n", "Indication.desc")
+
+    def test_order_by_and_limit(self):
+        q = parse_query(
+            "MATCH (n:A) RETURN n.x AS v ORDER BY v DESC, n.y LIMIT 5"
+        )
+        assert q.order_by[0].descending
+        assert not q.order_by[1].descending
+        assert q.limit == 5
+
+    def test_limit_requires_int(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("MATCH (n:A) RETURN n LIMIT 1.5")
+
+
+class TestWhere:
+    def test_comparisons(self):
+        q = parse_query("MATCH (n:A) WHERE n.x >= 3 RETURN n")
+        where = q.where
+        assert isinstance(where, Comparison)
+        assert where.op == ">="
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a.x = 1 AND a.y = 2 OR a.z = 3")
+        assert isinstance(expr, BoolOp) and expr.op == "or"
+        assert isinstance(expr.operands[0], BoolOp)
+        assert expr.operands[0].op == "and"
+
+    def test_parentheses(self):
+        expr = parse_expression("a.x = 1 AND (a.y = 2 OR a.z = 3)")
+        assert expr.op == "and"
+
+    def test_not(self):
+        expr = parse_expression("NOT a.x = 1")
+        from repro.graphdb.query.ast import NotOp
+
+        assert isinstance(expr, NotOp)
+
+    def test_is_null(self):
+        expr = parse_expression("a.x IS NULL")
+        assert expr == NullCheck(PropertyRef("a", "x"), False)
+
+    def test_is_not_null(self):
+        expr = parse_expression("a.x IS NOT NULL")
+        assert expr == NullCheck(PropertyRef("a", "x"), True)
+
+    def test_contains(self):
+        expr = parse_expression("a.x CONTAINS 'sub'")
+        assert expr.op == "contains"
+
+    def test_in_list(self):
+        expr = parse_expression("a.x IN ['p', 'q']")
+        assert expr.op == "in"
+        assert expr.rhs == Literal(["p", "q"])
+
+    def test_literals(self):
+        assert parse_expression("true") == Literal(True)
+        assert parse_expression("false") == Literal(False)
+        assert parse_expression("null") == Literal(None)
+        assert parse_expression("-5") == Literal(-5)
+
+    def test_bare_variable(self):
+        assert parse_expression("abc") == Variable("abc")
+
+
+class TestErrors:
+    def test_missing_return(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("MATCH (n:A)")
+
+    def test_missing_match(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("RETURN 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("MATCH (n:A) RETURN n n")
+
+    def test_unclosed_node(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("MATCH (n:A RETURN n")
+
+    def test_bad_relationship(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("MATCH (a)-[x(b) RETURN a")

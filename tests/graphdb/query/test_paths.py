@@ -1,0 +1,173 @@
+"""Tests for variable-length path patterns (path/reachability queries).
+
+The paper's workloads include "path, reachability, and graph analytical
+queries" (Section 5.1); these exercise the ``-[:T*m..n]->`` support.
+"""
+
+import pytest
+
+from repro.exceptions import QuerySyntaxError
+from repro.graphdb.backends import NEO4J_LIKE
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.query.executor import Executor
+from repro.graphdb.query.parser import parse_query
+from repro.graphdb.query.ast import query_text
+from repro.graphdb.session import GraphSession
+
+
+@pytest.fixture()
+def chain():
+    g = PropertyGraph()
+    ids = [g.add_vertex("N", {"i": i}) for i in range(6)]
+    for i in range(5):
+        g.add_edge(ids[i], ids[i + 1], "next")
+    return g
+
+
+@pytest.fixture()
+def diamond():
+    #    1
+    #  /   \
+    # 0     3 - 4
+    #  \   /
+    #    2
+    g = PropertyGraph()
+    ids = [g.add_vertex("N", {"i": i}) for i in range(5)]
+    g.add_edge(ids[0], ids[1], "e")
+    g.add_edge(ids[0], ids[2], "e")
+    g.add_edge(ids[1], ids[3], "e")
+    g.add_edge(ids[2], ids[3], "e")
+    g.add_edge(ids[3], ids[4], "e")
+    return g
+
+
+def run(graph, text):
+    return Executor(GraphSession(graph, NEO4J_LIKE)).run(text)
+
+
+class TestParsing:
+    def test_range(self):
+        q = parse_query("MATCH (a)-[:next*1..3]->(b) RETURN b")
+        rel = q.patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (1, 3)
+        assert rel.is_variable_length
+
+    def test_exact(self):
+        q = parse_query("MATCH (a)-[:next*2]->(b) RETURN b")
+        rel = q.patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (2, 2)
+
+    def test_open_ended_capped(self):
+        q = parse_query("MATCH (a)-[:next*]->(b) RETURN b")
+        rel = q.patterns[0].rels[0]
+        assert rel.min_hops == 1
+        assert rel.max_hops == 8  # documented default cap
+
+    def test_lower_only(self):
+        q = parse_query("MATCH (a)-[:next*2..5]->(b) RETURN b")
+        rel = q.patterns[0].rels[0]
+        assert (rel.min_hops, rel.max_hops) == (2, 5)
+
+    def test_invalid_range(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("MATCH (a)-[:next*3..1]->(b) RETURN b")
+
+    def test_plain_hop_unaffected(self):
+        q = parse_query("MATCH (a)-[:next]->(b) RETURN b")
+        assert not q.patterns[0].rels[0].is_variable_length
+
+    def test_round_trip_text(self):
+        q = parse_query("MATCH (a:N)-[:next*2..4]->(b:N) RETURN b")
+        assert parse_query(query_text(q)) == q
+
+    def test_float_literals_still_work(self):
+        from repro.graphdb.query.parser import parse_expression
+        from repro.graphdb.query.ast import Literal
+
+        assert parse_expression("3.25") == Literal(3.25)
+
+
+class TestExecution:
+    def test_range_collects_all_depths(self, chain):
+        result = run(
+            chain,
+            "MATCH (a:N {i: 0})-[:next*1..3]->(b:N) RETURN collect(b.i)",
+        )
+        assert sorted(result.single_value()) == [1, 2, 3]
+
+    def test_exact_depth(self, chain):
+        result = run(
+            chain, "MATCH (a:N {i: 0})-[:next*3]->(b:N) RETURN b.i"
+        )
+        assert result.rows == [(3,)]
+
+    def test_zero_hop_includes_start(self, chain):
+        result = run(
+            chain,
+            "MATCH (a:N {i: 2})-[:next*0..1]->(b:N) RETURN collect(b.i)",
+        )
+        assert sorted(result.single_value()) == [2, 3]
+
+    def test_reverse_direction(self, chain):
+        result = run(
+            chain,
+            "MATCH (a:N {i: 5})<-[:next*1..2]-(b:N) RETURN collect(b.i)",
+        )
+        assert sorted(result.single_value()) == [3, 4]
+
+    def test_reachability(self, chain):
+        result = run(
+            chain,
+            "MATCH (a:N {i: 0})-[:next*]->(b:N {i: 5}) RETURN count(*)",
+        )
+        assert result.single_value() == 1
+        result = run(
+            chain,
+            "MATCH (a:N {i: 3})-[:next*]->(b:N {i: 1}) RETURN count(*)",
+        )
+        assert result.single_value() == 0
+
+    def test_paths_counted_per_path(self, diamond):
+        # Two distinct 2-hop paths 0 -> 3 (through 1 and through 2).
+        result = run(
+            diamond,
+            "MATCH (a:N {i: 0})-[:e*2]->(b:N {i: 3}) RETURN count(*)",
+        )
+        assert result.single_value() == 2
+
+    def test_no_relationship_reuse(self):
+        # A 2-cycle: paths may revisit vertices but not edges.
+        g = PropertyGraph()
+        a = g.add_vertex("N", {"i": 0})
+        b = g.add_vertex("N", {"i": 1})
+        g.add_edge(a, b, "e")
+        g.add_edge(b, a, "e")
+        result = run(
+            g, "MATCH (x:N {i: 0})-[:e*1..4]->(y:N) RETURN collect(y.i)"
+        )
+        # 0->1 (1 hop), 0->1->0 (2 hops); the 3rd hop would reuse.
+        assert sorted(result.single_value()) == [0, 1]
+
+    def test_traversals_counted(self, chain):
+        result = run(
+            chain, "MATCH (a:N {i: 0})-[:next*1..5]->(b:N) RETURN count(b)"
+        )
+        assert result.metrics.edge_traversals >= 5
+
+    def test_join_check_variable_length(self, diamond):
+        # Cycle-closing variable-length hop between bound endpoints.
+        result = run(
+            diamond,
+            "MATCH (a:N {i: 0})-[:e]->(m:N {i: 1}), "
+            "(a)-[:e*2..3]->(b:N {i: 4})-[:e*0]->(b) "
+            "RETURN count(*)",
+        )
+        assert result.single_value() >= 0  # executes without error
+
+    def test_followed_by_plain_hop(self, chain):
+        result = run(
+            chain,
+            "MATCH (a:N {i: 0})-[:next*1..2]->(m:N)-[:next]->(b:N) "
+            "RETURN collect(b.i)",
+        )
+        assert sorted(result.single_value()) == [2, 3]

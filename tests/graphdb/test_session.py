@@ -1,0 +1,161 @@
+"""Tests for the instrumented graph session and metrics."""
+
+import pytest
+
+from repro.graphdb.backends import JANUSGRAPH_LIKE, NEO4J_LIKE
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.metrics import ExecutionMetrics, LruPageCache
+from repro.graphdb.session import GraphSession
+
+
+@pytest.fixture()
+def graph():
+    g = PropertyGraph()
+    for i in range(100):
+        g.add_vertex("N", {"x": i})
+    for i in range(99):
+        g.add_edge(i, i + 1, "next")
+    return g
+
+
+class TestMetrics:
+    def test_merge(self):
+        a = ExecutionMetrics(edge_traversals=2, rows=1, queries=1)
+        b = ExecutionMetrics(edge_traversals=3, vertex_reads=4, queries=1)
+        a.merge(b)
+        assert a.edge_traversals == 5
+        assert a.vertex_reads == 4
+        assert a.queries == 2
+
+    def test_as_dict(self):
+        d = ExecutionMetrics(page_hits=2).as_dict()
+        assert d["page_hits"] == 2
+        assert set(d) >= {"edge_traversals", "page_misses", "rows"}
+
+
+class TestLruCache:
+    def test_hit_after_touch(self):
+        cache = LruPageCache(2)
+        assert not cache.touch(("v", 1))
+        assert cache.touch(("v", 1))
+
+    def test_eviction_order(self):
+        cache = LruPageCache(2)
+        cache.touch(("v", 1))
+        cache.touch(("v", 2))
+        cache.touch(("v", 1))     # 1 becomes most recent
+        cache.touch(("v", 3))     # evicts 2
+        assert cache.touch(("v", 1))
+        assert not cache.touch(("v", 2))
+
+    def test_zero_capacity_never_hits(self):
+        cache = LruPageCache(0)
+        assert not cache.touch(("v", 1))
+        assert not cache.touch(("v", 1))
+
+    def test_clear(self):
+        cache = LruPageCache(4)
+        cache.touch(("v", 1))
+        cache.clear()
+        assert len(cache) == 0
+        assert not cache.touch(("v", 1))
+
+
+class TestSession:
+    def test_counts_reads(self, graph):
+        session = GraphSession(graph, NEO4J_LIKE)
+        session.read_labels(0)
+        session.read_property(0, "x")
+        assert session.metrics.vertex_reads == 1
+        assert session.metrics.property_reads == 1
+
+    def test_expand_counts_traversals(self, graph):
+        session = GraphSession(graph, NEO4J_LIKE)
+        edges = session.expand(5, "next", "out")
+        assert len(edges) == 1
+        assert session.metrics.edge_traversals == 1
+        session.expand(5, "next", "any")
+        assert session.metrics.edge_traversals == 3  # 1 out + 1 in + prev
+
+    def test_expand_direction(self, graph):
+        session = GraphSession(graph, NEO4J_LIKE)
+        assert session.expand(5, "next", "out")[0].dst == 6
+        assert session.expand(5, "next", "in")[0].src == 4
+
+    def test_page_accounting(self, graph):
+        session = GraphSession(graph, NEO4J_LIKE)
+        session.read_labels(0)
+        assert session.metrics.page_misses == 1
+        session.read_labels(1)  # same page (32 vertices per page)
+        assert session.metrics.page_misses == 1
+        assert session.metrics.page_hits == 1
+        session.read_labels(64)  # different page
+        assert session.metrics.page_misses == 2
+
+    def test_reset_metrics(self, graph):
+        session = GraphSession(graph, NEO4J_LIKE)
+        session.read_labels(0)
+        old = session.reset_metrics()
+        assert old.vertex_reads == 1
+        assert session.metrics.vertex_reads == 0
+
+    def test_latency_profiles_differ(self, graph):
+        for profile in (NEO4J_LIKE, JANUSGRAPH_LIKE):
+            session = GraphSession(graph, profile)
+            for i in range(50):
+                session.expand(i, "next", "out")
+            latency = session.latency_ms()
+            assert latency > 0
+        # Janus per-op costs dominate at small scale.
+        neo = GraphSession(graph, NEO4J_LIKE)
+        janus = GraphSession(graph, JANUSGRAPH_LIKE)
+        for i in range(50):
+            neo.expand(i, "next", "out")
+            janus.expand(i, "next", "out")
+        assert janus.latency_ms() > neo.latency_ms()
+
+    def test_missing_property_is_none(self, graph):
+        session = GraphSession(graph, NEO4J_LIKE)
+        assert session.read_property(0, "missing") is None
+
+    def test_index_lookup_counts(self, graph):
+        graph.create_property_index("N", "x")
+        session = GraphSession(graph, NEO4J_LIKE)
+        assert session.index_lookup("N", "x", 5) == [5]
+        assert session.metrics.index_lookups == 1
+
+    def test_label_scan_counts(self, graph):
+        session = GraphSession(graph, NEO4J_LIKE)
+        assert len(session.label_scan("N")) == 100
+        assert session.metrics.index_lookups == 1
+
+
+class TestBackendProfiles:
+    def test_latency_formula(self):
+        metrics = ExecutionMetrics(
+            edge_traversals=10, vertex_reads=4, property_reads=2,
+            index_lookups=1, page_misses=3, queries=1,
+        )
+        profile = NEO4J_LIKE
+        expected_us = (
+            profile.fixed_overhead_us
+            + 10 * profile.traversal_us
+            + 4 * profile.vertex_read_us
+            + 2 * profile.property_read_us
+            + 1 * profile.index_lookup_us
+            + 3 * profile.page_miss_us
+        )
+        assert profile.latency_ms(metrics) == pytest.approx(
+            expected_us / 1000
+        )
+
+    def test_zero_queries_still_counts_one_overhead(self):
+        metrics = ExecutionMetrics()
+        assert NEO4J_LIKE.latency_ms(metrics) == pytest.approx(
+            NEO4J_LIKE.fixed_overhead_us / 1000
+        )
+
+    def test_profiles_registry(self):
+        from repro.graphdb.backends import PROFILES
+
+        assert set(PROFILES) == {"neo4j-like", "janusgraph-like"}

@@ -1,0 +1,114 @@
+"""End-to-end integration: ontology -> schema -> data -> queries.
+
+These tests walk the full pipeline the way the examples do, asserting
+the cross-module invariants that no unit test covers alone.
+"""
+
+import pytest
+
+from repro.bench.harness import build_pipeline
+from repro.graphdb.backends import JANUSGRAPH_LIKE, NEO4J_LIKE
+from repro.graphdb.query.executor import Executor
+from repro.graphdb.session import GraphSession
+from repro.ontology.io import loads, dumps
+from repro.rules.base import Thresholds
+from repro.schema.ddl import to_cypher_ddl
+from repro.workload.runner import run_queries
+
+
+class TestMedEndToEnd:
+    def test_optimizer_reduces_graph(self, med_pipeline):
+        dir_graph = med_pipeline.dir_graph
+        opt_graph = med_pipeline.opt_graph
+        assert opt_graph.num_vertices < dir_graph.num_vertices
+        assert opt_graph.num_edges < dir_graph.num_edges
+
+    def test_all_queries_faster_or_equal(self, med_pipeline):
+        dataset = med_pipeline.dataset
+        for qid, text in dataset.queries.items():
+            dir_run = run_queries(
+                med_pipeline.dir_graph, NEO4J_LIKE, [(qid, text)]
+            ).runs[0]
+            opt_run = run_queries(
+                med_pipeline.opt_graph, NEO4J_LIKE,
+                [(qid, med_pipeline.rewritten[qid])],
+            ).runs[0]
+            assert opt_run.latency_ms <= dir_run.latency_ms * 1.05, qid
+
+    def test_traversals_never_increase(self, med_pipeline):
+        dataset = med_pipeline.dataset
+        for qid, text in dataset.queries.items():
+            dir_run = run_queries(
+                med_pipeline.dir_graph, NEO4J_LIKE, [(qid, text)]
+            ).runs[0]
+            opt_run = run_queries(
+                med_pipeline.opt_graph, NEO4J_LIKE,
+                [(qid, med_pipeline.rewritten[qid])],
+            ).runs[0]
+            assert (
+                opt_run.metrics.edge_traversals
+                <= dir_run.metrics.edge_traversals
+            ), qid
+
+    def test_both_backends_execute(self, med_pipeline):
+        for profile in (NEO4J_LIKE, JANUSGRAPH_LIKE):
+            report = run_queries(
+                med_pipeline.opt_graph, profile,
+                list(med_pipeline.rewritten.items()),
+            )
+            assert all(run.latency_ms > 0 for run in report.runs)
+
+
+class TestFinEndToEnd:
+    def test_fin_pipeline_runs(self, fin_pipeline):
+        assert fin_pipeline.opt_graph.num_vertices < (
+            fin_pipeline.dir_graph.num_vertices
+        )
+
+    def test_q7_is_a_tie(self, fin_pipeline):
+        """Q7 needs no traversal on either schema (paper Section 5.3)."""
+        dataset = fin_pipeline.dataset
+        dir_run = run_queries(
+            fin_pipeline.dir_graph, NEO4J_LIKE,
+            [("Q7", dataset.queries["Q7"])],
+        ).runs[0]
+        opt_run = run_queries(
+            fin_pipeline.opt_graph, NEO4J_LIKE,
+            [("Q7", fin_pipeline.rewritten["Q7"])],
+        ).runs[0]
+        assert dir_run.metrics.edge_traversals == 0
+        assert opt_run.metrics.edge_traversals == 0
+
+    def test_q3_collapses_to_single_node(self, fin_pipeline):
+        rewritten = fin_pipeline.rewritten["Q3"]
+        assert len(rewritten.patterns[0].nodes) == 1
+        labels = set(rewritten.patterns[0].nodes[0].labels)
+        assert labels == {
+            "AutonomousAgent", "Person", "ContractParty",
+        }
+
+
+class TestSerializationRoundTripPipeline:
+    def test_ontology_round_trip_preserves_optimization(self, med_small):
+        round_tripped = loads(dumps(med_small.ontology))
+        from repro.schema.generate import optimize_schema_nsc
+
+        a, _ = optimize_schema_nsc(med_small.ontology)
+        b, _ = optimize_schema_nsc(round_tripped)
+        assert to_cypher_ddl(a) == to_cypher_ddl(b)
+
+
+class TestThresholdVariants:
+    @pytest.mark.parametrize("theta1,theta2", [
+        (0.9, 0.1), (0.66, 0.33), (0.5, 0.5),
+    ])
+    def test_pipeline_under_thresholds(self, med_small, theta1, theta2):
+        pipeline = build_pipeline(
+            med_small, thresholds=Thresholds(theta1, theta2), scale=0.5
+        )
+        executor = Executor(
+            GraphSession(pipeline.opt_graph, NEO4J_LIKE)
+        )
+        for qid, query in pipeline.rewritten.items():
+            result = executor.run(query)
+            assert result.metrics.queries == 1

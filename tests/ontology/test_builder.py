@@ -1,0 +1,92 @@
+"""Tests for the fluent ontology builder."""
+
+import pytest
+
+from repro.exceptions import OntologyError, ValidationError
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.model import DataType, RelationshipType
+
+
+class TestOntologyBuilder:
+    def test_concept_with_properties(self):
+        onto = (
+            OntologyBuilder()
+            .concept("Drug", name="STRING", doses="INT")
+            .build()
+        )
+        drug = onto.concept("Drug")
+        assert drug.properties["name"].data_type is DataType.STRING
+        assert drug.properties["doses"].data_type is DataType.INT
+
+    def test_concept_name_positional_only(self):
+        # A property literally called "name" must not collide with the
+        # concept-name parameter.
+        onto = OntologyBuilder().concept("C", name="STRING").build()
+        assert "name" in onto.concept("C").properties
+
+    def test_concept_accepts_datatype_enum(self):
+        onto = OntologyBuilder().concept("C", x=DataType.FLOAT).build()
+        assert onto.concept("C").properties["x"].data_type is DataType.FLOAT
+
+    def test_prop_method(self):
+        onto = (
+            OntologyBuilder()
+            .concept("C")
+            .prop("C", "x", "DATE")
+            .build()
+        )
+        assert onto.concept("C").properties["x"].data_type is DataType.DATE
+
+    def test_relationship_helpers(self):
+        onto = (
+            OntologyBuilder()
+            .concept("A").concept("B").concept("C").concept("U")
+            .one_to_one("ab", "A", "B")
+            .one_to_many("ac", "A", "C")
+            .many_to_many("bc", "B", "C")
+            .union("U", "A", "B")
+            .inherits("A", "C")
+            .build(validate=False)
+        )
+        counts = onto.relationship_type_counts()
+        assert counts[RelationshipType.ONE_TO_ONE] == 1
+        assert counts[RelationshipType.ONE_TO_MANY] == 1
+        assert counts[RelationshipType.MANY_TO_MANY] == 1
+        assert counts[RelationshipType.UNION] == 2
+        assert counts[RelationshipType.INHERITANCE] == 1
+
+    def test_union_requires_members(self):
+        builder = OntologyBuilder().concept("U")
+        with pytest.raises(OntologyError):
+            builder.union("U")
+
+    def test_inherits_requires_children(self):
+        builder = OntologyBuilder().concept("P")
+        with pytest.raises(OntologyError):
+            builder.inherits("P")
+
+    def test_build_validates(self):
+        builder = (
+            OntologyBuilder()
+            .concept("A").concept("B")
+            .inherits("A", "B")
+            .inherits("B", "A")
+        )
+        with pytest.raises(ValidationError):
+            builder.build()
+
+    def test_build_consumed_once(self):
+        builder = OntologyBuilder().concept("A")
+        builder.build()
+        with pytest.raises(OntologyError):
+            builder.build()
+
+    def test_skip_validation(self):
+        onto = (
+            OntologyBuilder()
+            .concept("A").concept("B")
+            .inherits("A", "B")
+            .inherits("B", "A")
+            .build(validate=False)
+        )
+        assert onto.num_relationships == 2

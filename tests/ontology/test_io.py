@@ -1,0 +1,95 @@
+"""Tests for ontology serialization."""
+
+import pytest
+
+from repro.exceptions import OntologyError
+from repro.ontology.io import (
+    dump_json,
+    dumps,
+    load_json,
+    load_owl_functional,
+    loads,
+    ontology_from_dict,
+    ontology_to_dict,
+)
+from repro.ontology.model import DataType, RelationshipType
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_structure(self, fig2):
+        clone = loads(dumps(fig2))
+        assert clone.structurally_equal(fig2)
+
+    def test_round_trip_preserves_rel_ids(self, fig2):
+        clone = loads(dumps(fig2))
+        assert set(clone.relationships) == set(fig2.relationships)
+
+    def test_file_round_trip(self, fig2, tmp_path):
+        path = tmp_path / "onto.json"
+        dump_json(fig2, path)
+        assert load_json(path).structurally_equal(fig2)
+
+    def test_dict_shape(self, fig2):
+        data = ontology_to_dict(fig2)
+        assert data["name"] == "figure2-medical"
+        assert data["concepts"]["Drug"] == {
+            "name": "STRING", "brand": "STRING",
+        }
+        assert all("type" in r for r in data["relationships"])
+
+    def test_malformed_document(self):
+        with pytest.raises(OntologyError):
+            ontology_from_dict({"concepts": "nope"})
+
+    def test_missing_keys(self):
+        with pytest.raises(OntologyError):
+            ontology_from_dict({})
+
+
+class TestOwlFunctional:
+    TEXT = """
+    # a tiny ontology
+    Class(Drug)
+    Class(Indication)
+    Class(Risk)
+    Class(ContraIndication)
+    Class(DrugInteraction)
+    Class(DrugFoodInteraction)
+    DataProperty(Drug name STRING)
+    DataProperty(Drug doses INT)
+    ObjectProperty(treat Drug Indication 1:M)
+    SubClassOf(DrugFoodInteraction DrugInteraction)
+    UnionOf(Risk ContraIndication)
+    """
+
+    def test_parse(self):
+        onto = load_owl_functional(self.TEXT, name="mini")
+        assert onto.num_concepts == 6
+        assert onto.concept("Drug").properties["doses"].data_type is DataType.INT
+        counts = onto.relationship_type_counts()
+        assert counts[RelationshipType.ONE_TO_MANY] == 1
+        assert counts[RelationshipType.INHERITANCE] == 1
+        assert counts[RelationshipType.UNION] == 1
+
+    def test_subclassof_direction(self):
+        onto = load_owl_functional(self.TEXT)
+        rel = onto.relationships_of_type(RelationshipType.INHERITANCE)[0]
+        # SubClassOf(child parent) becomes parent -> child.
+        assert rel.src == "DrugInteraction"
+        assert rel.dst == "DrugFoodInteraction"
+
+    def test_unknown_directive(self):
+        with pytest.raises(OntologyError, match="unknown directive"):
+            load_owl_functional("Nope(A)")
+
+    def test_bad_arity(self):
+        with pytest.raises(OntologyError):
+            load_owl_functional("Class(A B)")
+
+    def test_missing_paren(self):
+        with pytest.raises(OntologyError, match="parenthesis"):
+            load_owl_functional("Class(A")
+
+    def test_union_needs_member(self):
+        with pytest.raises(OntologyError):
+            load_owl_functional("Class(A)\nUnionOf(A)")

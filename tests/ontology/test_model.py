@@ -1,0 +1,245 @@
+"""Tests for the core ontology model."""
+
+import pytest
+
+from repro.exceptions import OntologyError
+from repro.ontology.model import (
+    Concept,
+    DataProperty,
+    DataType,
+    Ontology,
+    Relationship,
+    RelationshipType,
+    jaccard_similarity,
+)
+
+
+class TestRelationshipType:
+    def test_functional_types(self):
+        assert RelationshipType.ONE_TO_ONE.is_functional
+        assert RelationshipType.ONE_TO_MANY.is_functional
+        assert RelationshipType.MANY_TO_MANY.is_functional
+
+    def test_structural_types(self):
+        assert RelationshipType.UNION.is_structural
+        assert RelationshipType.INHERITANCE.is_structural
+        assert not RelationshipType.ONE_TO_ONE.is_structural
+
+    def test_value_round_trip(self):
+        assert RelationshipType("1:M") is RelationshipType.ONE_TO_MANY
+        assert RelationshipType("union") is RelationshipType.UNION
+
+
+class TestDataType:
+    def test_sizes_are_positive(self):
+        for dtype in DataType:
+            assert dtype.size_bytes > 0
+
+    def test_string_bigger_than_bool(self):
+        assert DataType.STRING.size_bytes > DataType.BOOL.size_bytes
+
+    def test_from_name(self):
+        assert DataType.from_name("string") is DataType.STRING
+        assert DataType.from_name("INT") is DataType.INT
+
+    def test_from_name_unknown(self):
+        with pytest.raises(OntologyError):
+            DataType.from_name("varchar")
+
+
+class TestConcept:
+    def test_add_property(self):
+        concept = Concept("Drug")
+        concept.add_property(DataProperty("name"))
+        assert concept.property_names() == {"name"}
+
+    def test_duplicate_property_rejected(self):
+        concept = Concept("Drug")
+        concept.add_property(DataProperty("name"))
+        with pytest.raises(OntologyError):
+            concept.add_property(DataProperty("name", DataType.INT))
+
+    def test_total_property_bytes(self):
+        concept = Concept("Drug")
+        concept.add_property(DataProperty("name", DataType.STRING))
+        concept.add_property(DataProperty("count", DataType.INT))
+        expected = DataType.STRING.size_bytes + DataType.INT.size_bytes
+        assert concept.total_property_bytes == expected
+
+    def test_copy_is_independent(self):
+        concept = Concept("Drug")
+        concept.add_property(DataProperty("name"))
+        clone = concept.copy()
+        clone.add_property(DataProperty("brand"))
+        assert "brand" not in concept.properties
+
+
+class TestRelationship:
+    def test_other_endpoint(self):
+        rel = Relationship("r1", "treat", "Drug", "Indication",
+                           RelationshipType.ONE_TO_MANY)
+        assert rel.other("Drug") == "Indication"
+        assert rel.other("Indication") == "Drug"
+
+    def test_other_rejects_non_endpoint(self):
+        rel = Relationship("r1", "treat", "Drug", "Indication",
+                           RelationshipType.ONE_TO_MANY)
+        with pytest.raises(OntologyError):
+            rel.other("Patient")
+
+    def test_touches(self):
+        rel = Relationship("r1", "treat", "Drug", "Indication",
+                           RelationshipType.ONE_TO_MANY)
+        assert rel.touches("Drug")
+        assert rel.touches("Indication")
+        assert not rel.touches("Risk")
+
+
+class TestOntology:
+    def _simple(self) -> Ontology:
+        onto = Ontology("test")
+        onto.add_concept("A")
+        onto.add_concept("B")
+        onto.add_relationship("ab", "A", "B",
+                              RelationshipType.ONE_TO_MANY)
+        return onto
+
+    def test_add_concept_by_name(self):
+        onto = Ontology()
+        concept = onto.add_concept("A")
+        assert isinstance(concept, Concept)
+        assert onto.concept("A") is concept
+
+    def test_duplicate_concept_rejected(self):
+        onto = Ontology()
+        onto.add_concept("A")
+        with pytest.raises(OntologyError):
+            onto.add_concept("A")
+
+    def test_relationship_unknown_endpoint(self):
+        onto = Ontology()
+        onto.add_concept("A")
+        with pytest.raises(OntologyError):
+            onto.add_relationship("x", "A", "B",
+                                  RelationshipType.ONE_TO_MANY)
+
+    def test_relationship_ids_are_stable(self):
+        onto = self._simple()
+        rel = next(onto.iter_relationships())
+        assert rel.rel_id == "r0001"
+
+    def test_inheritance_label_forced(self):
+        onto = Ontology()
+        onto.add_concept("P")
+        onto.add_concept("C")
+        rel = onto.add_relationship("whatever", "P", "C",
+                                    RelationshipType.INHERITANCE)
+        assert rel.label == "isA"
+
+    def test_union_label_forced(self):
+        onto = Ontology()
+        onto.add_concept("U")
+        onto.add_concept("M")
+        rel = onto.add_relationship("member", "U", "M",
+                                    RelationshipType.UNION)
+        assert rel.label == "unionOf"
+
+    def test_in_out_edges(self):
+        onto = self._simple()
+        assert [r.label for r in onto.out_edges("A")] == ["ab"]
+        assert [r.label for r in onto.in_edges("B")] == ["ab"]
+        assert onto.out_edges("B") == []
+
+    def test_edges_of_is_union(self):
+        onto = self._simple()
+        onto.add_concept("C")
+        onto.add_relationship("ca", "C", "A",
+                              RelationshipType.ONE_TO_MANY)
+        labels = {r.label for r in onto.edges_of("A")}
+        assert labels == {"ab", "ca"}
+
+    def test_remove_relationship(self):
+        onto = self._simple()
+        rel = next(onto.iter_relationships())
+        onto.remove_relationship(rel.rel_id)
+        assert onto.num_relationships == 0
+        assert onto.out_edges("A") == []
+
+    def test_remove_concept_cascades(self):
+        onto = self._simple()
+        onto.remove_concept("B")
+        assert onto.num_relationships == 0
+        assert "B" not in onto.concepts
+
+    def test_find_relationship_unordered(self):
+        onto = self._simple()
+        assert onto.find_relationship("ab", "B", "A") is not None
+        assert onto.find_relationship("ab", "A", "C") is None
+        assert onto.find_relationship("xy", "A", "B") is None
+
+    def test_union_and_parent_sets(self, fig2):
+        assert fig2.union_concepts() == {"Risk"}
+        assert fig2.parent_concepts() == {"DrugInteraction"}
+        assert set(fig2.members_of("Risk")) == {
+            "ContraIndication", "BlackBoxWarning",
+        }
+        assert set(fig2.children_of("DrugInteraction")) == {
+            "DrugFoodInteraction", "DrugLabInteraction",
+        }
+        assert fig2.parents_of("DrugFoodInteraction") == [
+            "DrugInteraction"
+        ]
+
+    def test_derived_concepts(self, fig2):
+        assert fig2.derived_concepts() == {"Risk", "DrugInteraction"}
+
+    def test_counts(self, fig2):
+        assert fig2.num_concepts == 9
+        assert fig2.num_properties == 10
+        assert fig2.num_relationships == 8
+
+    def test_relationship_type_counts(self, fig2):
+        counts = fig2.relationship_type_counts()
+        assert counts[RelationshipType.UNION] == 2
+        assert counts[RelationshipType.INHERITANCE] == 2
+        assert counts[RelationshipType.ONE_TO_ONE] == 1
+        assert counts[RelationshipType.ONE_TO_MANY] == 3
+
+    def test_copy_structural_equality(self, fig2):
+        clone = fig2.copy()
+        assert clone.structurally_equal(fig2)
+        clone.add_concept("Extra")
+        assert not clone.structurally_equal(fig2)
+
+    def test_copy_continues_id_sequence(self, fig2):
+        clone = fig2.copy()
+        rel = clone.add_relationship(
+            "extra", "Drug", "Indication", RelationshipType.MANY_TO_MANY
+        )
+        assert rel.rel_id not in fig2.relationships
+
+    def test_unknown_lookups_raise(self):
+        onto = Ontology()
+        with pytest.raises(OntologyError):
+            onto.concept("missing")
+        with pytest.raises(OntologyError):
+            onto.relationship("r9999")
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard_similarity({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_similarity({"a"}, {"b"}) == 0.0
+
+    def test_partial(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(
+            1 / 3
+        )
+
+    def test_both_empty(self):
+        assert jaccard_similarity([], []) == 0.0
+
+    def test_one_empty(self):
+        assert jaccard_similarity({"a"}, set()) == 0.0

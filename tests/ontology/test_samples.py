@@ -1,0 +1,37 @@
+"""Tests for sample ontologies."""
+
+from repro.ontology.model import RelationshipType
+from repro.ontology.samples import (
+    chain_ontology,
+    figure1_mini_ontology,
+    figure2_medical_ontology,
+)
+from repro.ontology.validation import validate_ontology
+
+
+class TestSamples:
+    def test_figure2_valid(self):
+        validate_ontology(figure2_medical_ontology())
+
+    def test_figure2_shape(self):
+        onto = figure2_medical_ontology()
+        assert onto.num_concepts == 9
+        assert "Risk" in onto.union_concepts()
+        assert "DrugInteraction" in onto.parent_concepts()
+
+    def test_figure1_valid(self):
+        onto = figure1_mini_ontology()
+        validate_ontology(onto)
+        counts = onto.relationship_type_counts()
+        assert counts[RelationshipType.ONE_TO_MANY] == 2
+        assert counts[RelationshipType.INHERITANCE] == 2
+
+    def test_chain(self):
+        onto = chain_ontology(4)
+        validate_ontology(onto)
+        assert onto.num_concepts == 4
+        assert onto.num_relationships == 3
+        assert all(
+            r.rel_type is RelationshipType.ONE_TO_MANY
+            for r in onto.iter_relationships()
+        )

@@ -1,0 +1,89 @@
+"""Tests for ontology validation."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.model import Ontology, RelationshipType
+from repro.ontology.validation import validate_ontology
+
+
+def _chain(*rel_type_pairs):
+    onto = Ontology()
+    for name in "ABCD":
+        onto.add_concept(name)
+    for src, dst, rel_type in rel_type_pairs:
+        onto.add_relationship("x", src, dst, rel_type)
+    return onto
+
+
+class TestValidation:
+    def test_valid_ontology_passes(self, fig2):
+        validate_ontology(fig2)
+
+    def test_inheritance_cycle_detected(self):
+        onto = _chain(
+            ("A", "B", RelationshipType.INHERITANCE),
+            ("B", "C", RelationshipType.INHERITANCE),
+            ("C", "A", RelationshipType.INHERITANCE),
+        )
+        with pytest.raises(ValidationError, match="inheritance"):
+            validate_ontology(onto)
+
+    def test_union_cycle_detected(self):
+        onto = _chain(
+            ("A", "B", RelationshipType.UNION),
+            ("B", "A", RelationshipType.UNION),
+        )
+        with pytest.raises(ValidationError, match="union"):
+            validate_ontology(onto)
+
+    def test_inheritance_dag_allowed(self):
+        # Multi-parent (diamond) inheritance is valid: only cycles fail.
+        onto = _chain(
+            ("A", "B", RelationshipType.INHERITANCE),
+            ("A", "C", RelationshipType.INHERITANCE),
+            ("B", "D", RelationshipType.INHERITANCE),
+            ("C", "D", RelationshipType.INHERITANCE),
+        )
+        validate_ontology(onto)
+
+    def test_duplicate_functional_rejected(self):
+        onto = Ontology()
+        onto.add_concept("A")
+        onto.add_concept("B")
+        onto.add_relationship("x", "A", "B", RelationshipType.ONE_TO_MANY)
+        onto.add_relationship("x", "A", "B", RelationshipType.ONE_TO_MANY)
+        with pytest.raises(ValidationError, match="duplicate"):
+            validate_ontology(onto)
+
+    def test_same_label_different_endpoints_allowed(self):
+        onto = Ontology()
+        for name in "ABC":
+            onto.add_concept(name)
+        onto.add_relationship("has", "A", "B", RelationshipType.ONE_TO_MANY)
+        onto.add_relationship("has", "A", "C", RelationshipType.ONE_TO_MANY)
+        validate_ontology(onto)
+
+    def test_structural_self_loop_rejected(self):
+        onto = Ontology()
+        onto.add_concept("A")
+        onto.add_relationship("x", "A", "A", RelationshipType.INHERITANCE)
+        with pytest.raises(ValidationError, match="self-loop"):
+            validate_ontology(onto)
+
+    def test_functional_self_loop_allowed(self):
+        onto = Ontology()
+        onto.add_concept("A")
+        onto.add_relationship("x", "A", "A", RelationshipType.MANY_TO_MANY)
+        validate_ontology(onto)
+
+    def test_builder_runs_validation(self):
+        with pytest.raises(ValidationError):
+            (
+                OntologyBuilder()
+                .concept("A").concept("B")
+                .union("A", "B")
+                .union("B", "A")
+                .build()
+            )

@@ -1,0 +1,82 @@
+"""Tests for workload summaries (access frequencies)."""
+
+import pytest
+
+from repro.exceptions import OntologyError
+from repro.ontology.workload import WorkloadSummary
+
+
+class TestWorkloadSummary:
+    def test_weights_normalized(self, fig2):
+        wl = WorkloadSummary({"Drug": 3.0, "Indication": 1.0})
+        assert sum(wl.concept_weights.values()) == pytest.approx(1.0)
+        assert wl.concept_weights["Drug"] == pytest.approx(0.75)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(OntologyError):
+            WorkloadSummary({"Drug": 0.0})
+
+    def test_af_concept_scales_with_total(self, fig2):
+        wl = WorkloadSummary({"Drug": 1.0}, total_queries=500)
+        assert wl.af_concept("Drug") == pytest.approx(500)
+        assert wl.af_concept("Unknown") == 0.0
+
+    def test_af_relationship_is_endpoint_mean(self, fig2):
+        wl = WorkloadSummary(
+            {"Drug": 1.0, "Indication": 3.0}, total_queries=400
+        )
+        treat = next(
+            r for r in fig2.iter_relationships() if r.label == "treat"
+        )
+        # weights: Drug 0.25, Indication 0.75 -> mean 0.5 -> 200 queries
+        assert wl.af_relationship(treat) == pytest.approx(200)
+
+    def test_af_property_splits_evenly(self, fig2):
+        wl = WorkloadSummary({"Drug": 1.0, "Indication": 1.0})
+        treat = next(
+            r for r in fig2.iter_relationships() if r.label == "treat"
+        )
+        af_rel = wl.af_relationship(treat)
+        assert wl.af_property(treat, "desc", 2) == pytest.approx(
+            af_rel / 2
+        )
+        assert wl.af_property(treat, "desc", 0) == 0.0
+
+    def test_property_bias(self, fig2):
+        treat = next(
+            r for r in fig2.iter_relationships() if r.label == "treat"
+        )
+        wl = WorkloadSummary(
+            {"Drug": 1.0, "Indication": 1.0},
+            property_bias={(treat.rel_id, "desc"): 2.0},
+        )
+        biased = wl.af_property(treat, "desc", 1)
+        plain = wl.af_property(treat, "other", 1)
+        assert biased == pytest.approx(2 * plain)
+
+    def test_uniform_factory(self, fig2):
+        wl = WorkloadSummary.uniform(fig2)
+        values = set(round(v, 12) for v in wl.concept_weights.values())
+        assert len(values) == 1
+        assert wl.name == "uniform"
+
+    def test_zipf_factory_head_heavier(self, fig2):
+        wl = WorkloadSummary.zipf(fig2)
+        # Drug has the highest degree in Figure 2, so it gets the most.
+        assert wl.concept_weights["Drug"] == max(
+            wl.concept_weights.values()
+        )
+
+    def test_zipf_s_parameter(self, fig2):
+        steep = WorkloadSummary.zipf(fig2, s=2.0)
+        flat = WorkloadSummary.zipf(fig2, s=0.5)
+        assert steep.concept_weights["Drug"] > flat.concept_weights["Drug"]
+
+    def test_from_counts(self):
+        wl = WorkloadSummary.from_counts({"A": 30, "B": 10})
+        assert wl.total_queries == 40
+        assert wl.concept_weights["A"] == pytest.approx(0.75)
+
+    def test_from_counts_rejects_zero_total(self):
+        with pytest.raises(OntologyError):
+            WorkloadSummary.from_counts({"A": 0})

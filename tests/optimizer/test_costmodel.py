@@ -1,0 +1,175 @@
+"""Tests for the cost-benefit model (Equations 3-5)."""
+
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.ontology.model import RelationshipType
+from repro.ontology.stats import EDGE_SIZE_BYTES, synthesize_statistics
+from repro.ontology.workload import WorkloadSummary
+from repro.optimizer.costmodel import CostBenefitModel
+from repro.rules.base import Thresholds
+
+
+@pytest.fixture()
+def model(fig2, fig2_stats):
+    workload = WorkloadSummary.uniform(fig2)
+    return CostBenefitModel(fig2, fig2_stats, workload)
+
+
+class TestItems:
+    def test_item_kinds(self, fig2, model):
+        by_type = {}
+        for item in model.items:
+            by_type.setdefault(item.rel_type, []).append(item)
+        assert len(by_type[RelationshipType.UNION]) == 2
+        assert len(by_type[RelationshipType.INHERITANCE]) == 2
+        # treat -> Indication.desc; has -> DrugInteraction.summary;
+        # cause -> Risk (no props, 0 items)
+        one_to_many = by_type[RelationshipType.ONE_TO_MANY]
+        assert all(item.prop is not None for item in one_to_many)
+        # 1:1 relationships are never priced items.
+        assert RelationshipType.ONE_TO_ONE not in by_type
+
+    def test_union_cost_equation3(self, fig2, fig2_stats, model):
+        union_items = [
+            i for i in model.items
+            if i.rel_type is RelationshipType.UNION
+        ]
+        cause = next(
+            r for r in fig2.iter_relationships() if r.label == "cause"
+        )
+        expected = fig2_stats.rel_card(cause.rel_id) * EDGE_SIZE_BYTES
+        for item in union_items:
+            assert item.cost == expected
+
+    def test_one_to_many_cost_equation5(self, fig2, fig2_stats, model):
+        treat = next(
+            r for r in fig2.iter_relationships() if r.label == "treat"
+        )
+        item = next(
+            i for i in model.items
+            if i.rel_id == treat.rel_id and i.prop == "desc"
+        )
+        desc_size = fig2.concept("Indication").properties["desc"].size_bytes
+        assert item.cost == fig2_stats.rel_card(treat.rel_id) * desc_size
+
+    def test_inheritance_cost_merge_down(self, fig2, fig2_stats, model):
+        # js = 0 < theta2: the parent's content moves; cost counts the
+        # parent's property bytes and non-inheritance edge copies.
+        inh = fig2.relationships_of_type(RelationshipType.INHERITANCE)[0]
+        item = next(i for i in model.items if i.rel_id == inh.rel_id)
+        parent = fig2.concept(inh.src)
+        prop_bytes = sum(
+            fig2_stats.card(inh.src) * p.size_bytes
+            for p in parent.properties.values()
+        )
+        has = next(
+            r for r in fig2.iter_relationships()
+            if r.label == "has" and r.dst == "DrugInteraction"
+        )
+        edge_bytes = EDGE_SIZE_BYTES * fig2_stats.rel_card(has.rel_id)
+        assert item.cost == prop_bytes + edge_bytes
+
+    def test_middle_band_inheritance_has_no_item(self, fig2, fig2_stats):
+        # With theta2 = 0 every zero-jaccard inheritance is in-band.
+        model = CostBenefitModel(
+            fig2, fig2_stats, thresholds=Thresholds(0.66, 0.0)
+        )
+        assert not any(
+            i.rel_type is RelationshipType.INHERITANCE
+            for i in model.items
+        )
+
+    def test_mn_items_priced_per_direction(self, med_small):
+        model = CostBenefitModel(
+            med_small.ontology, med_small.stats
+        )
+        mn_rel = med_small.ontology.relationships_of_type(
+            RelationshipType.MANY_TO_MANY
+        )[0]
+        directions = {
+            i.direction for i in model.items if i.rel_id == mn_rel.rel_id
+        }
+        assert directions == {"fwd", "rev"}
+
+
+class TestAggregates:
+    def test_totals(self, model):
+        assert model.total_benefit == pytest.approx(
+            sum(i.benefit for i in model.items)
+        )
+        assert model.total_cost == sum(i.cost for i in model.items)
+
+    def test_budget_fraction(self, model):
+        assert model.budget_for_fraction(0.0) == 0
+        assert model.budget_for_fraction(1.0) == model.total_cost
+        assert model.budget_for_fraction(0.5) == pytest.approx(
+            model.total_cost / 2, abs=1
+        )
+        with pytest.raises(OptimizationError):
+            model.budget_for_fraction(-0.1)
+
+    def test_benefit_ratio(self, model):
+        assert model.benefit_ratio(model.items) == pytest.approx(1.0)
+        assert model.benefit_ratio([]) == 0.0
+
+    def test_items_touching(self, fig2, model):
+        items = model.items_touching("Drug")
+        for item in items:
+            rel = fig2.relationship(item.rel_id)
+            assert rel.touches("Drug")
+
+    def test_selection_includes_one_to_one(self, fig2, model):
+        selection = model.selection_from_items([])
+        one_one = fig2.relationships_of_type(
+            RelationshipType.ONE_TO_ONE
+        )[0]
+        assert selection.has_rel(one_one.rel_id)
+
+    def test_selection_from_items(self, fig2, model):
+        treat = next(
+            r for r in fig2.iter_relationships() if r.label == "treat"
+        )
+        item = next(
+            i for i in model.items
+            if i.rel_id == treat.rel_id and i.prop == "desc"
+        )
+        selection = model.selection_from_items([item])
+        assert selection.props_for(treat.rel_id, "fwd") == {"desc"}
+
+
+class TestWorkloadSensitivity:
+    def test_zipf_changes_benefits(self, fig2, fig2_stats):
+        uniform = CostBenefitModel(
+            fig2, fig2_stats, WorkloadSummary.uniform(fig2)
+        )
+        zipf = CostBenefitModel(
+            fig2, fig2_stats, WorkloadSummary.zipf(fig2)
+        )
+        assert uniform.total_cost == zipf.total_cost  # cost is data-only
+        u = {i.key: i.benefit for i in uniform.items}
+        z = {i.key: i.benefit for i in zipf.items}
+        assert u != z
+
+    def test_merge_direction_benefit_factor(self, fig2_stats):
+        # Merge-up uses js, merge-down uses 1-js (see DESIGN.md).
+        from repro.ontology.builder import OntologyBuilder
+
+        onto = (
+            OntologyBuilder()
+            .concept("P", a="STRING", b="STRING")
+            .concept("Up", a="STRING", b="STRING", c="STRING")   # js 2/3
+            .concept("Down", x="STRING")                          # js 0
+            .inherits("P", "Up", "Down")
+            .build()
+        )
+        stats = synthesize_statistics(onto, base_cardinality=10)
+        model = CostBenefitModel(onto, stats)
+        items = {
+            onto.relationship(i.rel_id).dst: i for i in model.items
+        }
+        af = model.workload.af_relationship(
+            next(iter(onto.relationships.values()))
+        )
+        assert items["Up"].benefit == pytest.approx(af * (2 / 3))
+        assert items["Down"].benefit == pytest.approx(af * 1.0)

@@ -1,0 +1,78 @@
+"""Tests for the exhaustive-search baseline (Section 5.4)."""
+
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.ontology.samples import figure2_medical_ontology
+from repro.optimizer import CostBenefitModel, optimize_exhaustive
+from repro.optimizer.exhaustive import optimal_selection
+from repro.optimizer.relation_centric import optimize_relation_centric
+
+
+class TestOptimalSelection:
+    def test_matches_brute_expectation(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Item:
+            benefit: float
+            cost: int
+
+        items = [Item(6.0, 5), Item(5.0, 4), Item(4.0, 3)]
+        chosen = optimal_selection(items, 7)
+        assert sum(i.benefit for i in chosen) == pytest.approx(9.0)
+
+    def test_free_items_always_taken(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Item:
+            benefit: float
+            cost: int
+
+        items = [Item(3.0, 0), Item(1.0, 10)]
+        chosen = optimal_selection(items, 0)
+        assert chosen == [items[0]]
+
+    def test_too_many_items_rejected(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Item:
+            benefit: float
+            cost: int
+
+        items = [Item(1.0, 1)] * 30
+        with pytest.raises(OptimizationError, match="infeasible"):
+            optimal_selection(items, 10, max_items=20)
+
+
+class TestOptimizeExhaustive:
+    def test_rc_is_near_optimal_on_figure2(self, fig2, fig2_stats):
+        """The paper's RC guarantee, checked against the true optimum."""
+        model = CostBenefitModel(fig2, fig2_stats)
+        for fraction in (0.1, 0.3, 0.6):
+            budget = model.budget_for_fraction(fraction)
+            exhaustive = optimize_exhaustive(fig2, fig2_stats, budget)
+            rc = optimize_relation_centric(
+                fig2, fig2_stats, budget, eps=0.05
+            )
+            assert rc.total_benefit >= 0.95 * exhaustive.total_benefit
+            assert exhaustive.total_benefit >= rc.total_benefit - 1e-9
+
+    def test_result_shape(self, fig2, fig2_stats):
+        model = CostBenefitModel(fig2, fig2_stats)
+        result = optimize_exhaustive(
+            fig2, fig2_stats, model.budget_for_fraction(0.5)
+        )
+        assert result.algorithm == "EXH"
+        assert result.total_cost <= result.space_limit
+        assert result.schema.num_vertex_types > 0
+
+    def test_med_scale_is_infeasible(self, med_small):
+        """The paper: exhaustive search on MED 'failed ... after 3
+        hours'; our guard rejects it upfront."""
+        with pytest.raises(OptimizationError):
+            optimize_exhaustive(
+                med_small.ontology, med_small.stats, 10**9
+            )

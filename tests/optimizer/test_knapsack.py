@@ -1,0 +1,168 @@
+"""Tests for the knapsack solvers, incl. the FPTAS (1-eps) guarantee."""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import OptimizationError
+from repro.optimizer.knapsack import (
+    knapsack_exact,
+    knapsack_fptas,
+    knapsack_greedy,
+)
+
+
+@dataclass(frozen=True)
+class Item:
+    benefit: float
+    cost: int
+
+
+def brute_force(items, capacity):
+    """Exhaustive optimum for tiny instances."""
+    best = 0.0
+    n = len(items)
+    for mask in range(1 << n):
+        cost = benefit = 0
+        for i in range(n):
+            if mask >> i & 1:
+                cost += items[i].cost
+                benefit += items[i].benefit
+        if cost <= capacity:
+            best = max(best, benefit)
+    return best
+
+
+ITEMS = st.lists(
+    st.tuples(
+        st.floats(0.0, 100.0, allow_nan=False),
+        st.integers(0, 50),
+    ).map(lambda t: Item(*t)),
+    min_size=0,
+    max_size=10,
+)
+
+
+class TestFptas:
+    def test_empty(self):
+        result = knapsack_fptas([], 100)
+        assert result.indices == []
+        assert result.benefit == 0
+
+    def test_zero_capacity_takes_free_items(self):
+        items = [Item(5.0, 0), Item(3.0, 10)]
+        result = knapsack_fptas(items, 0)
+        assert result.indices == [0]
+
+    def test_all_fit(self):
+        items = [Item(1.0, 1), Item(2.0, 2), Item(3.0, 3)]
+        result = knapsack_fptas(items, 10)
+        assert sorted(result.indices) == [0, 1, 2]
+
+    def test_classic_instance(self):
+        # Optimal picks items 1+2 (benefit 9) over the greedy-ratio pick.
+        items = [Item(6.0, 5), Item(5.0, 4), Item(4.0, 3)]
+        result = knapsack_fptas(items, 7, eps=0.05)
+        assert result.benefit == pytest.approx(9.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(OptimizationError):
+            knapsack_fptas([Item(1.0, -1)], 10)
+        with pytest.raises(OptimizationError):
+            knapsack_fptas([Item(-1.0, 1)], 10)
+        with pytest.raises(OptimizationError):
+            knapsack_fptas([], -1)
+        with pytest.raises(OptimizationError):
+            knapsack_fptas([], 1, eps=0)
+
+    def test_no_duplicate_selection(self):
+        items = [Item(10.0, 3)] * 4
+        result = knapsack_fptas(items, 6, eps=0.05)
+        assert len(result.indices) == len(set(result.indices)) == 2
+
+    def test_result_select(self):
+        items = [Item(6.0, 5), Item(5.0, 4)]
+        result = knapsack_fptas(items, 5)
+        chosen = result.select(items)
+        assert all(isinstance(i, Item) for i in chosen)
+
+    @settings(max_examples=60, deadline=None)
+    @given(items=ITEMS, capacity=st.integers(0, 120))
+    def test_guarantee_vs_brute_force(self, items, capacity):
+        eps = 0.1
+        result = knapsack_fptas(items, capacity, eps=eps)
+        optimum = brute_force(items, capacity)
+        assert result.cost <= capacity
+        assert result.benefit >= (1 - eps) * optimum - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(items=ITEMS, capacity=st.integers(0, 120))
+    def test_selection_is_consistent(self, items, capacity):
+        result = knapsack_fptas(items, capacity)
+        assert result.cost == sum(items[i].cost for i in result.indices)
+        assert result.benefit == pytest.approx(
+            sum(items[i].benefit for i in result.indices)
+        )
+
+    def test_max_states_cap_reports_effective_eps(self):
+        items = [Item(float(i + 1), i + 1) for i in range(40)]
+        result = knapsack_fptas(items, 100, eps=0.01, max_states=50)
+        assert result.effective_eps > 0.01
+        assert result.cost <= 100
+
+
+class TestExact:
+    def test_matches_brute_force(self):
+        items = [Item(6.0, 5), Item(5.0, 4), Item(4.0, 3), Item(2.0, 2)]
+        for capacity in range(0, 15):
+            result = knapsack_exact(items, capacity)
+            assert result.benefit == pytest.approx(
+                brute_force(items, capacity)
+            )
+            assert result.cost <= capacity
+
+    @settings(max_examples=40, deadline=None)
+    @given(items=ITEMS, capacity=st.integers(0, 120))
+    def test_exact_is_optimal(self, items, capacity):
+        result = knapsack_exact(items, capacity)
+        assert result.benefit == pytest.approx(brute_force(items, capacity))
+
+    def test_rejects_huge_state_space(self):
+        items = [Item(1.0, 10**9 + i) for i in range(200)]
+        with pytest.raises(OptimizationError):
+            knapsack_exact(items, 10**12, max_capacity_states=10)
+
+
+class TestGreedy:
+    def test_half_approximation(self):
+        items = [Item(6.0, 5), Item(5.0, 4), Item(4.0, 3)]
+        for capacity in range(0, 13):
+            result = knapsack_greedy(items, capacity)
+            optimum = brute_force(items, capacity)
+            assert result.benefit >= optimum / 2 - 1e-9
+            assert result.cost <= capacity
+
+    def test_single_item_fallback(self):
+        # Ratio-greedy would pick many small items; the single large
+        # item is better.
+        items = [Item(10.0, 10)] + [Item(1.2, 1)] * 5
+        result = knapsack_greedy(items, 10)
+        assert result.benefit == pytest.approx(10.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(items=ITEMS, capacity=st.integers(0, 120))
+    def test_feasible(self, items, capacity):
+        result = knapsack_greedy(items, capacity)
+        assert result.cost <= capacity
+
+
+class TestCrossSolver:
+    @settings(max_examples=40, deadline=None)
+    @given(items=ITEMS, capacity=st.integers(0, 120))
+    def test_fptas_at_least_greedy_quality_bound(self, items, capacity):
+        fptas = knapsack_fptas(items, capacity, eps=0.05)
+        exact = knapsack_exact(items, capacity)
+        assert fptas.benefit <= exact.benefit + 1e-9
+        assert fptas.benefit >= 0.95 * exact.benefit - 1e-9

@@ -1,0 +1,161 @@
+"""Tests for the rule-engine working state."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.ontology.model import RelationshipType
+from repro.ontology.samples import figure2_medical_ontology
+from repro.rules.base import (
+    Provenance,
+    SchemaProperty,
+    SchemaState,
+    Selection,
+    Thresholds,
+)
+
+
+def _prop(name, concept="X"):
+    from repro.ontology.model import DataType
+
+    return SchemaProperty(
+        name=name,
+        data_type=DataType.STRING,
+        is_list=False,
+        origin_concept=concept,
+        origin_name=name,
+        provenance=Provenance.NATIVE,
+    )
+
+
+class TestThresholds:
+    def test_defaults(self):
+        t = Thresholds()
+        assert t.theta1 == 0.66
+        assert t.theta2 == 0.33
+
+    def test_invalid_order(self):
+        with pytest.raises(SchemaError):
+            Thresholds(0.3, 0.6)
+
+    def test_out_of_range(self):
+        with pytest.raises(SchemaError):
+            Thresholds(1.5, 0.2)
+
+
+class TestSelection:
+    def test_all(self):
+        sel = Selection.all()
+        assert sel.has_rel("anything")
+        assert sel.props_for("r1", "fwd") is None
+        assert not sel.is_empty()
+
+    def test_none(self):
+        sel = Selection.none()
+        assert not sel.has_rel("r1")
+        assert sel.props_for("r1", "fwd") == frozenset()
+        assert sel.is_empty()
+
+    def test_specific(self):
+        sel = Selection(
+            rel_ids=frozenset({"r1"}),
+            list_props=frozenset({("r2", "fwd", "p"), ("r2", "rev", "q")}),
+        )
+        assert sel.has_rel("r1")
+        assert not sel.has_rel("r2")
+        assert sel.props_for("r2", "fwd") == {"p"}
+        assert sel.props_for("r2", "rev") == {"q"}
+        assert sel.props_for("r3", "fwd") == frozenset()
+
+
+class TestSchemaState:
+    def test_direct_mapping(self, fig2):
+        state = SchemaState(fig2)
+        assert set(state.nodes) == set(fig2.concepts)
+        assert len(state.edges) == fig2.num_relationships
+        drug = state.nodes["Drug"]
+        assert set(drug.properties) == {"name", "brand"}
+
+    def test_jaccard_frozen_on_init(self, fig2):
+        state = SchemaState(fig2)
+        inheritance = fig2.relationships_of_type(
+            RelationshipType.INHERITANCE
+        )
+        for rel in inheritance:
+            assert rel.rel_id in state.jaccard
+            assert state.jaccard[rel.rel_id] == 0.0  # disjoint props
+
+    def test_resolve_live_node(self, fig2):
+        state = SchemaState(fig2)
+        assert state.resolve("Drug") == ("Drug",)
+
+    def test_drop_and_resolve(self, fig2):
+        state = SchemaState(fig2)
+        state.drop_node("Risk", ("ContraIndication", "BlackBoxWarning"))
+        assert not state.is_live("Risk")
+        assert set(state.resolve("Risk")) == {
+            "ContraIndication", "BlackBoxWarning",
+        }
+
+    def test_drop_rewrites_edges(self, fig2):
+        state = SchemaState(fig2)
+        state.drop_node("Risk", ("ContraIndication",))
+        touched = state.edges_touching("ContraIndication")
+        labels = {e.label for e in touched}
+        assert "cause" in labels  # Drug-cause->Risk now targets the member
+
+    def test_drop_unknown_raises(self, fig2):
+        state = SchemaState(fig2)
+        with pytest.raises(SchemaError):
+            state.drop_node("Nope", ())
+
+    def test_transitive_resolution(self, fig2):
+        state = SchemaState(fig2)
+        state.drop_node("Risk", ("ContraIndication",))
+        state.drop_node("ContraIndication", ("BlackBoxWarning",))
+        assert state.resolve("Risk") == ("BlackBoxWarning",)
+
+    def test_add_property_resolves(self, fig2):
+        state = SchemaState(fig2)
+        state.drop_node("Risk", ("ContraIndication",))
+        assert state.add_property("Risk", _prop("extra"))
+        assert "extra" in state.nodes["ContraIndication"].properties
+
+    def test_add_property_idempotent(self, fig2):
+        state = SchemaState(fig2)
+        assert state.add_property("Drug", _prop("extra"))
+        assert not state.add_property("Drug", _prop("extra"))
+
+    def test_add_edge_skips_structural_self_loop(self, fig2):
+        state = SchemaState(fig2)
+        changed = state.add_edge(
+            "Drug", "Drug", "isA", RelationshipType.INHERITANCE, "rX"
+        )
+        assert not changed
+
+    def test_has_edge_of_type(self, fig2):
+        state = SchemaState(fig2)
+        assert state.has_edge_of_type(
+            "Risk", RelationshipType.UNION, as_src=True
+        )
+        assert not state.has_edge_of_type(
+            "Drug", RelationshipType.UNION, as_src=True
+        )
+
+    def test_fingerprint_changes_on_mutation(self, fig2):
+        state = SchemaState(fig2)
+        before = state.fingerprint()
+        state.add_property("Drug", _prop("extra"))
+        assert state.fingerprint() != before
+
+    def test_fingerprint_stable(self, fig2):
+        a = SchemaState(fig2).fingerprint()
+        b = SchemaState(figure2_medical_ontology()).fingerprint()
+        assert a == b
+
+    def test_properties_of_merges_resolved(self, fig2):
+        state = SchemaState(fig2)
+        state.drop_node(
+            "Risk", ("ContraIndication", "BlackBoxWarning")
+        )
+        props = state.properties_of("Risk")
+        assert "description" in props and "note" in props

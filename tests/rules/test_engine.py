@@ -1,0 +1,75 @@
+"""Tests for the fixpoint rule engine (Algorithm 5)."""
+
+from repro.ontology.model import RelationshipType
+from repro.rules.base import Selection, Thresholds
+from repro.rules.engine import direct_state, transform
+
+
+class TestTransform:
+    def test_direct_state_untouched(self, fig2):
+        state = direct_state(fig2)
+        assert set(state.nodes) == set(fig2.concepts)
+        assert not state.consumed
+
+    def test_empty_selection_is_direct(self, fig2):
+        state = transform(fig2, Selection.none())
+        assert set(state.nodes) == set(fig2.concepts)
+        assert len(state.edges) == fig2.num_relationships
+
+    def test_nsc_matches_paper_figures(self, fig2):
+        state = transform(fig2)
+        # Figure 4: Risk dissolved into its members.
+        assert not state.is_live("Risk")
+        # Figure 5(a): DrugInteraction merged down into children.
+        assert not state.is_live("DrugInteraction")
+        assert "summary" in state.nodes["DrugFoodInteraction"].properties
+        # Figure 6: Indication+Condition merged.
+        assert "IndicationCondition" in state.nodes
+        # Figure 7: Indication.desc list on Drug.
+        assert "Indication.desc" in state.nodes["Drug"].properties
+
+    def test_nsc_consumes_structural_rels(self, fig2):
+        state = transform(fig2)
+        structural = {
+            r.rel_id for r in fig2.iter_relationships()
+            if r.rel_type.is_structural
+            or r.rel_type is RelationshipType.ONE_TO_ONE
+        }
+        assert structural == state.consumed
+
+    def test_selection_restricts_effects(self, fig2):
+        union_rel = fig2.relationships_of_type(RelationshipType.UNION)[0]
+        selection = Selection(rel_ids=frozenset({union_rel.rel_id}))
+        state = transform(fig2, selection)
+        assert state.is_live("Risk")  # second member not selected
+        assert union_rel.rel_id in state.consumed
+        # Nothing else happened.
+        assert state.is_live("DrugInteraction")
+        assert "Indication.desc" not in state.nodes["Drug"].properties
+
+    def test_rule_order_override(self, fig2):
+        order = sorted(fig2.relationships, reverse=True)
+        a = transform(fig2, rule_order=order)
+        b = transform(fig2)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_custom_thresholds_respected(self, fig2):
+        # With theta2 = 0 nothing is below it: inheritance stays.
+        state = transform(fig2, thresholds=Thresholds(1.0, 0.0))
+        assert state.is_live("DrugInteraction")
+
+    def test_terminates_on_larger_ontology(self, med_small):
+        state = transform(med_small.ontology)
+        assert state.nodes  # converged without raising
+
+
+class TestGeneratedSchema:
+    def test_schema_matches_state(self, fig2):
+        from repro.schema.generate import generate_schema
+
+        state = transform(fig2)
+        schema, mapping = generate_schema(state)
+        assert set(schema.vertex_schemas) == set(state.nodes)
+        assert schema.num_edge_types == len(
+            {(e.src, e.dst, e.label, e.origin_rel) for e in state.edges}
+        )

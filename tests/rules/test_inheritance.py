@@ -1,0 +1,145 @@
+"""Tests for the inheritance rule (Algorithm 2 / Figure 5)."""
+
+import pytest
+
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.model import RelationshipType
+from repro.rules.base import Provenance, SchemaState, Thresholds
+from repro.rules.inheritance import apply_inheritance
+
+
+def _build(parent_props, child_props, extra_child=None):
+    builder = OntologyBuilder()
+    builder.concept("P", **{p: "STRING" for p in parent_props})
+    builder.concept("C", **{p: "STRING" for p in child_props})
+    builder.concept("N", note="STRING")
+    builder.one_to_many("uses", "N", "P")
+    children = ["C"]
+    if extra_child is not None:
+        builder.concept("C2", **{p: "STRING" for p in extra_child})
+        children.append("C2")
+    builder.inherits("P", *children)
+    return builder.build()
+
+
+def _inh_rels(onto):
+    return onto.relationships_of_type(RelationshipType.INHERITANCE)
+
+
+class TestMergeDown:
+    """js < theta2: the child absorbs the parent (Figure 5(a)/(b))."""
+
+    def test_child_gets_parent_properties(self):
+        onto = _build({"summary"}, {"risk"})
+        state = SchemaState(onto)
+        apply_inheritance(state, _inh_rels(onto)[0])
+        child = state.nodes["C"]
+        assert "summary" in child.properties
+        assert child.properties["summary"].provenance is (
+            Provenance.FROM_PARENT
+        )
+
+    def test_child_gets_parent_edges(self):
+        onto = _build({"summary"}, {"risk"})
+        state = SchemaState(onto)
+        apply_inheritance(state, _inh_rels(onto)[0])
+        uses_targets = {e.dst for e in state.edges if e.label == "uses"}
+        assert "C" in uses_targets
+
+    def test_parent_dropped_when_childless(self):
+        onto = _build({"summary"}, {"risk"})
+        state = SchemaState(onto)
+        apply_inheritance(state, _inh_rels(onto)[0])
+        assert not state.is_live("P")
+        assert state.resolve("P") == ("C",)
+
+    def test_parent_survives_with_remaining_child(self):
+        onto = _build({"summary"}, {"risk"}, extra_child={"mech"})
+        state = SchemaState(onto)
+        rels = _inh_rels(onto)
+        apply_inheritance(state, rels[0])
+        assert state.is_live("P")  # second child still attached
+        apply_inheritance(state, rels[1])
+        assert not state.is_live("P")
+        assert set(state.resolve("P")) == {"C", "C2"}
+
+    def test_isa_edge_removed(self):
+        onto = _build({"summary"}, {"risk"})
+        state = SchemaState(onto)
+        rel = _inh_rels(onto)[0]
+        apply_inheritance(state, rel)
+        assert rel.rel_id in state.consumed
+        assert not any(e.origin_rel == rel.rel_id for e in state.edges)
+
+
+class TestMergeUp:
+    """js > theta1: the parent absorbs the child (Figure 5(c)/(d))."""
+
+    def _onto(self):
+        # P{a,b} C{a,b,c}: js = 2/3 > 0.66
+        return _build({"a", "b"}, {"a", "b", "c"})
+
+    def test_parent_gets_child_properties(self):
+        onto = self._onto()
+        state = SchemaState(onto)
+        apply_inheritance(state, _inh_rels(onto)[0])
+        parent = state.nodes["P"]
+        assert "c" in parent.properties
+        assert parent.properties["c"].provenance is Provenance.FROM_CHILD
+
+    def test_child_dropped(self):
+        onto = self._onto()
+        state = SchemaState(onto)
+        apply_inheritance(state, _inh_rels(onto)[0])
+        assert not state.is_live("C")
+        assert state.resolve("C") == ("P",)
+
+    def test_shared_properties_not_duplicated(self):
+        onto = self._onto()
+        state = SchemaState(onto)
+        apply_inheritance(state, _inh_rels(onto)[0])
+        assert sorted(state.nodes["P"].properties) == ["a", "b", "c"]
+
+    def test_one_shot(self):
+        onto = self._onto()
+        state = SchemaState(onto)
+        rel = _inh_rels(onto)[0]
+        assert apply_inheritance(state, rel)
+        assert not apply_inheritance(state, rel)
+
+
+class TestMiddleBand:
+    def test_isa_kept(self):
+        # P{a,b} C{a,c}: js = 1/3, inside [0.33, 0.66] -> keep isA
+        onto = _build({"a", "b"}, {"a", "c"})
+        state = SchemaState(onto)
+        rel = _inh_rels(onto)[0]
+        assert not apply_inheritance(state, rel)
+        assert rel.rel_id not in state.consumed
+        assert any(e.origin_rel == rel.rel_id for e in state.edges)
+        assert state.is_live("P") and state.is_live("C")
+
+    def test_custom_thresholds_change_band(self):
+        onto = _build({"a", "b"}, {"a", "c"})  # js = 1/3
+        state = SchemaState(onto, Thresholds(0.9, 0.5))
+        rel = _inh_rels(onto)[0]
+        assert apply_inheritance(state, rel)  # now js < theta2
+        assert not state.is_live("P")
+
+
+class TestJaccardEdgeCases:
+    @pytest.mark.parametrize("js,theta1,theta2,expected", [
+        (0.66, 0.66, 0.33, "keep"),   # boundary: not strictly greater
+        (0.33, 0.66, 0.33, "keep"),   # boundary: not strictly smaller
+    ])
+    def test_boundaries_keep(self, js, theta1, theta2, expected):
+        # Construct P/C with the exact jaccard: js = |I|/|U|
+        if js == 0.66:
+            parent, child = {"a", "b"}, {"a", "b", "c"}
+        else:
+            parent, child = {"a", "b"}, {"a", "c"}
+        onto = _build(parent, child)
+        state = SchemaState(onto, Thresholds(theta1, theta2))
+        rel = _inh_rels(onto)[0]
+        state.jaccard[rel.rel_id] = js  # pin the exact value
+        assert not apply_inheritance(state, rel)

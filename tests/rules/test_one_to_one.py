@@ -1,0 +1,110 @@
+"""Tests for the 1:1 rule (Algorithm 3 / Figure 6)."""
+
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.model import RelationshipType
+from repro.rules.base import SchemaState
+from repro.rules.one_to_one import apply_one_to_one
+
+
+def _onto():
+    return (
+        OntologyBuilder()
+        .concept("Drug", name="STRING")
+        .concept("Indication", desc="STRING")
+        .concept("Condition", name="STRING")
+        .one_to_many("treat", "Drug", "Indication")
+        .one_to_one("has", "Indication", "Condition")
+        .build()
+    )
+
+
+def _one_one(onto):
+    return onto.relationships_of_type(RelationshipType.ONE_TO_ONE)[0]
+
+
+class TestOneToOne:
+    def test_merged_node_name_follows_declaration_order(self):
+        onto = _onto()
+        state = SchemaState(onto)
+        apply_one_to_one(state, _one_one(onto))
+        assert "IndicationCondition" in state.nodes
+
+    def test_merged_properties(self):
+        onto = _onto()
+        state = SchemaState(onto)
+        apply_one_to_one(state, _one_one(onto))
+        merged = state.nodes["IndicationCondition"]
+        assert set(merged.properties) == {"desc", "name"}
+
+    def test_merged_concepts_recorded(self):
+        onto = _onto()
+        state = SchemaState(onto)
+        apply_one_to_one(state, _one_one(onto))
+        merged = state.nodes["IndicationCondition"]
+        assert merged.concepts == {"Indication", "Condition"}
+
+    def test_both_endpoints_resolve_to_merged(self):
+        onto = _onto()
+        state = SchemaState(onto)
+        apply_one_to_one(state, _one_one(onto))
+        assert state.resolve("Indication") == ("IndicationCondition",)
+        assert state.resolve("Condition") == ("IndicationCondition",)
+
+    def test_incident_edges_redirected(self):
+        onto = _onto()
+        state = SchemaState(onto)
+        apply_one_to_one(state, _one_one(onto))
+        treat = [e for e in state.edges if e.label == "treat"]
+        assert len(treat) == 1
+        assert treat[0].dst == "IndicationCondition"
+
+    def test_one_to_one_edge_removed(self):
+        onto = _onto()
+        state = SchemaState(onto)
+        rel = _one_one(onto)
+        apply_one_to_one(state, rel)
+        assert rel.rel_id in state.consumed
+        assert not any(e.origin_rel == rel.rel_id for e in state.edges)
+
+    def test_one_shot(self):
+        onto = _onto()
+        state = SchemaState(onto)
+        rel = _one_one(onto)
+        assert apply_one_to_one(state, rel)
+        assert not apply_one_to_one(state, rel)
+
+    def test_chained_merges(self):
+        onto = (
+            OntologyBuilder()
+            .concept("A", a="STRING")
+            .concept("B", b="STRING")
+            .concept("C", c="STRING")
+            .one_to_one("ab", "A", "B")
+            .one_to_one("bc", "B", "C")
+            .build()
+        )
+        state = SchemaState(onto)
+        for rel in onto.relationships_of_type(
+            RelationshipType.ONE_TO_ONE
+        ):
+            apply_one_to_one(state, rel)
+        assert len(state.nodes) == 1
+        node = next(iter(state.nodes.values()))
+        assert set(node.properties) == {"a", "b", "c"}
+        assert state.resolve("A") == state.resolve("C")
+
+    def test_name_collision_suffix(self):
+        onto = (
+            OntologyBuilder()
+            .concept("AB")       # occupies the natural merged name
+            .concept("A", a="STRING")
+            .concept("B", b="STRING")
+            .one_to_one("ab", "A", "B")
+            .build()
+        )
+        state = SchemaState(onto)
+        apply_one_to_one(
+            state,
+            onto.relationships_of_type(RelationshipType.ONE_TO_ONE)[0],
+        )
+        assert "AB_2" in state.nodes

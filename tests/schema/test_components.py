@@ -1,0 +1,55 @@
+"""Tests for vertex-sharing concept components on the mapping."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.schema.generate import direct_schema, optimize_schema_nsc
+
+
+class TestComponents:
+    def test_collapsed_rels_join_components(self, fig2):
+        _, mapping = optimize_schema_nsc(fig2)
+        # Union collapse: Risk shares vertices with both members.
+        assert mapping.same_component("Risk", "ContraIndication")
+        assert mapping.same_component("Risk", "BlackBoxWarning")
+        # Inheritance collapse: parent with children.
+        assert mapping.same_component(
+            "DrugInteraction", "DrugFoodInteraction"
+        )
+        # 1:1 merge.
+        assert mapping.same_component("Indication", "Condition")
+
+    def test_unrelated_concepts_stay_apart(self, fig2):
+        _, mapping = optimize_schema_nsc(fig2)
+        assert not mapping.same_component("Drug", "Indication")
+        assert not mapping.same_component("Drug", "Risk")
+
+    def test_direct_schema_components_are_singletons(self, fig2):
+        _, mapping = direct_schema(fig2)
+        representatives = {
+            mapping.component_of(c) for c in fig2.concepts
+        }
+        assert len(representatives) == fig2.num_concepts
+
+    def test_unknown_concept_raises(self, fig2):
+        _, mapping = optimize_schema_nsc(fig2)
+        with pytest.raises(SchemaError):
+            mapping.component_of("Nope")
+
+    def test_node_concepts_filters_to_ontology(self, fig2):
+        _, mapping = optimize_schema_nsc(fig2)
+        concepts = mapping.node_concepts("IndicationCondition")
+        assert concepts == {"Indication", "Condition"}
+        # Merged node keys themselves are not concepts.
+        assert "IndicationCondition" not in concepts
+
+    def test_component_transitivity(self, fin_small):
+        pipeline_mapping = optimize_schema_nsc(fin_small.ontology)[1]
+        concepts = list(fin_small.ontology.concepts)
+        for a in concepts[:6]:
+            for b in concepts[:6]:
+                for c in concepts[:6]:
+                    if pipeline_mapping.same_component(
+                        a, b
+                    ) and pipeline_mapping.same_component(b, c):
+                        assert pipeline_mapping.same_component(a, c)

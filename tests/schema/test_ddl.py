@@ -1,0 +1,58 @@
+"""Tests for the DDL emitters."""
+
+from repro.schema.ddl import to_cypher_ddl, to_gsql
+from repro.schema.generate import direct_schema, optimize_schema_nsc
+
+
+class TestCypherDdl:
+    def test_contains_vertex_definitions(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        ddl = to_cypher_ddl(schema)
+        assert "Drug (" in ddl
+        assert "IndicationCondition (" in ddl
+
+    def test_edge_lines(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        ddl = to_cypher_ddl(schema)
+        assert "(Drug)-[cause]->(ContraIndication)" in ddl
+        assert "(Drug)-[treat]->(IndicationCondition)" in ddl
+
+    def test_list_properties_quoted(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        ddl = to_cypher_ddl(schema)
+        assert "`Indication.desc` LIST<STRING>" in ddl
+
+    def test_direct_schema_keeps_structural_edges(self, fig2):
+        schema, _ = direct_schema(fig2)
+        ddl = to_cypher_ddl(schema)
+        assert "[unionOf]" in ddl
+        assert "[isA]" in ddl
+
+    def test_deterministic(self, fig2):
+        a, _ = optimize_schema_nsc(fig2)
+        b, _ = optimize_schema_nsc(fig2)
+        assert to_cypher_ddl(a) == to_cypher_ddl(b)
+
+
+class TestGsql:
+    def test_create_statements(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        gsql = to_gsql(schema)
+        assert "CREATE VERTEX Drug" in gsql
+        assert "CREATE DIRECTED EDGE" in gsql
+        assert "PRIMARY_ID id STRING" in gsql
+
+    def test_type_mapping(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        gsql = to_gsql(schema)
+        assert 'LIST<STRING>' in gsql
+
+    def test_unique_edge_names(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        gsql = to_gsql(schema)
+        edge_lines = [
+            line for line in gsql.splitlines()
+            if line.startswith("CREATE DIRECTED EDGE")
+        ]
+        names = [line.split()[3] for line in edge_lines]
+        assert len(names) == len(set(names))

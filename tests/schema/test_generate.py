@@ -1,0 +1,86 @@
+"""Tests for schema generation (generatePGS)."""
+
+from repro.ontology.model import RelationshipType
+from repro.schema.generate import (
+    direct_schema,
+    generate_schema,
+    optimize_schema_nsc,
+)
+from repro.rules.base import Thresholds
+
+
+class TestDirectSchema:
+    def test_one_vertex_type_per_concept(self, fig2):
+        schema, mapping = direct_schema(fig2)
+        assert set(schema.vertex_schemas) == set(fig2.concepts)
+
+    def test_one_edge_type_per_relationship(self, fig2):
+        schema, _ = direct_schema(fig2)
+        assert schema.num_edge_types == fig2.num_relationships
+
+    def test_no_collapses(self, fig2):
+        _, mapping = direct_schema(fig2)
+        assert not mapping.collapsed
+        assert not mapping.replications
+
+
+class TestNscSchema:
+    def test_figure4_union(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        assert "Risk" not in schema.vertex_schemas
+        cause = schema.edges_with_label("cause")
+        targets = {e.dst_label for e in cause}
+        assert targets == {"ContraIndication", "BlackBoxWarning"}
+
+    def test_figure5_inheritance(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        dfi = schema.vertex("DrugFoodInteraction")
+        assert dfi.has_property("summary")
+        assert "DrugInteraction" in dfi.extra_labels
+
+    def test_figure6_one_to_one(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        merged = schema.vertex("IndicationCondition")
+        assert set(merged.properties) == {"desc", "name"}
+        assert merged.extra_labels == {"Indication", "Condition"}
+
+    def test_figure7_list_property(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        drug = schema.vertex("Drug")
+        assert drug.property("Indication.desc").is_list
+
+    def test_no_structural_edges_left(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        for edge in schema.edge_schemas:
+            assert edge.rel_type.is_functional
+
+    def test_thresholds_affect_outcome(self, fig2):
+        schema, _ = optimize_schema_nsc(
+            fig2, thresholds=Thresholds(1.0, 0.0)
+        )
+        # Nothing falls outside [0, 1]: inheritance stays as isA edges.
+        assert "DrugInteraction" in schema.vertex_schemas
+        assert any(
+            e.rel_type is RelationshipType.INHERITANCE
+            for e in schema.edge_schemas
+        )
+
+    def test_edge_dedupe(self, fig2):
+        schema, _ = optimize_schema_nsc(fig2)
+        keys = [
+            (e.src_label, e.dst_label, e.label, e.origin_rel)
+            for e in schema.edge_schemas
+        ]
+        assert len(keys) == len(set(keys))
+
+
+class TestGenerateFromState:
+    def test_consistency_with_state(self, fig2):
+        from repro.rules.engine import transform
+
+        state = transform(fig2)
+        schema, mapping = generate_schema(state, name="x")
+        assert schema.name == "x"
+        for key, node in state.nodes.items():
+            vertex = schema.vertex(key)
+            assert set(vertex.properties) == set(node.properties)

@@ -1,0 +1,101 @@
+"""Tests for the property graph schema model."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.ontology.model import DataType, RelationshipType
+from repro.schema.model import (
+    EdgeSchema,
+    PropertyGraphSchema,
+    PropertySchema,
+    VertexSchema,
+)
+
+
+def _schema():
+    schema = PropertyGraphSchema("test")
+    schema.add_vertex_schema(
+        VertexSchema(
+            "Drug",
+            frozenset(),
+            {
+                "name": PropertySchema("name", DataType.STRING),
+                "Indication.desc": PropertySchema(
+                    "Indication.desc", DataType.STRING, is_list=True
+                ),
+            },
+        )
+    )
+    schema.add_vertex_schema(
+        VertexSchema("Indication", frozenset({"Alias"}),
+                     {"desc": PropertySchema("desc", DataType.STRING)})
+    )
+    schema.add_edge_schema(
+        EdgeSchema("Drug", "Indication", "treat",
+                   RelationshipType.ONE_TO_MANY, "r1")
+    )
+    return schema
+
+
+class TestPropertySchema:
+    def test_ddl_type(self):
+        plain = PropertySchema("x", DataType.INT)
+        listy = PropertySchema("x", DataType.INT, is_list=True)
+        assert plain.ddl_type == "INT"
+        assert listy.ddl_type == "LIST<INT>"
+
+    def test_size(self):
+        assert PropertySchema("x", DataType.INT).size_bytes == 8
+
+
+class TestVertexSchema:
+    def test_all_labels(self):
+        vertex = VertexSchema("A", frozenset({"B"}))
+        assert vertex.all_labels == {"A", "B"}
+
+    def test_property_lookup(self):
+        schema = _schema()
+        drug = schema.vertex("Drug")
+        assert drug.has_property("name")
+        assert drug.property("name").data_type is DataType.STRING
+        with pytest.raises(SchemaError):
+            drug.property("missing")
+
+
+class TestPropertyGraphSchema:
+    def test_duplicate_vertex_rejected(self):
+        schema = _schema()
+        with pytest.raises(SchemaError):
+            schema.add_vertex_schema(VertexSchema("Drug"))
+
+    def test_edge_requires_known_vertices(self):
+        schema = _schema()
+        with pytest.raises(SchemaError):
+            schema.add_edge_schema(
+                EdgeSchema("Drug", "Nope", "x",
+                           RelationshipType.ONE_TO_MANY, "r9")
+            )
+
+    def test_vertices_with_label_includes_extra(self):
+        schema = _schema()
+        found = schema.vertices_with_label("Alias")
+        assert [v.label for v in found] == ["Indication"]
+
+    def test_edges_with_label(self):
+        schema = _schema()
+        assert len(schema.edges_with_label("treat")) == 1
+        assert schema.edges_with_label("nothing") == []
+
+    def test_edges_of_origin(self):
+        schema = _schema()
+        assert len(schema.edges_of_origin("r1")) == 1
+
+    def test_counts(self):
+        schema = _schema()
+        assert schema.num_vertex_types == 2
+        assert schema.num_edge_types == 1
+        assert schema.num_list_properties == 1
+
+    def test_unknown_vertex(self):
+        with pytest.raises(SchemaError):
+            _schema().vertex("Nope")

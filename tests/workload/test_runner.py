@@ -1,0 +1,128 @@
+"""Tests for workload generation and execution."""
+
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.exceptions import DataGenerationError
+from repro.graphdb.backends import JANUSGRAPH_LIKE, NEO4J_LIKE
+from repro.workload.generator import mixed_workload
+from repro.workload.queries import (
+    ALL_QUERIES,
+    QUERY_CATALOG,
+    queries_for_dataset,
+    query_class,
+)
+from repro.workload.runner import run_queries, run_single
+
+
+class TestQueryCatalog:
+    def test_twelve_queries(self):
+        assert len(QUERY_CATALOG) == 12
+        assert set(ALL_QUERIES) == set(QUERY_CATALOG)
+
+    def test_dataset_assignment(self):
+        med = queries_for_dataset("MED")
+        fin = queries_for_dataset("FIN")
+        assert set(med) == {"Q1", "Q2", "Q5", "Q6", "Q9", "Q10"}
+        assert set(fin) == {"Q3", "Q4", "Q7", "Q8", "Q11", "Q12"}
+
+    def test_classes(self):
+        assert query_class("Q1") == "pattern"
+        assert query_class("Q5") == "lookup"
+        assert query_class("Q9") == "aggregation"
+
+    def test_four_per_class(self):
+        by_class = {}
+        for qid in QUERY_CATALOG:
+            by_class.setdefault(query_class(qid), []).append(qid)
+        assert all(len(v) == 4 for v in by_class.values())
+
+
+class TestMixedWorkload:
+    def test_size(self, med_small):
+        workload = mixed_workload(med_small, size=15, seed=1)
+        assert len(workload) == 15
+
+    def test_queries_come_from_dataset(self, med_small):
+        workload = mixed_workload(med_small, size=15, seed=1)
+        assert {wq.qid for wq in workload} <= set(med_small.queries)
+
+    def test_deterministic(self, med_small):
+        a = mixed_workload(med_small, seed=4)
+        b = mixed_workload(med_small, seed=4)
+        assert a == b
+
+    def test_zipf_skews(self, med_small):
+        workload = mixed_workload(
+            med_small, size=200, seed=1, distribution="zipf"
+        )
+        counts = {}
+        for wq in workload:
+            counts[wq.qid] = counts.get(wq.qid, 0) + 1
+        first = sorted(med_small.queries)[0]
+        last = sorted(med_small.queries)[-1]
+        assert counts.get(first, 0) > counts.get(last, 0)
+
+    def test_unknown_distribution(self, med_small):
+        with pytest.raises(DataGenerationError):
+            mixed_workload(med_small, distribution="pareto")
+
+    def test_empty_templates_raise(self, med_small):
+        empty = Dataset(
+            name="empty",
+            ontology=med_small.ontology,
+            stats=med_small.stats,
+        )
+        with pytest.raises(DataGenerationError):
+            mixed_workload(empty)
+
+
+class TestRunner:
+    def test_run_queries_report(self, med_pipeline):
+        queries = [
+            (qid, text)
+            for qid, text in sorted(med_pipeline.dataset.queries.items())
+        ]
+        report = run_queries(med_pipeline.dir_graph, NEO4J_LIKE, queries)
+        assert len(report.runs) == len(queries)
+        assert report.total_latency_ms > 0
+        assert report.total_wall_ms > 0
+        assert report.backend == "neo4j-like"
+
+    def test_latency_of_filters_by_qid(self, med_pipeline):
+        queries = [("Q1", med_pipeline.dataset.queries["Q1"])] * 2
+        report = run_queries(med_pipeline.dir_graph, NEO4J_LIKE, queries)
+        assert report.latency_of("Q1") == pytest.approx(
+            report.total_latency_ms
+        )
+        assert report.latency_of("Q9") == 0
+
+    def test_total_metrics_merge(self, med_pipeline):
+        queries = [
+            ("Q1", med_pipeline.dataset.queries["Q1"]),
+            ("Q5", med_pipeline.dataset.queries["Q5"]),
+        ]
+        report = run_queries(med_pipeline.dir_graph, NEO4J_LIKE, queries)
+        total = report.total_metrics
+        assert total.queries == 2
+        assert total.rows == sum(r.rows for r in report.runs)
+
+    def test_run_single(self, med_pipeline):
+        run = run_single(
+            med_pipeline.dir_graph, JANUSGRAPH_LIKE,
+            med_pipeline.dataset.queries["Q5"], qid="Q5",
+        )
+        assert run.qid == "Q5"
+        assert run.latency_ms > 0
+
+    def test_cache_shared_across_workload(self, med_pipeline):
+        # Running the same query twice in one workload: the second run
+        # should see page-cache hits from the first.
+        q = med_pipeline.dataset.queries["Q5"]
+        report = run_queries(
+            med_pipeline.dir_graph, NEO4J_LIKE, [("a", q), ("b", q)]
+        )
+        first, second = report.runs
+        assert second.metrics.page_misses < max(
+            1, first.metrics.page_misses
+        ) or first.metrics.page_misses == 0
