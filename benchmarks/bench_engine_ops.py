@@ -44,6 +44,32 @@ def test_engine_aggregation_query(benchmark, med, med_graph):
     assert result.rows
 
 
+def test_engine_limit_query(benchmark, med, med_graph):
+    """LIMIT short-circuits the streaming pipeline (far less work)."""
+    query = parse_query(med.queries["Q6"] + " LIMIT 3")
+
+    def run():
+        executor = Executor(GraphSession(med_graph, NEO4J_LIKE))
+        return executor.run(query)
+
+    result = benchmark(run)
+    assert len(result.rows) == 3
+
+
+def test_engine_topk_query(benchmark, med, med_graph):
+    """ORDER BY + LIMIT uses a bounded heap instead of a full sort."""
+    query = parse_query(
+        med.queries["Q6"] + " ORDER BY i.desc DESC LIMIT 5"
+    )
+
+    def run():
+        executor = Executor(GraphSession(med_graph, NEO4J_LIKE))
+        return executor.run(query)
+
+    result = benchmark(run)
+    assert len(result.rows) == 5
+
+
 def test_engine_parser(benchmark, med):
     texts = list(med.queries.values())
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Run the engine micro-benchmarks and record the results at the repo
+# root as BENCH_engine.json (the perf trajectory artifact).
+#
+# Usage: benchmarks/run_bench.sh [extra pytest args...]
+set -eu
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_engine_ops.py \
+    --benchmark-only \
+    --benchmark-json="$REPO_ROOT/BENCH_engine.json" \
+    -q "$@"
+
+python - <<'EOF'
+import json
+
+with open("BENCH_engine.json") as fh:
+    report = json.load(fh)
+print(f"\nWrote BENCH_engine.json ({len(report['benchmarks'])} benchmarks):")
+for bench in report["benchmarks"]:
+    median_us = bench["stats"]["median"] * 1e6
+    print(f"  {bench['name']}: median {median_us:,.1f} us")
+EOF

@@ -20,6 +20,10 @@ Commands
     compare DIR vs OPT latency)::
 
         python -m repro demo med --scale 0.5
+
+    ``--explain`` additionally prints each query's execution plan
+    (scan access path, expand order, pushed-down predicates) on both
+    the direct and the optimized graph.
 """
 
 from __future__ import annotations
@@ -126,6 +130,17 @@ def cmd_demo(args) -> int:
     print(pipeline.result.summary())
     print(pipeline.dir_graph.summary())
     print(pipeline.opt_graph.summary())
+    if args.explain:
+        from repro.graphdb.query.executor import Executor
+        from repro.graphdb.session import GraphSession
+
+        dir_executor = Executor(GraphSession(pipeline.dir_graph))
+        opt_executor = Executor(GraphSession(pipeline.opt_graph))
+        for qid in sorted(dataset.queries, key=lambda q: int(q[1:])):
+            print(f"\n{qid} on DIR:")
+            print(dir_executor.explain(dataset.queries[qid]))
+            print(f"{qid} on OPT (rewritten):")
+            print(opt_executor.explain(pipeline.rewritten[qid]))
     table = ExperimentTable(
         f"{dataset.name} microbenchmark (neo4j-like, ms simulated)",
         ["query", "DIR", "OPT", "speedup"],
@@ -187,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo = sub.add_parser("demo", help="run a built-in dataset demo")
     p_demo.add_argument("dataset", choices=("med", "fin"))
     p_demo.add_argument("--scale", type=float, default=0.5)
+    p_demo.add_argument(
+        "--explain", action="store_true",
+        help="print each query's execution plan before running it",
+    )
     p_demo.set_defaults(fn=cmd_demo)
     return parser
 

@@ -6,6 +6,15 @@ the same behaviour Neo4j multi-labels give) and whose vertices and edges
 carry property maps.  Adjacency is indexed by edge label in both
 directions, so expanding a typed pattern hop only touches matching
 edges.
+
+Every secondary structure (label index, adjacency lists, property
+indexes, the endpoint-pair index) uses insertion-ordered dict buckets
+keyed by id, so membership tests, insertion and removal are all O(1)
+while iteration order stays deterministic (insertion order, like the
+list buckets they replaced).  The endpoint-pair index additionally gives
+``has_edge_between`` an O(1) answer to "is there a :T edge from u to
+v?", which the executor's join-check step uses instead of scanning a
+full adjacency list.
 """
 
 from __future__ import annotations
@@ -14,6 +23,11 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.exceptions import GraphError
+
+#: Insertion-ordered bucket keyed by id.  Adjacency buckets map
+#: eid -> neighbor vid (so expansion never dereferences edge records);
+#: the label/property/pair indexes ignore the values.
+_Bucket = dict
 
 
 @dataclass
@@ -33,15 +47,17 @@ class Edge:
 
 
 class PropertyGraph:
-    """Vertex/edge stores with label and adjacency indexes."""
+    """Vertex/edge stores with label, adjacency, and pair indexes."""
 
     def __init__(self, name: str = "graph"):
         self.name = name
         self._vertices: dict[int, Vertex] = {}
         self._edges: dict[int, Edge] = {}
-        self._label_index: dict[str, list[int]] = {}
-        self._out: dict[int, dict[str, list[int]]] = {}
-        self._in: dict[int, dict[str, list[int]]] = {}
+        self._label_index: dict[str, _Bucket] = {}
+        self._out: dict[int, dict[str, _Bucket]] = {}
+        self._in: dict[int, dict[str, _Bucket]] = {}
+        #: (src, dst) -> label -> ordered set of eids.
+        self._pairs: dict[tuple[int, int], dict[str, _Bucket]] = {}
         self._property_indexes: dict[tuple[str, str], dict] = {}
         self._next_vid = 0
         self._next_eid = 0
@@ -63,14 +79,14 @@ class PropertyGraph:
         self._next_vid += 1
         self._vertices[vid] = Vertex(vid, label_set, dict(properties or {}))
         for label in label_set:
-            self._label_index.setdefault(label, []).append(vid)
+            self._label_index.setdefault(label, {})[vid] = None
         self._out[vid] = {}
         self._in[vid] = {}
         for (label, prop), index in self._property_indexes.items():
             if label in label_set:
                 value = self._vertices[vid].properties.get(prop)
                 if value is not None:
-                    index.setdefault(value, []).append(vid)
+                    index.setdefault(value, {})[vid] = None
         return vid
 
     def add_edge(
@@ -86,8 +102,11 @@ class PropertyGraph:
         eid = self._next_eid
         self._next_eid += 1
         self._edges[eid] = Edge(eid, src, dst, label, dict(properties or {}))
-        self._out[src].setdefault(label, []).append(eid)
-        self._in[dst].setdefault(label, []).append(eid)
+        self._out[src].setdefault(label, {})[eid] = dst
+        self._in[dst].setdefault(label, {})[eid] = src
+        self._pairs.setdefault((src, dst), {}).setdefault(label, {})[
+            eid
+        ] = None
         return eid
 
     def set_property(self, vid: int, name: str, value: object) -> None:
@@ -97,10 +116,10 @@ class PropertyGraph:
         for (label, prop), index in self._property_indexes.items():
             if prop != name or label not in vertex.labels:
                 continue
-            if old is not None and vid in index.get(old, ()):
-                index[old].remove(vid)
+            if old is not None:
+                self._index_discard(index, old, vid)
             if value is not None:
-                index.setdefault(value, []).append(vid)
+                index.setdefault(value, {})[vid] = None
 
     def remove_property(self, vid: int, name: str) -> None:
         vertex = self.vertex(vid)
@@ -109,15 +128,36 @@ class PropertyGraph:
             return
         for (label, prop), index in self._property_indexes.items():
             if prop == name and label in vertex.labels:
-                if vid in index.get(old, ()):
-                    index[old].remove(vid)
+                self._index_discard(index, old, vid)
+
+    @staticmethod
+    def _index_discard(index: dict, value: object, vid: int) -> None:
+        bucket = index.get(value)
+        if bucket is None:
+            return
+        bucket.pop(vid, None)
+        if not bucket:
+            del index[value]
 
     def remove_edge(self, eid: int) -> None:
         """Remove an edge (update handling, Section 4.2 of the paper)."""
         edge = self.edge(eid)
         del self._edges[eid]
-        self._out[edge.src][edge.label].remove(eid)
-        self._in[edge.dst][edge.label].remove(eid)
+        self._adjacency_discard(self._out[edge.src], edge.label, eid)
+        self._adjacency_discard(self._in[edge.dst], edge.label, eid)
+        pair = self._pairs[(edge.src, edge.dst)]
+        self._adjacency_discard(pair, edge.label, eid)
+        if not pair:
+            del self._pairs[(edge.src, edge.dst)]
+
+    @staticmethod
+    def _adjacency_discard(
+        adjacency: dict[str, _Bucket], label: str, eid: int
+    ) -> None:
+        bucket = adjacency[label]
+        del bucket[eid]
+        if not bucket:
+            del adjacency[label]
 
     def remove_vertex(self, vid: int) -> None:
         """Remove a vertex and every incident edge."""
@@ -126,12 +166,15 @@ class PropertyGraph:
             if edge.eid in self._edges:
                 self.remove_edge(edge.eid)
         for label in vertex.labels:
-            self._label_index[label].remove(vid)
+            bucket = self._label_index[label]
+            del bucket[vid]
+            if not bucket:
+                del self._label_index[label]
         for (label, prop), index in self._property_indexes.items():
             if label in vertex.labels:
                 value = vertex.properties.get(prop)
-                if value is not None and vid in index.get(value, ()):
-                    index[value].remove(vid)
+                if value is not None:
+                    self._index_discard(index, value, vid)
         del self._vertices[vid]
         del self._out[vid]
         del self._in[vid]
@@ -172,14 +215,62 @@ class PropertyGraph:
         return self._edges_from(adjacency, label)
 
     def _edges_from(
-        self, adjacency: dict[str, list[int]], label: str | None
+        self, adjacency: dict[str, _Bucket], label: str | None
     ) -> list[Edge]:
+        edges = self._edges
         if label is not None:
-            return [self._edges[e] for e in adjacency.get(label, ())]
+            return [edges[e] for e in adjacency.get(label, ())]
         result: list[Edge] = []
         for edge_ids in adjacency.values():
-            result.extend(self._edges[e] for e in edge_ids)
+            result.extend(edges[e] for e in edge_ids)
         return result
+
+    def has_edge_between(
+        self,
+        src: int,
+        dst: int,
+        label: str | None = None,
+        direction: str = "out",
+    ) -> bool:
+        """O(1) adjacency membership: is there a matching edge?
+
+        ``direction`` follows pattern semantics relative to ``src``:
+        ``out`` means src->dst, ``in`` means dst->src, ``any`` either.
+        """
+        return self.first_edge_between(src, dst, label, direction) is not None
+
+    def first_edge_between(
+        self,
+        src: int,
+        dst: int,
+        label: str | None = None,
+        direction: str = "out",
+    ) -> int | None:
+        """The first matching eid between two endpoints, or None."""
+        if direction in ("out", "any"):
+            eid = self._first_in_pair((src, dst), label)
+            if eid is not None:
+                return eid
+        if direction in ("in", "any"):
+            return self._first_in_pair((dst, src), label)
+        return None
+
+    def _first_in_pair(
+        self, key: tuple[int, int], label: str | None
+    ) -> int | None:
+        pair = self._pairs.get(key)
+        if not pair:
+            return None
+        if label is None:
+            for bucket in pair.values():
+                for eid in bucket:
+                    return eid
+            return None
+        bucket = pair.get(label)
+        if bucket:
+            for eid in bucket:
+                return eid
+        return None
 
     def degree(self, vid: int) -> int:
         out_deg = sum(len(v) for v in self._out.get(vid, {}).values())
@@ -203,7 +294,7 @@ class PropertyGraph:
         for vid in self._label_index.get(label, ()):
             value = self._vertices[vid].properties.get(prop)
             if value is not None:
-                index.setdefault(value, []).append(vid)
+                index.setdefault(value, {})[vid] = None
         self._property_indexes[key] = index
 
     def has_property_index(self, label: str, prop: str) -> bool:

@@ -59,15 +59,16 @@ class LruPageCache:
 
     def touch(self, page_id: tuple) -> bool:
         """Access a page; returns True on a hit."""
-        if page_id in self._pages:
-            self._pages.pop(page_id)
-            self._pages[page_id] = None
+        pages = self._pages
+        if page_id in pages:
+            del pages[page_id]
+            pages[page_id] = None
             return True
-        if self.capacity > 0 and len(self._pages) >= self.capacity:
-            oldest = next(iter(self._pages))
-            del self._pages[oldest]
-        if self.capacity > 0:
-            self._pages[page_id] = None
+        capacity = self.capacity
+        if capacity > 0:
+            if len(pages) >= capacity:
+                del pages[next(iter(pages))]
+            pages[page_id] = None
         return False
 
     def clear(self) -> None:

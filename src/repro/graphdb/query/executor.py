@@ -1,19 +1,32 @@
-"""Query executor: pattern matching, filtering, aggregation.
+"""Query executor: streaming pattern matching, filtering, aggregation.
 
-Bindings map pattern variables to :class:`VertexBinding` /
-:class:`EdgeBinding` wrappers.  All graph access flows through the
+The match/filter/project pipeline is a chain of generators over
+fixed-slot binding tuples (one slot per pattern variable, allocated by
+the planner), so no intermediate binding list is materialized and a
+``LIMIT`` without aggregation short-circuits the whole pipeline: scans
+and expands simply stop being pulled.  WHERE conjuncts arrive already
+pushed down onto plan steps (see :mod:`~repro.graphdb.query.planner`),
+and every expression is compiled once per query into a closure instead
+of being interpreted per row.  ``ORDER BY`` + ``LIMIT`` keeps a bounded
+heap (top-k) instead of sorting the full result.
+
+All graph access flows through the
 :class:`~repro.graphdb.session.GraphSession`, which records the work
 counters the latency model consumes.
 
 Aggregation follows Cypher semantics: when any return item contains an
 aggregate function, the non-aggregated items become grouping keys;
 ``size(collect(x))`` style nesting is evaluated inside-out at group
-level.
+level.  Aggregation (and full-sort ORDER BY) are the only pipeline
+breakers - everything upstream of them still streams.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
 
 from repro.exceptions import QueryError
 from repro.graphdb.metrics import ExecutionMetrics
@@ -60,7 +73,8 @@ class EdgeBinding:
     eid: int
 
 
-Binding = dict[str, object]
+#: A binding is a flat tuple indexed by the planner's slot allocation.
+Binding = tuple
 
 
 @dataclass
@@ -85,6 +99,118 @@ class QueryResult:
         return [row[index] for row in self.rows]
 
 
+RowFn = Callable[[Binding], object]
+
+
+class _Evaluator:
+    """Compiles expressions into closures over slot-tuple bindings.
+
+    Binding slots hold raw vertex/edge ids; the planner records which
+    kind each slot carries, so compiled closures read properties or
+    wrap ids into :class:`VertexBinding` / :class:`EdgeBinding` output
+    values without any per-row type dispatch.
+    """
+
+    def __init__(self, session: GraphSession, plan: Plan):
+        self.session = session
+        self.slots = plan.slots
+        self.kinds = plan.slot_kinds
+
+    def compile(self, expr: Expr) -> RowFn:
+        if isinstance(expr, Literal):
+            value = expr.value
+            return lambda b: value
+        if isinstance(expr, Star):
+            return lambda b: 1
+        if isinstance(expr, Variable):
+            slot = self.slots.get(expr.name)
+            if slot is None:
+                return _unbound(expr.name)
+            if self.kinds[expr.name] == "edge":
+                return lambda b: EdgeBinding(b[slot])
+            return lambda b: VertexBinding(b[slot])
+        if isinstance(expr, PropertyRef):
+            slot = self.slots.get(expr.var)
+            if slot is None:
+                return _unbound(expr.var)
+            prop = expr.prop
+            if self.kinds[expr.var] == "edge":
+                read_edge = self.session.read_edge_property
+                return lambda b: read_edge(b[slot], prop)
+            read_vertex = self.session.read_property
+            return lambda b: read_vertex(b[slot], prop)
+        if isinstance(expr, FuncCall):
+            if expr.name in AGGREGATE_FUNCTIONS:
+                name = expr.name
+
+                def misplaced(b):
+                    raise QueryError(
+                        f"aggregate {name}() outside aggregation context"
+                    )
+
+                return misplaced
+            arg_fns = [self.compile(arg) for arg in expr.args]
+            name = expr.name
+            return lambda b: apply_scalar(name, [fn(b) for fn in arg_fns])
+        if isinstance(expr, Comparison):
+            lhs, rhs, op = (
+                self.compile(expr.lhs), self.compile(expr.rhs), expr.op
+            )
+            return lambda b: compare(op, lhs(b), rhs(b))
+        if isinstance(expr, NullCheck):
+            inner = self.compile(expr.expr)
+            if expr.negated:
+                return lambda b: inner(b) is not None
+            return lambda b: inner(b) is None
+        if isinstance(expr, BoolOp):
+            fns = [self.compile(op) for op in expr.operands]
+            if expr.op == "and":
+                return lambda b: all(fn(b) for fn in fns)
+            return lambda b: any(fn(b) for fn in fns)
+        if isinstance(expr, NotOp):
+            inner = self.compile(expr.operand)
+            return lambda b: not inner(b)
+        raise QueryError(f"cannot evaluate expression {expr!r}")
+
+    def compile_group(self, expr: Expr) -> Callable[[list], object]:
+        """Compile a group-level (aggregating) expression."""
+        if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS:
+            if not expr.args:
+                raise QueryError(f"{expr.name}() needs an argument")
+            arg_fn = self.compile(expr.args[0])
+            name, distinct, flatten = expr.name, expr.distinct, expr.flatten
+            return lambda group: apply_aggregate(
+                name, [arg_fn(b) for b in group],
+                distinct=distinct, flatten=flatten,
+            )
+        if isinstance(expr, FuncCall):
+            arg_fns = [self.compile_group(arg) for arg in expr.args]
+            name = expr.name
+            return lambda group: apply_scalar(
+                name, [fn(group) for fn in arg_fns]
+            )
+        if not contains_aggregate(expr):
+            row_fn = self.compile(expr)
+            return lambda group: row_fn(group[0]) if group else None
+        raise QueryError(
+            f"unsupported aggregate nesting in {expr!r}"
+        )  # pragma: no cover - parser produces FuncCall nests only
+
+
+def _unbound(name: str) -> RowFn:
+    def fn(b):
+        raise QueryError(f"unbound variable {name!r}")
+
+    return fn
+
+
+def _passes(filters: list[RowFn], binding: Binding) -> bool:
+    for fn in filters:
+        if not fn(binding):
+            return False
+    return True
+
+
 class Executor:
     """Executes parsed queries against one instrumented session."""
 
@@ -95,111 +221,155 @@ class Executor:
         if isinstance(query, str):
             query = parse_query(query)
         plan = build_plan(query, self.session.graph)
-        bindings = self._match(plan)
-        if query.where is not None:
-            bindings = [
-                b for b in bindings
-                if self._eval_predicate(query.where, b)
-            ]
-        columns, rows = self._project(query, bindings)
+        evaluator = _Evaluator(self.session, plan)
+        stream = self._match_stream(plan, evaluator)
+        columns, rows = self._project(query, stream, evaluator)
         if query.distinct:
             rows = _dedupe(rows)
         if query.order_by:
             rows = self._order(query, columns, rows)
-        if query.limit is not None:
-            rows = rows[: query.limit]
+        elif query.limit is not None:
+            rows = itertools.islice(rows, query.limit)
+        rows = rows if isinstance(rows, list) else list(rows)
         metrics = self.session.reset_metrics()
         metrics.rows = len(rows)
         metrics.queries = 1
         latency = self.session.profile.latency_ms(metrics)
         return QueryResult(columns, rows, metrics, latency)
 
+    def explain(self, query: Query | str) -> str:
+        """Render the plan (steps, access paths, pushed predicates)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        return build_plan(query, self.session.graph).describe()
+
     # ------------------------------------------------------------------
-    # Pattern matching
+    # Pattern matching (generator pipeline)
     # ------------------------------------------------------------------
-    def _match(self, plan: Plan) -> list[Binding]:
-        bindings: list[Binding] = [{}]
+    def _match_stream(
+        self, plan: Plan, evaluator: _Evaluator
+    ) -> Iterator[Binding]:
+        stream: Iterable[Binding] = ((),)
         for step in plan.steps:
+            filters = [evaluator.compile(f) for f in step.filters]
             if isinstance(step, ScanStep):
-                bindings = self._scan(step, plan.node_specs, bindings)
+                stream = self._scan_stream(step, filters, stream)
             elif isinstance(step, ExpandStep):
-                bindings = self._expand(step, plan.node_specs, bindings)
-            elif isinstance(step, JoinCheckStep):
-                bindings = self._join_check(step, bindings)
-            if not bindings:
-                return []
-        return bindings
+                spec = plan.node_specs[step.to_var]
+                stream = self._expand_stream(step, spec, filters, stream)
+            else:
+                stream = self._join_stream(step, filters, stream)
+        return iter(stream)
 
-    def _candidates(self, spec: NodeSpec) -> list[int]:
-        session = self.session
-        graph = session.graph
-        for prop, value in spec.props.items():
-            for label in spec.labels:
-                if graph.has_property_index(label, prop):
-                    return session.index_lookup(label, prop, value)
-        if spec.labels:
-            label = min(spec.labels, key=graph.label_count)
-            return session.label_scan(label)
-        return [v.vid for v in graph.iter_vertices()]
+    def _candidates(self, step: ScanStep) -> list[int]:
+        if step.access == "index":
+            return self.session.index_lookup(
+                step.access_label, step.access_prop, step.access_value
+            )
+        if step.access == "label":
+            return self.session.label_scan(step.access_label)
+        return [v.vid for v in self.session.graph.iter_vertices()]
 
-    def _accept_vertex(self, vid: int, spec: NodeSpec) -> bool:
-        labels = self.session.read_labels(vid)
-        if not set(spec.labels) <= labels:
-            return False
-        for prop, value in spec.props.items():
-            if self.session.read_property(vid, prop) != value:
-                return False
-        return True
-
-    def _scan(
+    def _scan_stream(
         self,
         step: ScanStep,
-        specs: dict[str, NodeSpec],
-        bindings: list[Binding],
-    ) -> list[Binding]:
-        spec = specs[step.var]
-        matched = [
-            vid for vid in self._candidates(spec)
-            if self._accept_vertex(vid, spec)
-        ]
-        return [
-            {**binding, step.var: VertexBinding(vid)}
-            for binding in bindings
-            for vid in matched
-        ]
+        filters: list[RowFn],
+        source: Iterable[Binding],
+    ) -> Iterator[Binding]:
+        labels = frozenset(step.check_labels) if step.check_labels else None
+        props = step.check_props
+        needs_check = labels is not None or bool(props)
+        accept = self.session.accept_vertex
+        matched: list[int] | None = None
+        for binding in source:
+            if matched is None:
+                # First pass streams candidates lazily (so LIMIT can cut
+                # the scan short) while memoizing accepted vertices for
+                # any later cartesian-product passes.
+                matched = []
+                for vid in self._candidates(step):
+                    if needs_check and not accept(vid, labels, props):
+                        continue
+                    matched.append(vid)
+                    extended = binding + (vid,)
+                    if not filters or _passes(filters, extended):
+                        yield extended
+            else:
+                for vid in matched:
+                    extended = binding + (vid,)
+                    if not filters or _passes(filters, extended):
+                        yield extended
 
-    def _expand_one(
-        self, vid: int, step: ExpandStep
-    ) -> list[tuple[int, int]]:
-        """(eid, neighbor vid) pairs reachable from ``vid`` over the edge.
-
-        For variable-length patterns (``-[:T*m..n]->``) a path search
-        runs per Cypher semantics (no relationship repeats within one
-        path); each distinct path yields one result whose ``eid`` is
-        the last edge taken.
-        """
+    def _expand_stream(
+        self,
+        step: ExpandStep,
+        spec: NodeSpec,
+        filters: list[RowFn],
+        source: Iterable[Binding],
+    ) -> Iterator[Binding]:
+        labels = frozenset(spec.labels) if spec.labels else None
+        props = tuple(spec.props.items())
+        needs_check = labels is not None or bool(props)
+        from_slot = step.from_slot
+        bind_rel = step.rel_slot is not None
         edge_spec = step.edge
-        if step.from_var == edge_spec.src_var:
-            direction = edge_spec.direction
-        else:  # walking the pattern backwards
-            flip = {"out": "in", "in": "out", "any": "any"}
-            direction = flip[edge_spec.direction]
-        if edge_spec.min_hops == 1 and edge_spec.max_hops == 1:
-            return self._adjacent(vid, edge_spec.labels, direction)
-        return self._expand_paths(
-            vid, edge_spec.labels, direction,
-            edge_spec.min_hops, edge_spec.max_hops,
-        )
+        plain = edge_spec.is_plain_hop
+        expand_pairs = self.session.expand_pairs
+        accept = self.session.accept_vertex
+        for binding in source:
+            vid = binding[from_slot]
+            if plain:
+                pairs = expand_pairs(
+                    vid, edge_spec.labels, step.walk_direction
+                )
+            else:
+                pairs = self._expand_paths(
+                    vid, edge_spec.labels, step.walk_direction,
+                    edge_spec.min_hops, edge_spec.max_hops,
+                )
+            for eid, neighbor in pairs:
+                if needs_check and not accept(neighbor, labels, props):
+                    continue
+                if bind_rel:
+                    extended = binding + (neighbor, eid)
+                else:
+                    extended = binding + (neighbor,)
+                if not filters or _passes(filters, extended):
+                    yield extended
 
-    def _adjacent(
-        self, vid: int, labels: tuple[str, ...], direction: str
-    ) -> list[tuple[int, int]]:
-        results: list[tuple[int, int]] = []
-        for label in labels or (None,):
-            for edge in self.session.expand(vid, label, direction):
-                neighbor = edge.dst if edge.src == vid else edge.src
-                results.append((edge.eid, neighbor))
-        return results
+    def _join_stream(
+        self,
+        step: JoinCheckStep,
+        filters: list[RowFn],
+        source: Iterable[Binding],
+    ) -> Iterator[Binding]:
+        edge_spec = step.edge
+        plain = edge_spec.is_plain_hop
+        for binding in source:
+            src_vid = binding[step.src_slot]
+            dst_vid = binding[step.dst_slot]
+            if plain:
+                # O(1) endpoint-pair probe instead of an adjacency scan.
+                matched_eid = self.session.edge_between(
+                    src_vid, dst_vid, edge_spec.labels, edge_spec.direction
+                )
+            else:
+                matched_eid = None
+                for eid, endpoint in self._expand_paths(
+                    src_vid, edge_spec.labels, edge_spec.direction,
+                    edge_spec.min_hops, edge_spec.max_hops,
+                ):
+                    if endpoint == dst_vid:
+                        matched_eid = eid
+                        break
+            if matched_eid is None:
+                continue
+            if step.rel_slot is not None:
+                extended = binding + (matched_eid,)
+            else:
+                extended = binding
+            if not filters or _passes(filters, extended):
+                yield extended
 
     def _expand_paths(
         self,
@@ -209,179 +379,41 @@ class Executor:
         min_hops: int,
         max_hops: int,
     ) -> list[tuple[int, int]]:
+        """Variable-length (eid, endpoint) pairs per Cypher path rules.
+
+        Each distinct path yields one result whose ``eid`` is the last
+        edge taken; relationships never repeat within one path.
+        """
         results: list[tuple[int, int]] = []
         if min_hops == 0:
             results.append((-1, vid))
         # DFS over paths; Cypher forbids reusing a relationship within
         # one path but allows revisiting vertices.
-        stack: list[tuple[int, int, frozenset[int], int]] = [
-            (vid, 0, frozenset(), -1)
+        stack: list[tuple[int, int, frozenset[int]]] = [
+            (vid, 0, frozenset())
         ]
+        expand_pairs = self.session.expand_pairs
         while stack:
-            current, depth, used, last_eid = stack.pop()
+            current, depth, used = stack.pop()
             if depth == max_hops:
                 continue
-            for eid, neighbor in self._adjacent(
-                current, labels, direction
-            ):
+            for eid, neighbor in expand_pairs(current, labels, direction):
                 if eid in used:
                     continue
                 if depth + 1 >= min_hops:
                     results.append((eid, neighbor))
-                stack.append(
-                    (neighbor, depth + 1, used | {eid}, eid)
-                )
+                stack.append((neighbor, depth + 1, used | {eid}))
         return results
-
-    def _expand(
-        self,
-        step: ExpandStep,
-        specs: dict[str, NodeSpec],
-        bindings: list[Binding],
-    ) -> list[Binding]:
-        spec = specs[step.to_var]
-        out: list[Binding] = []
-        for binding in bindings:
-            from_binding = binding[step.from_var]
-            assert isinstance(from_binding, VertexBinding)
-            for eid, neighbor in self._expand_one(from_binding.vid, step):
-                if not self._accept_vertex(neighbor, spec):
-                    continue
-                extended = {**binding, step.to_var: VertexBinding(neighbor)}
-                plain_hop = (
-                    step.edge.min_hops, step.edge.max_hops
-                ) == (1, 1)
-                if step.edge.rel_var and plain_hop:
-                    # Variable-length patterns bind a path in Cypher;
-                    # we bind relationship variables on plain hops only.
-                    extended[step.edge.rel_var] = EdgeBinding(eid)
-                out.append(extended)
-        return out
-
-    def _join_check(
-        self, step: JoinCheckStep, bindings: list[Binding]
-    ) -> list[Binding]:
-        edge_spec = step.edge
-        variable_length = (
-            edge_spec.min_hops, edge_spec.max_hops
-        ) != (1, 1)
-        out: list[Binding] = []
-        for binding in bindings:
-            src = binding[edge_spec.src_var]
-            dst = binding[edge_spec.dst_var]
-            assert isinstance(src, VertexBinding)
-            assert isinstance(dst, VertexBinding)
-            matched_eid = None
-            if variable_length:
-                for eid, neighbor in self._expand_paths(
-                    src.vid, edge_spec.labels, edge_spec.direction,
-                    edge_spec.min_hops, edge_spec.max_hops,
-                ):
-                    if neighbor == dst.vid:
-                        matched_eid = eid
-                        break
-            else:
-                for label in edge_spec.labels or (None,):
-                    for edge in self.session.expand(
-                        src.vid, label, edge_spec.direction
-                    ):
-                        neighbor = (
-                            edge.dst if edge.src == src.vid else edge.src
-                        )
-                        if neighbor == dst.vid:
-                            matched_eid = edge.eid
-                            break
-                    if matched_eid is not None:
-                        break
-            if matched_eid is None:
-                continue
-            if edge_spec.rel_var and not variable_length:
-                binding = {
-                    **binding, edge_spec.rel_var: EdgeBinding(matched_eid)
-                }
-            out.append(binding)
-        return out
-
-    # ------------------------------------------------------------------
-    # Expression evaluation
-    # ------------------------------------------------------------------
-    def _eval_row(self, expr: Expr, binding: Binding) -> object:
-        if isinstance(expr, Literal):
-            return expr.value
-        if isinstance(expr, Star):
-            return 1
-        if isinstance(expr, Variable):
-            if expr.name not in binding:
-                raise QueryError(f"unbound variable {expr.name!r}")
-            return binding[expr.name]
-        if isinstance(expr, PropertyRef):
-            bound = binding.get(expr.var)
-            if bound is None:
-                raise QueryError(f"unbound variable {expr.var!r}")
-            if isinstance(bound, VertexBinding):
-                return self.session.read_property(bound.vid, expr.prop)
-            if isinstance(bound, EdgeBinding):
-                return self.session.read_edge_property(bound.eid, expr.prop)
-            raise QueryError(
-                f"variable {expr.var!r} is not a vertex or edge"
-            )
-        if isinstance(expr, FuncCall):
-            if expr.name in AGGREGATE_FUNCTIONS:
-                raise QueryError(
-                    f"aggregate {expr.name}() outside aggregation context"
-                )
-            args = [self._eval_row(arg, binding) for arg in expr.args]
-            return apply_scalar(expr.name, args)
-        if isinstance(expr, (Comparison, BoolOp, NotOp, NullCheck)):
-            return self._eval_predicate(expr, binding)
-        raise QueryError(f"cannot evaluate expression {expr!r}")
-
-    def _eval_predicate(self, expr: Expr, binding: Binding) -> bool:
-        if isinstance(expr, Comparison):
-            return compare(
-                expr.op,
-                self._eval_row(expr.lhs, binding),
-                self._eval_row(expr.rhs, binding),
-            )
-        if isinstance(expr, NullCheck):
-            value = self._eval_row(expr.expr, binding)
-            return value is not None if expr.negated else value is None
-        if isinstance(expr, BoolOp):
-            results = (
-                self._eval_predicate(op, binding) for op in expr.operands
-            )
-            return all(results) if expr.op == "and" else any(results)
-        if isinstance(expr, NotOp):
-            return not self._eval_predicate(expr.operand, binding)
-        return bool(self._eval_row(expr, binding))
-
-    def _eval_group(self, expr: Expr, group: list[Binding]) -> object:
-        if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS:
-            if not expr.args:
-                raise QueryError(f"{expr.name}() needs an argument")
-            arg = expr.args[0]
-            values = [self._eval_row(arg, b) for b in group]
-            return apply_aggregate(
-                expr.name, values, distinct=expr.distinct,
-                flatten=expr.flatten,
-            )
-        if isinstance(expr, FuncCall):
-            args = [self._eval_group(arg, group) for arg in expr.args]
-            return apply_scalar(expr.name, args)
-        if not contains_aggregate(expr):
-            if not group:
-                return None
-            return self._eval_row(expr, group[0])
-        raise QueryError(
-            f"unsupported aggregate nesting in {expr!r}"
-        )  # pragma: no cover - parser produces FuncCall nests only
 
     # ------------------------------------------------------------------
     # Projection
     # ------------------------------------------------------------------
     def _project(
-        self, query: Query, bindings: list[Binding]
-    ) -> tuple[list[str], list[tuple]]:
+        self,
+        query: Query,
+        stream: Iterator[Binding],
+        evaluator: _Evaluator,
+    ) -> tuple[list[str], Iterable[tuple]]:
         items = query.return_items
         columns = [
             item.output_name(i) for i, item in enumerate(items)
@@ -390,38 +422,56 @@ class Executor:
             contains_aggregate(item.expr) for item in items
         )
         if not has_aggregate:
-            rows = [
-                tuple(self._eval_row(item.expr, b) for item in items)
-                for b in bindings
-            ]
+            fns = [evaluator.compile(item.expr) for item in items]
+            if len(fns) == 1:
+                fn = fns[0]
+                rows = ((fn(b),) for b in stream)
+            else:
+                rows = (tuple(fn(b) for fn in fns) for b in stream)
             return columns, rows
 
-        grouping_indices = [
-            i for i, item in enumerate(items)
+        grouping = [
+            evaluator.compile(item.expr)
+            for item in items
             if not contains_aggregate(item.expr)
         ]
-        groups: dict[tuple, list[Binding]] = {}
-        for binding in bindings:
-            key = tuple(
-                _hashable(self._eval_row(items[i].expr, binding))
-                for i in grouping_indices
-            )
-            groups.setdefault(key, []).append(binding)
-        if not groups and not grouping_indices:
+        groups: dict[object, list[Binding]] = {}
+        setdefault = groups.setdefault
+        if len(grouping) == 1:
+            key_fn = grouping[0]
+            for binding in stream:
+                setdefault(_hashable(key_fn(binding)), []).append(binding)
+        else:
+            for binding in stream:
+                key = tuple(_hashable(fn(binding)) for fn in grouping)
+                setdefault(key, []).append(binding)
+        if not groups and not grouping:
             groups[()] = []  # global aggregate over zero matches
+        group_fns = [evaluator.compile_group(item.expr) for item in items]
         rows = [
-            tuple(self._eval_group(item.expr, group) for item in items)
+            tuple(fn(group) for fn in group_fns)
             for group in groups.values()
         ]
         return columns, rows
 
     def _order(
-        self, query: Query, columns: list[str], rows: list[tuple]
+        self, query: Query, columns: list[str], rows: Iterable[tuple]
     ) -> list[tuple]:
         indices: list[tuple[int, bool]] = []
         for order in query.order_by:
             index = _order_column(order.expr, query.return_items, columns)
             indices.append((index, order.descending))
+        if query.limit is not None:
+            # Bounded heap: top-k without materializing a full sort.
+            def key(row: tuple) -> tuple:
+                return tuple(
+                    _Descending(_sort_key(row[i])) if descending
+                    else _sort_key(row[i])
+                    for i, descending in indices
+                )
+
+            return heapq.nsmallest(query.limit, rows, key=key)
+        rows = list(rows)
         for index, descending in reversed(indices):
             rows = sorted(
                 rows,
@@ -429,6 +479,23 @@ class Executor:
                 reverse=descending,
             )
         return rows
+
+
+class _Descending:
+    """Inverts comparison order for DESC keys inside the top-k heap."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, _Descending) and other.value == self.value
+        )
 
 
 def _order_column(
@@ -462,12 +529,10 @@ def _sort_key(value: object) -> tuple:
     return (0, 2, str(value))
 
 
-def _dedupe(rows: list[tuple]) -> list[tuple]:
+def _dedupe(rows: Iterable[tuple]) -> Iterator[tuple]:
     seen: set = set()
-    result: list[tuple] = []
     for row in rows:
         key = tuple(_hashable(v) for v in row)
         if key not in seen:
             seen.add(key)
-            result.append(row)
-    return result
+            yield row

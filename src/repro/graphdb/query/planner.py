@@ -4,30 +4,54 @@ Turns the MATCH patterns of a query into an ordered list of steps:
 
 * ``ScanStep`` - produce candidate bindings for one variable from a
   property-index lookup, a label scan, or (last resort) an all-vertices
-  scan;
+  scan; the access path is chosen at plan time and recorded on the step;
 * ``ExpandStep`` - extend bindings along one relationship pattern via
   adjacency, checking the far node's labels/property filters inline;
 * ``JoinCheckStep`` - verify a relationship between two already-bound
-  variables (cycles in the pattern graph).
+  variables (cycles in the pattern graph) with an O(1) endpoint-pair
+  probe.
 
 Start-point choice is selectivity-driven: an exact property filter with
 an index beats a label scan, and smaller labels beat bigger ones - the
 same heuristics production engines apply.  Disconnected pattern
 components each get their own scan (cartesian product).
+
+The planner also owns two jobs the executor used to do per row:
+
+* **Slot allocation** - every variable the plan binds gets a fixed slot
+  index, assigned in the order steps bind them, so the executor can
+  represent a binding as a flat tuple it extends by appending instead
+  of copying a dict per step.  A consequence: reusing one relationship
+  variable across two patterns is rejected with a
+  :class:`~repro.exceptions.QueryError` (the previous engine silently
+  bound it to whichever pattern matched last, which is not Cypher's
+  same-relationship semantics either).
+* **Predicate pushdown** - WHERE is decomposed into AND-conjuncts;
+  single-variable equality conjuncts (``x.p = literal``) are folded
+  into the variable's :class:`NodeSpec` props (where they can hit a
+  property index and drive scan selection), and every remaining
+  conjunct is attached to the earliest step that binds all of its
+  variables, so non-matching bindings die as soon as possible.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.exceptions import QueryError
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.query.ast import (
+    BoolOp,
+    Comparison,
+    Expr,
     Literal,
     NodePattern,
+    PropertyRef,
     Query,
-    RelPattern,
+    contains_aggregate,
+    expr_text,
+    variables_used,
 )
 
 
@@ -52,10 +76,25 @@ class EdgeSpec:
     min_hops: int = 1   # variable-length patterns: -[:T*m..n]->
     max_hops: int = 1
 
+    @property
+    def is_plain_hop(self) -> bool:
+        return (self.min_hops, self.max_hops) == (1, 1)
+
 
 @dataclass(frozen=True)
 class ScanStep:
     var: str
+    slot: int = 0
+    #: Access path chosen at plan time: "index" / "label" / "all".
+    access: str = "all"
+    access_label: str | None = None
+    access_prop: str | None = None
+    access_value: object = None
+    #: Labels/props the access path does NOT already guarantee.
+    check_labels: tuple[str, ...] = ()
+    check_props: tuple[tuple[str, object], ...] = ()
+    #: Pushed-down WHERE conjuncts evaluable once this step binds.
+    filters: tuple[Expr, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -63,17 +102,92 @@ class ExpandStep:
     from_var: str
     to_var: str
     edge: EdgeSpec
+    from_slot: int = 0
+    to_slot: int = 0
+    rel_slot: int | None = None
+    #: Traversal direction seen from ``from_var`` (the edge direction
+    #: flipped when the plan walks the pattern backwards).
+    walk_direction: str = "out"
+    filters: tuple[Expr, ...] = ()
 
 
 @dataclass(frozen=True)
 class JoinCheckStep:
     edge: EdgeSpec
+    src_slot: int = 0
+    dst_slot: int = 0
+    rel_slot: int | None = None
+    filters: tuple[Expr, ...] = ()
 
 
 @dataclass
 class Plan:
     steps: list
     node_specs: dict[str, NodeSpec]
+    #: Variable name -> fixed binding-tuple slot.
+    slots: dict[str, int] = field(default_factory=dict)
+    #: Variable name -> "vertex" | "edge" (what the slot holds).
+    slot_kinds: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.slots)
+
+    def describe(self) -> str:
+        """Human-readable rendering of steps and pushed predicates."""
+        lines = []
+        for i, step in enumerate(self.steps):
+            if isinstance(step, ScanStep):
+                if step.access == "index":
+                    how = (
+                        f"index lookup ({step.access_label}."
+                        f"{step.access_prop} = {step.access_value!r})"
+                    )
+                elif step.access == "label":
+                    how = f"label scan (:{step.access_label})"
+                else:
+                    how = "all-vertices scan"
+                text = f"Scan {step.var} via {how}"
+                residual = [f":{label}" for label in step.check_labels]
+                residual += [
+                    f"{name}={value!r}" for name, value in step.check_props
+                ]
+                if residual:
+                    text += f" check[{', '.join(residual)}]"
+            elif isinstance(step, ExpandStep):
+                text = (
+                    f"Expand ({step.from_var})"
+                    f"{_edge_text(step.edge)}({step.to_var}) "
+                    f"[{step.walk_direction}]"
+                )
+            else:
+                text = (
+                    f"JoinCheck ({step.edge.src_var})"
+                    f"{_edge_text(step.edge)}({step.edge.dst_var})"
+                )
+                if step.edge.is_plain_hop:
+                    text += " [O(1) pair probe]"
+            for predicate in step.filters:
+                text += f" filter[{expr_text(predicate)}]"
+            lines.append(f"{i + 1}. {text}")
+        return "\n".join(lines)
+
+
+def _edge_text(edge: EdgeSpec) -> str:
+    inner = edge.rel_var or ""
+    if edge.labels:
+        inner += ":" + "|".join(edge.labels)
+    if not edge.is_plain_hop:
+        inner += f"*{edge.min_hops}..{edge.max_hops}"
+    body = f"[{inner}]" if inner else ""
+    if edge.direction == "out":
+        return f"-{body}->"
+    if edge.direction == "in":
+        return f"<-{body}-"
+    return f"-{body}-"
+
+
+_FLIP = {"out": "in", "in": "out", "any": "any"}
 
 
 def build_plan(query: Query, graph: PropertyGraph) -> Plan:
@@ -82,28 +196,44 @@ def build_plan(query: Query, graph: PropertyGraph) -> Plan:
     if not specs:
         raise QueryError("query has no node patterns")
 
+    conjuncts = _decompose_where(query)
+    residual = [c for c in conjuncts if not _try_fold(c, specs)]
+
     remaining_edges = list(edges)
     bound: set[str] = set()
+    slots: dict[str, int] = {}
+    slot_kinds: dict[str, str] = {}
     steps: list = []
+    #: Variables bound after each step (slots plus never-slotted vars
+    #: do not diverge here: every slotted var is bound when allocated).
+    bound_after: list[set[str]] = []
+
+    def alloc(var: str, kind: str) -> int:
+        if var in slots:
+            raise QueryError(f"variable {var!r} bound more than once")
+        slots[var] = len(slots)
+        slot_kinds[var] = kind
+        return slots[var]
 
     def estimate(spec: NodeSpec) -> tuple[int, int]:
         """(cost class, estimated cardinality): lower is better."""
-        for prop in spec.props:
-            for label in spec.labels:
-                if graph.has_property_index(label, prop):
-                    return (0, 1)
-        if spec.labels:
-            smallest = min(graph.label_count(l) for l in spec.labels)
+        access, label, _prop = _choose_access(spec, graph)
+        if access == "index":
+            return (0, 1)
+        if access == "label":
             cost_class = 1 if spec.props else 2
-            return (cost_class, smallest)
+            return (cost_class, graph.label_count(label))
         return (3, graph.num_vertices)
 
     unbound = set(specs)
     while unbound:
         # Pick the cheapest unbound variable as this component's start.
         start = min(unbound, key=lambda v: (estimate(specs[v]), v))
-        steps.append(ScanStep(start))
+        steps.append(
+            _make_scan(specs[start], graph, alloc(start, "vertex"))
+        )
         bound.add(start)
+        bound_after.append(set(bound))
         unbound.discard(start)
         # Greedily expand along pattern edges into the bound set.
         progress = True
@@ -113,18 +243,179 @@ def build_plan(query: Query, graph: PropertyGraph) -> Plan:
                 src_bound = edge.src_var in bound
                 dst_bound = edge.dst_var in bound
                 if src_bound and dst_bound:
-                    steps.append(JoinCheckStep(edge))
-                    remaining_edges.remove(edge)
-                    progress = True
+                    rel_slot = (
+                        alloc(edge.rel_var, "edge")
+                        if edge.rel_var and edge.is_plain_hop
+                        else None
+                    )
+                    steps.append(
+                        JoinCheckStep(
+                            edge,
+                            src_slot=slots[edge.src_var],
+                            dst_slot=slots[edge.dst_var],
+                            rel_slot=rel_slot,
+                        )
+                    )
+                    if edge.rel_var and edge.is_plain_hop:
+                        bound.add(edge.rel_var)
                 elif src_bound or dst_bound:
                     from_var = edge.src_var if src_bound else edge.dst_var
                     to_var = edge.dst_var if src_bound else edge.src_var
-                    steps.append(ExpandStep(from_var, to_var, edge))
+                    from_slot = slots[from_var]
+                    to_slot = alloc(to_var, "vertex")
+                    rel_slot = (
+                        alloc(edge.rel_var, "edge")
+                        if edge.rel_var and edge.is_plain_hop
+                        else None
+                    )
+                    steps.append(
+                        ExpandStep(
+                            from_var,
+                            to_var,
+                            edge,
+                            from_slot=from_slot,
+                            to_slot=to_slot,
+                            rel_slot=rel_slot,
+                            walk_direction=(
+                                edge.direction
+                                if from_var == edge.src_var
+                                else _FLIP[edge.direction]
+                            ),
+                        )
+                    )
                     bound.add(to_var)
+                    if edge.rel_var and edge.is_plain_hop:
+                        bound.add(edge.rel_var)
                     unbound.discard(to_var)
-                    remaining_edges.remove(edge)
-                    progress = True
-    return Plan(steps, specs)
+                else:
+                    continue
+                remaining_edges.remove(edge)
+                bound_after.append(set(bound))
+                progress = True
+    _attach_filters(steps, bound_after, residual)
+    return Plan(steps, specs, slots, slot_kinds)
+
+
+def _hashable_value(value: object) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+def _choose_access(
+    spec: NodeSpec, graph: PropertyGraph
+) -> tuple[str, str | None, str | None]:
+    """(access kind, label, prop): the single source of scan selection.
+
+    Both the start-point cost model and the emitted :class:`ScanStep`
+    derive from this, so they cannot disagree.
+    """
+    for prop, value in spec.props.items():
+        if not _hashable_value(value):
+            continue  # index buckets are keyed by value
+        for label in spec.labels:
+            if graph.has_property_index(label, prop):
+                return ("index", label, prop)
+    if spec.labels:
+        return ("label", min(spec.labels, key=graph.label_count), None)
+    return ("all", None, None)
+
+
+def _make_scan(spec: NodeSpec, graph: PropertyGraph, slot: int) -> ScanStep:
+    """Build the scan step and record its residual checks."""
+    access, label, prop = _choose_access(spec, graph)
+    return ScanStep(
+        spec.var,
+        slot=slot,
+        access=access,
+        access_label=label,
+        access_prop=prop,
+        access_value=spec.props[prop] if prop is not None else None,
+        check_labels=tuple(
+            l for l in sorted(spec.labels) if l != label
+        ),
+        check_props=tuple(
+            (name, value)
+            for name, value in spec.props.items()
+            if name != prop
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# WHERE decomposition and pushdown
+# ----------------------------------------------------------------------
+def _decompose_where(query: Query) -> list[Expr]:
+    if query.where is None:
+        return []
+    if contains_aggregate(query.where):
+        raise QueryError("aggregate functions are not allowed in WHERE")
+    return _conjuncts(query.where)
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        out: list[Expr] = []
+        for operand in expr.operands:
+            out.extend(_conjuncts(operand))
+        return out
+    return [expr]
+
+
+def _try_fold(conjunct: Expr, specs: dict[str, NodeSpec]) -> bool:
+    """Fold ``x.p = literal`` into x's NodeSpec props when equivalent.
+
+    Folding is skipped (conjunct stays a runtime filter) when the
+    literal is null (``= null`` is always false in our semantics, while
+    a prop constraint would invert that) or when it conflicts with an
+    existing constraint (the query then just matches nothing, which the
+    residual filter preserves without raising).
+    """
+    if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+        return False
+    for prop_ref, literal in (
+        (conjunct.lhs, conjunct.rhs),
+        (conjunct.rhs, conjunct.lhs),
+    ):
+        if not isinstance(prop_ref, PropertyRef):
+            continue
+        if not isinstance(literal, Literal) or literal.value is None:
+            continue
+        if not _hashable_value(literal.value):
+            continue  # property indexes can't look this up
+        spec = specs.get(prop_ref.var)
+        if spec is None:
+            continue
+        existing = spec.props.get(prop_ref.prop)
+        if existing is not None:
+            return existing == literal.value  # conflicting: keep residual
+        spec.props[prop_ref.prop] = literal.value
+        return True
+    return False
+
+
+def _attach_filters(
+    steps: list, bound_after: list[set[str]], residual: list[Expr]
+) -> None:
+    """Attach each conjunct to the earliest step binding its variables."""
+    if not residual or not steps:
+        return
+    extra: dict[int, list[Expr]] = {}
+    last = len(steps) - 1
+    for conjunct in residual:
+        used = variables_used(conjunct)
+        target = last
+        for i, bound in enumerate(bound_after):
+            if used <= bound:
+                target = i
+                break
+        extra.setdefault(target, []).append(conjunct)
+    for i, filters in extra.items():
+        steps[i] = replace(
+            steps[i], filters=steps[i].filters + tuple(filters)
+        )
 
 
 def _collect(

@@ -7,6 +7,14 @@ backend profile.  Vertices live on property pages, adjacency lists on
 adjacency pages; ids are clustered onto pages in insertion order, which
 approximates how both Neo4j record stores and JanusGraph's adjacency
 layout behave.
+
+Besides the classic per-read API (:meth:`GraphSession.read_labels`,
+:meth:`GraphSession.expand`, ...), the session exposes fused fast paths
+the streaming executor uses: :meth:`GraphSession.expand_pairs` (raw
+(eid, neighbor) pairs, no Edge list), :meth:`GraphSession.accept_vertex`
+(label + property check in one call) and
+:meth:`GraphSession.edge_between` (O(1) endpoint-pair join probe, one
+traversal instead of a full adjacency scan).
 """
 
 from __future__ import annotations
@@ -29,34 +37,34 @@ class GraphSession:
         self.profile = profile
         self.cache = cache or LruPageCache(profile.cache_pages)
         self.metrics = ExecutionMetrics()
+        self._vertices_per_page = max(1, profile.vertices_per_page)
+        self._adjacency_per_page = max(1, profile.adjacency_per_page)
+        # Hot-path aliases: the adjacency dicts are mutated in place by
+        # the graph, never replaced, so binding them once is safe.
+        self._graph_out = graph._out
+        self._graph_in = graph._in
 
     # ------------------------------------------------------------------
     # Page simulation
     # ------------------------------------------------------------------
-    def _touch(self, kind: str, ordinal: int, per_page: int) -> None:
-        page = (kind, ordinal // max(1, per_page))
+    def _touch_page(self, page: tuple) -> None:
+        """Record one page access as a cache hit or miss."""
         if self.cache.touch(page):
             self.metrics.page_hits += 1
         else:
             self.metrics.page_misses += 1
-
-    def _touch_vertex_page(self, vid: int) -> None:
-        self._touch("v", vid, self.profile.vertices_per_page)
-
-    def _touch_adjacency_page(self, vid: int) -> None:
-        self._touch("a", vid, self.profile.adjacency_per_page)
 
     # ------------------------------------------------------------------
     # Instrumented reads
     # ------------------------------------------------------------------
     def read_labels(self, vid: int) -> frozenset[str]:
         self.metrics.vertex_reads += 1
-        self._touch_vertex_page(vid)
+        self._touch_page(("v", vid // self._vertices_per_page))
         return self.graph.vertex(vid).labels
 
     def read_property(self, vid: int, name: str) -> object:
         self.metrics.property_reads += 1
-        self._touch_vertex_page(vid)
+        self._touch_page(("v", vid // self._vertices_per_page))
         return self.graph.vertex(vid).properties.get(name)
 
     def read_edge_property(self, eid: int, name: str) -> object:
@@ -67,7 +75,7 @@ class GraphSession:
         self, vid: int, label: str | None, direction: str
     ) -> list[Edge]:
         """Adjacent edges of ``vid``; each returned edge is a traversal."""
-        self._touch_adjacency_page(vid)
+        self._touch_page(("a", vid // self._adjacency_per_page))
         if direction == "out":
             edges = self.graph.out_edges(vid, label)
         elif direction == "in":
@@ -78,6 +86,93 @@ class GraphSession:
             )
         self.metrics.edge_traversals += len(edges)
         return edges
+
+    def expand_pairs(
+        self, vid: int, labels: tuple[str, ...], direction: str
+    ) -> list[tuple[int, int]]:
+        """(eid, neighbor) pairs of ``vid``; one page touch per expand.
+
+        The fast path behind pattern expansion: adjacency buckets store
+        the neighbor id, so no edge record is dereferenced and no
+        :class:`Edge` list is built.
+        """
+        self._touch_page(("a", vid // self._adjacency_per_page))
+        metrics = self.metrics
+        pairs: list[tuple[int, int]] = []
+        if direction != "in":
+            adjacency = self._graph_out.get(vid)
+            if adjacency:
+                self._collect_pairs(adjacency, labels, pairs)
+        if direction != "out":
+            adjacency = self._graph_in.get(vid)
+            if adjacency:
+                self._collect_pairs(adjacency, labels, pairs)
+        metrics.edge_traversals += len(pairs)
+        return pairs
+
+    @staticmethod
+    def _collect_pairs(
+        adjacency: dict, labels: tuple[str, ...], pairs: list
+    ) -> None:
+        if labels:
+            for label in labels:
+                bucket = adjacency.get(label)
+                if bucket:
+                    pairs.extend(bucket.items())
+        else:
+            for bucket in adjacency.values():
+                pairs.extend(bucket.items())
+
+    def accept_vertex(
+        self,
+        vid: int,
+        labels: frozenset[str] | None,
+        props: tuple[tuple[str, object], ...],
+    ) -> bool:
+        """Fused label/property acceptance check for one vertex.
+
+        Counts one vertex read when labels are checked and one property
+        read per checked property, like the equivalent sequence of
+        :meth:`read_labels` / :meth:`read_property` calls.
+        """
+        metrics = self.metrics
+        touch_page = self._touch_page
+        page = ("v", vid // self._vertices_per_page)
+        vertex = self.graph.vertex(vid)
+        if labels is not None:
+            metrics.vertex_reads += 1
+            touch_page(page)
+            if not labels <= vertex.labels:
+                return False
+        if props:
+            properties = vertex.properties
+            for prop, value in props:
+                metrics.property_reads += 1
+                touch_page(page)
+                if properties.get(prop) != value:
+                    return False
+        return True
+
+    def edge_between(
+        self,
+        src: int,
+        dst: int,
+        labels: tuple[str, ...],
+        direction: str,
+    ) -> int | None:
+        """O(1) join-check probe: the first matching eid, or None.
+
+        Costs one adjacency-page touch and one edge traversal - the
+        executor's join-check step uses this instead of scanning and
+        re-counting the full adjacency list of ``src``.
+        """
+        self._touch_page(("a", src // self._adjacency_per_page))
+        self.metrics.edge_traversals += 1
+        for label in labels or (None,):
+            eid = self.graph.first_edge_between(src, dst, label, direction)
+            if eid is not None:
+                return eid
+        return None
 
     def label_scan(self, label: str) -> list[int]:
         self.metrics.index_lookups += 1

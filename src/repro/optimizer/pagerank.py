@@ -53,17 +53,20 @@ def pagerank(
         return {}, 0
     rank = {node: 1.0 / n for node in nodes}
     out_degree = {node: len(adjacency[node]) for node in nodes}
+    # Dangling nodes and the emitting node list never change across
+    # iterations - computing them once keeps each power iteration to a
+    # single pass over the edges.
+    dangling = [node for node in nodes if out_degree[node] == 0]
+    emitting = [
+        (node, adjacency[node]) for node in nodes if out_degree[node]
+    ]
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        dangling_mass = sum(
-            rank[node] for node in nodes if out_degree[node] == 0
-        )
-        incoming = {node: 0.0 for node in nodes}
-        for node in nodes:
-            if out_degree[node] == 0:
-                continue
-            share = rank[node] / out_degree[node]
-            for neighbor in adjacency[node]:
+        dangling_mass = sum(rank[node] for node in dangling)
+        incoming = dict.fromkeys(nodes, 0.0)
+        for node, neighbors in emitting:
+            share = rank[node] / len(neighbors)
+            for neighbor in neighbors:
                 incoming[neighbor] += share
         base = (1.0 - damping) / n + damping * dangling_mass / n
         new_rank = {

@@ -3,7 +3,10 @@
 Latency here is the *simulated* backend latency (deterministic, see
 :mod:`repro.graphdb.backends`); wall-clock execution time is also
 recorded for completeness.  One :class:`GraphSession` (and hence one
-page cache) is shared across a workload run, as a real backend would.
+page cache) and one :class:`Executor` are shared across a workload run,
+as a real backend would.  Pass ``collect_rows=True`` to keep each
+query's result rows on its :class:`QueryRun` - the equivalence checks
+use this to compare result multisets without re-running the workload.
 """
 
 from __future__ import annotations
@@ -26,6 +29,8 @@ class QueryRun:
     latency_ms: float
     wall_ms: float
     metrics: ExecutionMetrics
+    #: Result rows, kept only when the workload ran with collect_rows.
+    result_rows: list[tuple] | None = None
 
 
 @dataclass
@@ -65,6 +70,7 @@ def run_queries(
     graph: PropertyGraph,
     profile: BackendProfile,
     queries: list[tuple[str, Query | str]],
+    collect_rows: bool = False,
 ) -> WorkloadReport:
     """Execute ``queries`` (qid, text-or-AST pairs) on one session."""
     session = GraphSession(graph, profile)
@@ -81,6 +87,7 @@ def run_queries(
                 latency_ms=result.latency_ms,
                 wall_ms=wall_ms,
                 metrics=result.metrics,
+                result_rows=result.rows if collect_rows else None,
             )
         )
     return report
@@ -91,5 +98,8 @@ def run_single(
     profile: BackendProfile,
     query: Query | str,
     qid: str = "q",
+    collect_rows: bool = False,
 ) -> QueryRun:
-    return run_queries(graph, profile, [(qid, query)]).runs[0]
+    return run_queries(
+        graph, profile, [(qid, query)], collect_rows=collect_rows
+    ).runs[0]

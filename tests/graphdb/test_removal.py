@@ -72,6 +72,59 @@ class TestSetPropertyIndexMaintenance:
         graph.remove_property(0, "ghost")  # does not raise
 
 
+class TestEmptyBucketCleanup:
+    def test_deleted_label_disappears(self, graph):
+        assert "B" in graph.labels()
+        graph.remove_vertex(2)  # the only B vertex
+        assert "B" not in graph.labels()
+        assert graph.vertices_with_label("B") == []
+
+    def test_label_survives_while_populated(self, graph):
+        graph.remove_vertex(0)
+        assert "A" in graph.labels()
+
+    def test_removed_edge_label_disappears_from_adjacency(self, graph):
+        eid = graph.out_edges(0, "likes")[0].eid
+        graph.remove_edge(eid)
+        assert graph.out_edges(0, "likes") == []
+        assert not graph.has_edge_between(0, 2, "likes")
+
+    def test_property_index_bucket_dropped(self, graph):
+        graph.create_property_index("A", "name")
+        graph.set_property(0, "name", "renamed")
+        assert graph.lookup_property("A", "name", "a") == []
+        assert graph.lookup_property("A", "name", "renamed") == [0]
+
+
+class TestHasEdgeBetween:
+    def test_directions(self, graph):
+        assert graph.has_edge_between(0, 1, "knows", "out")
+        assert not graph.has_edge_between(1, 0, "knows", "out")
+        assert graph.has_edge_between(1, 0, "knows", "in")
+        assert graph.has_edge_between(1, 0, "knows", "any")
+
+    def test_label_filter(self, graph):
+        assert graph.has_edge_between(0, 2, "likes")
+        assert not graph.has_edge_between(0, 2, "knows")
+        assert graph.has_edge_between(0, 2, None)
+
+    def test_follows_removal(self, graph):
+        eid = graph.out_edges(0, "knows")[0].eid
+        graph.remove_edge(eid)
+        assert not graph.has_edge_between(0, 1, "knows")
+
+    def test_first_edge_between_returns_eid(self, graph):
+        eid = graph.first_edge_between(0, 1, "knows")
+        assert graph.edge(eid).label == "knows"
+        assert graph.first_edge_between(2, 0, "knows") is None
+
+    def test_multigraph_keeps_remaining_parallel_edge(self, graph):
+        extra = graph.add_edge(0, 1, "knows")
+        first = graph.first_edge_between(0, 1, "knows")
+        graph.remove_edge(first)
+        assert graph.first_edge_between(0, 1, "knows") == extra
+
+
 class TestPlannerCartesian:
     def test_disconnected_patterns_cartesian(self, graph):
         from repro.graphdb.backends import NEO4J_LIKE
