@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Storage subsystem benchmarks -> BENCH_storage.json.
+
+Measures, on the MED dataset (full scale):
+
+* snapshot write / load throughput for the DIR and OPT graphs;
+* dataset regeneration vs memoized snapshot load - regeneration is
+  exactly what the snapshot cache replaces on a hit: synthesizing the
+  logical instance data and running both graph loaders (the schema
+  optimizer runs either way, so it is excluded from both sides);
+* WAL append throughput (batched fsync) and replay rate;
+* cold store recovery (snapshot + WAL tail).
+
+Each metric is repeated and reported as aggregate stats (median, mean,
+min, max, stdev) - no per-iteration dumps.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_storage.py [--out PATH]
+
+``benchmarks/run_bench.sh`` invokes it after the engine benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.harness import build_pipeline
+from repro.data.loader import load_direct, load_optimized
+from repro.datasets import build_med
+from repro.graphdb.storage import (
+    GraphStore,
+    WriteAheadLog,
+    read_snapshot,
+    read_wal,
+    recover_graph,
+    replay,
+    write_snapshot,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Snapshot-load vs regeneration target (acceptance criterion).
+TARGET_SPEEDUP = 5.0
+
+
+def timed(fn, repeats: int) -> tuple[list[float], object]:
+    """Run ``fn`` ``repeats`` times; (ms samples, last result)."""
+    samples = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        samples.append((time.perf_counter() - started) * 1000.0)
+    return samples, result
+
+
+def stats(samples: list[float]) -> dict:
+    return {
+        "repeats": len(samples),
+        "median_ms": round(statistics.median(samples), 3),
+        "mean_ms": round(statistics.fmean(samples), 3),
+        "min_ms": round(min(samples), 3),
+        "max_ms": round(max(samples), 3),
+        "stdev_ms": round(
+            statistics.stdev(samples) if len(samples) > 1 else 0.0, 3
+        ),
+    }
+
+
+def bench(name: str, fn, repeats: int, extra: dict | None = None) -> dict:
+    samples, _ = timed(fn, repeats)
+    entry = {"name": name, "stats": stats(samples)}
+    if extra:
+        entry["extra"] = extra
+    print(f"  {name}: median {entry['stats']['median_ms']:.1f} ms")
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_storage.json")
+    )
+    parser.add_argument("--repeats", type=int, default=7)
+    args = parser.parse_args(argv)
+    repeats = max(3, args.repeats)
+
+    print("storage benchmarks (MED, scale 1.0)")
+    med = build_med()
+    pipeline = build_pipeline(med, scale=1.0)
+    mapping = pipeline.result.mapping
+    benchmarks: list[dict] = []
+
+    with tempfile.TemporaryDirectory() as tmpname:
+        tmp = Path(tmpname)
+        dir_snap = tmp / "med-dir.rpgs"
+        opt_snap = tmp / "med-opt.rpgs"
+
+        # Snapshot write ------------------------------------------------
+        nbytes = write_snapshot(pipeline.dir_graph, dir_snap)
+        write_samples, _ = timed(
+            lambda: write_snapshot(pipeline.dir_graph, dir_snap), repeats
+        )
+        entry = {
+            "name": "snapshot_write_med_dir",
+            "stats": stats(write_samples),
+            "extra": {
+                "bytes": nbytes,
+                "mb_per_s": round(
+                    nbytes / 1e6
+                    / (statistics.median(write_samples) / 1000.0),
+                    1,
+                ),
+            },
+        }
+        print(f"  {entry['name']}: median "
+              f"{entry['stats']['median_ms']:.1f} ms "
+              f"({entry['extra']['mb_per_s']} MB/s)")
+        benchmarks.append(entry)
+        write_snapshot(pipeline.opt_graph, opt_snap)
+
+        # Snapshot load vs regeneration --------------------------------
+        benchmarks.append(bench(
+            "snapshot_load_med_dir",
+            lambda: read_snapshot(dir_snap),
+            repeats,
+            {"vertices": pipeline.dir_graph.num_vertices,
+             "edges": pipeline.dir_graph.num_edges},
+        ))
+        benchmarks.append(bench(
+            "snapshot_load_med_opt",
+            lambda: read_snapshot(opt_snap),
+            repeats,
+        ))
+
+        def regenerate():
+            logical = med.logical(scale=1.0)
+            load_direct(logical, name="med-DIR")
+            load_optimized(logical, mapping, name="med-OPT")
+
+        regen = bench(
+            "regenerate_med_graphs", regenerate, max(3, repeats // 2)
+        )
+        benchmarks.append(regen)
+
+        def memoized_load():
+            read_snapshot(dir_snap)
+            read_snapshot(opt_snap)
+
+        memo = bench("memoized_load_med_graphs", memoized_load, repeats)
+        speedup = round(
+            regen["stats"]["median_ms"] / memo["stats"]["median_ms"], 2
+        )
+        memo["extra"] = {
+            "speedup_vs_regeneration": speedup,
+            "target_speedup": TARGET_SPEEDUP,
+            "meets_target": speedup >= TARGET_SPEEDUP,
+        }
+        print(f"  -> memoized load is {speedup}x faster than "
+              f"regeneration (target >= {TARGET_SPEEDUP}x)")
+        benchmarks.append(memo)
+
+        # WAL append ----------------------------------------------------
+        wal_ops = 20_000
+
+        def wal_append():
+            wal_path = tmp / "bench.rpgw"
+            if wal_path.exists():
+                wal_path.unlink()
+            wal = WriteAheadLog(wal_path, generation=1, sync="batch")
+            for i in range(wal_ops):
+                wal.append(
+                    "set_property", (i % 1000, "score", float(i))
+                )
+            wal.close()
+
+        append = bench(
+            "wal_append_20k_ops", wal_append, max(3, repeats // 2)
+        )
+        append["extra"] = {
+            "ops": wal_ops,
+            "ops_per_s": round(
+                wal_ops / (append["stats"]["median_ms"] / 1000.0)
+            ),
+        }
+        print(f"    ({append['extra']['ops_per_s']:,} appends/s)")
+        benchmarks.append(append)
+
+        # WAL replay ----------------------------------------------------
+        replay_dir = tmp / "replay-store"
+        store = GraphStore.create(replay_dir, read_snapshot(dir_snap))
+        graph = store.graph
+        vids = [v.vid for v in graph.iter_vertices()]
+        for i in range(10_000):
+            graph.set_property(vids[i % len(vids)], "w", i)
+        store.close()
+
+        scan = read_wal(
+            next(replay_dir.glob("wal-*.rpgw"))
+        )
+
+        def wal_replay():
+            replay(read_snapshot(dir_snap), scan)
+
+        rep = bench(
+            "wal_replay_10k_ops", wal_replay, max(3, repeats // 2)
+        )
+        rep["extra"] = {
+            "ops": len(scan.records),
+            "ops_per_s": round(
+                len(scan.records) / (rep["stats"]["median_ms"] / 1000.0)
+            ),
+        }
+        print(f"    ({rep['extra']['ops_per_s']:,} replays/s)")
+        benchmarks.append(rep)
+
+        # Cold recovery (snapshot + WAL tail) ---------------------------
+        benchmarks.append(bench(
+            "recovery_open_med_dir_10k_wal",
+            lambda: recover_graph(replay_dir),
+            max(3, repeats // 2),
+        ))
+
+    report = {
+        "suite": "storage",
+        "dataset": "med",
+        "benchmarks": benchmarks,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

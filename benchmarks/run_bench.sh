@@ -1,26 +1,39 @@
-#!/usr/bin/env sh
-# Run the engine micro-benchmarks and record the results at the repo
-# root as BENCH_engine.json (the perf trajectory artifact).
+#!/usr/bin/env bash
+# Run the engine micro-benchmarks and the storage benchmarks, recording
+# results at the repo root as BENCH_engine.json and BENCH_storage.json
+# (the perf trajectory artifacts).
 #
 # Usage: benchmarks/run_bench.sh [extra pytest args...]
-set -eu
+set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$REPO_ROOT"
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest \
     benchmarks/bench_engine_ops.py \
     --benchmark-only \
     --benchmark-json="$REPO_ROOT/BENCH_engine.json" \
     -q "$@"
 
+# pytest-benchmark dumps every raw iteration (tens of thousands of
+# lines); keep only the aggregate stats per op so the artifact stays
+# reviewable and diffs stay meaningful.
 python - <<'EOF'
 import json
 
 with open("BENCH_engine.json") as fh:
     report = json.load(fh)
+for bench in report["benchmarks"]:
+    bench["stats"].pop("data", None)
+with open("BENCH_engine.json", "w") as fh:
+    json.dump(report, fh, indent=2)
+    fh.write("\n")
 print(f"\nWrote BENCH_engine.json ({len(report['benchmarks'])} benchmarks):")
 for bench in report["benchmarks"]:
     median_us = bench["stats"]["median"] * 1e6
     print(f"  {bench['name']}: median {median_us:,.1f} us")
 EOF
+
+python benchmarks/bench_storage.py --out "$REPO_ROOT/BENCH_storage.json"

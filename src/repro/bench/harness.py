@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.bench.reporting import ExperimentTable, speedup
 from repro.data.loader import load_direct, load_optimized
 from repro.data.logical import LogicalDataset
 from repro.datasets.base import Dataset
+from repro.datasets.cache import graph_cache_key, memoized_graph
 from repro.graphdb.backends import JANUSGRAPH_LIKE, NEO4J_LIKE
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.query.ast import Query
@@ -63,7 +65,9 @@ class Pipeline:
 
     dataset: Dataset
     result: OptimizationResult
-    logical: LogicalDataset
+    #: ``None`` when both graphs came out of the snapshot cache (the
+    #: logical instance data is only materialized on a cache miss).
+    logical: LogicalDataset | None
     dir_graph: PropertyGraph
     opt_graph: PropertyGraph
     rewriter: QueryRewriter
@@ -76,8 +80,19 @@ def build_pipeline(
     thresholds: Thresholds = MICROBENCH_THRESHOLDS,
     workload: WorkloadSummary | None = None,
     scale: float = 1.0,
+    cache_dir: str | Path | None = None,
 ) -> Pipeline:
-    """Optimize, load both graphs, and rewrite the benchmark queries."""
+    """Optimize, load both graphs, and rewrite the benchmark queries.
+
+    ``cache_dir`` (or the ``REPRO_SNAPSHOT_CACHE`` environment
+    variable) memoizes the generated DIR/OPT graphs as binary
+    snapshots keyed by every generation input, so repeat runs skip
+    data generation and graph loading entirely.  The cache is only
+    consulted for the default query-driven workload - an explicit
+    ``workload`` changes the optimized schema, which the key does not
+    cover.
+    """
+    custom_workload = workload is not None
     if workload is None:
         workload = dataset.query_workload()
     model = CostBenefitModel(
@@ -87,11 +102,39 @@ def build_pipeline(
     result = optimize(
         dataset.ontology, dataset.stats, budget, workload, thresholds
     )
-    logical = dataset.logical(scale=scale)
-    dir_graph = load_direct(logical, name=f"{dataset.name}-DIR")
-    opt_graph = load_optimized(
-        logical, result.mapping, name=f"{dataset.name}-OPT"
-    )
+
+    logical: LogicalDataset | None = None
+
+    def get_logical() -> LogicalDataset:
+        nonlocal logical
+        if logical is None:
+            logical = dataset.logical(scale=scale)
+        return logical
+
+    def build_dir() -> PropertyGraph:
+        return load_direct(get_logical(), name=f"{dataset.name}-DIR")
+
+    def build_opt() -> PropertyGraph:
+        return load_optimized(
+            get_logical(), result.mapping, name=f"{dataset.name}-OPT"
+        )
+
+    if custom_workload:
+        # A custom workload changes the optimized schema in ways the
+        # cache key does not cover: never read or write the cache.
+        dir_graph = build_dir()
+        opt_graph = build_opt()
+    else:
+        dir_graph = memoized_graph(
+            graph_cache_key(dataset, "dir", scale), cache_dir, build_dir
+        )
+        opt_graph = memoized_graph(
+            graph_cache_key(
+                dataset, "opt", scale, budget_fraction, thresholds
+            ),
+            cache_dir,
+            build_opt,
+        )
     rewriter = QueryRewriter(dataset.ontology, result.mapping)
     rewritten = {
         qid: rewriter.rewrite(text)

@@ -1,0 +1,105 @@
+"""Snapshot memoization for generated benchmark graphs.
+
+Generating the MED/FIN property graphs (synthetic logical data plus
+the DIR/OPT loaders) costs hundreds of milliseconds per run and is
+repeated by every CLI demo, benchmark, and test session.  This module
+memoizes the finished :class:`~repro.graphdb.graph.PropertyGraph` as a
+binary snapshot (:mod:`repro.graphdb.storage.snapshot`), so repeated
+runs load in milliseconds instead of regenerating.
+
+Cache keys cover every generation *input*: dataset name, seed, base
+cardinality, scale, the optimizer's budget fraction and Jaccard
+thresholds (for OPT graphs), the snapshot format version, and the
+library version (so a release invalidates old entries).  They cannot
+see uncommitted changes to the generator/loader/optimizer code
+itself - when hacking on those, point ``REPRO_SNAPSHOT_CACHE``
+somewhere fresh or wipe the directory.  A corrupt or unreadable cache
+entry is silently rebuilt - the cache is an accelerator, never a
+source of truth.
+
+The default cache directory comes from ``REPRO_SNAPSHOT_CACHE``; when
+the variable is unset, callers must pass ``cache_dir`` explicitly
+(``None`` disables memoization entirely).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+from repro import __version__
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.storage.snapshot import (
+    FORMAT_VERSION,
+    SnapshotError,
+    read_snapshot,
+    write_snapshot,
+)
+
+#: Environment variable naming the default snapshot cache directory.
+CACHE_ENV = "REPRO_SNAPSHOT_CACHE"
+
+
+def default_cache_dir() -> Path | None:
+    """The cache directory from ``REPRO_SNAPSHOT_CACHE``, if set."""
+    value = os.environ.get(CACHE_ENV)
+    return Path(value) if value else None
+
+
+def resolve_cache_dir(cache_dir: str | Path | None) -> Path | None:
+    if cache_dir is not None:
+        return Path(cache_dir)
+    return default_cache_dir()
+
+
+def graph_cache_key(
+    dataset,
+    kind: str,
+    scale: float,
+    budget_fraction: float | None = None,
+    thresholds=None,
+) -> str:
+    """A filename-safe key covering every generation input."""
+    parts = [
+        dataset.name.lower(),
+        kind,
+        f"s{scale:g}",
+        f"c{dataset.base_cardinality}",
+        f"seed{dataset.seed}",
+        f"fmt{FORMAT_VERSION}",
+        f"v{__version__}",
+    ]
+    if budget_fraction is not None:
+        parts.append(f"b{budget_fraction:g}")
+    if thresholds is not None:
+        parts.append(f"t{thresholds.theta1:g}-{thresholds.theta2:g}")
+    return "-".join(parts)
+
+
+def memoized_graph(
+    key: str,
+    cache_dir: str | Path | None,
+    build: Callable[[], PropertyGraph],
+) -> PropertyGraph:
+    """Load ``<cache_dir>/<key>.rpgs``, or build and persist it.
+
+    With ``cache_dir=None`` (and no ``REPRO_SNAPSHOT_CACHE``) this is
+    just ``build()``.
+    """
+    directory = resolve_cache_dir(cache_dir)
+    if directory is None:
+        return build()
+    path = directory / f"{key}.rpgs"
+    if path.exists():
+        try:
+            return read_snapshot(path)
+        except SnapshotError:
+            pass  # stale/corrupt entry: rebuild below
+    graph = build()
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        write_snapshot(graph, path)
+    except OSError:
+        pass  # read-only cache location: serve the built graph anyway
+    return graph

@@ -31,6 +31,10 @@ class GraphError(ReproError):
     """Raised by the property-graph storage engine."""
 
 
+class StorageError(ReproError):
+    """Raised by the durable storage subsystem (snapshots, WAL, recovery)."""
+
+
 class QueryError(ReproError):
     """Raised for malformed queries (lexing, parsing, or binding errors)."""
 

@@ -56,11 +56,36 @@ class PropertyGraph:
         self._label_index: dict[str, _Bucket] = {}
         self._out: dict[int, dict[str, _Bucket]] = {}
         self._in: dict[int, dict[str, _Bucket]] = {}
-        #: (src, dst) -> label -> ordered set of eids.
-        self._pairs: dict[tuple[int, int], dict[str, _Bucket]] = {}
+        #: (src, dst) -> label -> ordered set of eids.  ``None`` means
+        #: "not materialized yet": the snapshot loader defers building
+        #: this index until the first endpoint probe, because batch
+        #: construction from ``_edges`` is cheaper than the per-edge
+        #: incremental path and many workloads never probe at all.
+        self._pairs: dict[tuple[int, int], dict[str, _Bucket]] | None = {}
         self._property_indexes: dict[tuple[str, str], dict] = {}
         self._next_vid = 0
         self._next_eid = 0
+        #: Mutation listeners (the durable store's WAL hook).  Each is
+        #: called as ``listener(op, args)`` *after* the mutation has
+        #: been applied; ``op`` is the method name, ``args`` its
+        #: essential arguments including assigned ids.
+        self._listeners: list = []
+
+    # ------------------------------------------------------------------
+    # Mutation listeners (write-ahead logging hook)
+    # ------------------------------------------------------------------
+    def add_listener(self, listener) -> None:
+        """Subscribe ``listener(op, args)`` to every mutation."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _emit(self, op: str, *args) -> None:
+        for listener in self._listeners:
+            listener(op, args)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -87,6 +112,11 @@ class PropertyGraph:
                 value = self._vertices[vid].properties.get(prop)
                 if value is not None:
                     index.setdefault(value, {})[vid] = None
+        if self._listeners:
+            self._emit(
+                "add_vertex", vid, label_set,
+                self._vertices[vid].properties,
+            )
         return vid
 
     def add_edge(
@@ -104,9 +134,15 @@ class PropertyGraph:
         self._edges[eid] = Edge(eid, src, dst, label, dict(properties or {}))
         self._out[src].setdefault(label, {})[eid] = dst
         self._in[dst].setdefault(label, {})[eid] = src
-        self._pairs.setdefault((src, dst), {}).setdefault(label, {})[
-            eid
-        ] = None
+        if self._pairs is not None:
+            self._pairs.setdefault((src, dst), {}).setdefault(label, {})[
+                eid
+            ] = None
+        if self._listeners:
+            self._emit(
+                "add_edge", eid, src, dst, label,
+                self._edges[eid].properties,
+            )
         return eid
 
     def set_property(self, vid: int, name: str, value: object) -> None:
@@ -120,6 +156,8 @@ class PropertyGraph:
                 self._index_discard(index, old, vid)
             if value is not None:
                 index.setdefault(value, {})[vid] = None
+        if self._listeners:
+            self._emit("set_property", vid, name, value)
 
     def remove_property(self, vid: int, name: str) -> None:
         vertex = self.vertex(vid)
@@ -129,6 +167,8 @@ class PropertyGraph:
         for (label, prop), index in self._property_indexes.items():
             if prop == name and label in vertex.labels:
                 self._index_discard(index, old, vid)
+        if self._listeners:
+            self._emit("remove_property", vid, name)
 
     @staticmethod
     def _index_discard(index: dict, value: object, vid: int) -> None:
@@ -145,10 +185,13 @@ class PropertyGraph:
         del self._edges[eid]
         self._adjacency_discard(self._out[edge.src], edge.label, eid)
         self._adjacency_discard(self._in[edge.dst], edge.label, eid)
-        pair = self._pairs[(edge.src, edge.dst)]
-        self._adjacency_discard(pair, edge.label, eid)
-        if not pair:
-            del self._pairs[(edge.src, edge.dst)]
+        if self._pairs is not None:
+            pair = self._pairs[(edge.src, edge.dst)]
+            self._adjacency_discard(pair, edge.label, eid)
+            if not pair:
+                del self._pairs[(edge.src, edge.dst)]
+        if self._listeners:
+            self._emit("remove_edge", eid)
 
     @staticmethod
     def _adjacency_discard(
@@ -178,6 +221,8 @@ class PropertyGraph:
         del self._vertices[vid]
         del self._out[vid]
         del self._in[vid]
+        if self._listeners:
+            self._emit("remove_vertex", vid)
 
     # ------------------------------------------------------------------
     # Access
@@ -255,10 +300,27 @@ class PropertyGraph:
             return self._first_in_pair((dst, src), label)
         return None
 
+    def _build_pairs(self) -> dict[tuple[int, int], dict[str, _Bucket]]:
+        """Materialize the endpoint-pair index from the edge store."""
+        pairs: dict[tuple[int, int], dict[str, _Bucket]] = {}
+        for edge in self._edges.values():
+            by_label = pairs.get((edge.src, edge.dst))
+            if by_label is None:
+                by_label = pairs[(edge.src, edge.dst)] = {}
+            bucket = by_label.get(edge.label)
+            if bucket is None:
+                bucket = by_label[edge.label] = {}
+            bucket[edge.eid] = None
+        self._pairs = pairs
+        return pairs
+
     def _first_in_pair(
         self, key: tuple[int, int], label: str | None
     ) -> int | None:
-        pair = self._pairs.get(key)
+        pairs = self._pairs
+        if pairs is None:
+            pairs = self._build_pairs()
+        pair = pairs.get(key)
         if not pair:
             return None
         if label is None:
@@ -296,6 +358,8 @@ class PropertyGraph:
             if value is not None:
                 index.setdefault(value, {})[vid] = None
         self._property_indexes[key] = index
+        if self._listeners:
+            self._emit("create_property_index", label, prop)
 
     def has_property_index(self, label: str, prop: str) -> bool:
         return (label, prop) in self._property_indexes

@@ -15,10 +15,21 @@ the streaming executor uses: :meth:`GraphSession.expand_pairs` (raw
 (label + property check in one call) and
 :meth:`GraphSession.edge_between` (O(1) endpoint-pair join probe, one
 traversal instead of a full adjacency scan).
+
+A session can also own a durable backing store:
+:meth:`GraphSession.open` recovers a data directory (snapshot + WAL
+replay, see :mod:`repro.graphdb.storage`) and from then on every graph
+mutation is write-ahead logged; :meth:`GraphSession.checkpoint`
+compacts the log into a fresh snapshot and :meth:`GraphSession.close`
+flushes and detaches.  Sessions created directly from an in-memory
+graph behave exactly as before - ``store`` stays ``None``.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
+from repro.exceptions import GraphError
 from repro.graphdb.backends import BackendProfile, NEO4J_LIKE
 from repro.graphdb.graph import Edge, PropertyGraph
 from repro.graphdb.metrics import ExecutionMetrics, LruPageCache
@@ -37,6 +48,8 @@ class GraphSession:
         self.profile = profile
         self.cache = cache or LruPageCache(profile.cache_pages)
         self.metrics = ExecutionMetrics()
+        #: Durable backing store; set by :meth:`GraphSession.open`.
+        self.store = None
         self._vertices_per_page = max(1, profile.vertices_per_page)
         self._adjacency_per_page = max(1, profile.adjacency_per_page)
         # Hot-path aliases: the adjacency dicts are mutated in place by
@@ -181,6 +194,48 @@ class GraphSession:
     def index_lookup(self, label: str, prop: str, value: object) -> list[int]:
         self.metrics.index_lookups += 1
         return self.graph.lookup_property(label, prop, value)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        data_dir: str | Path,
+        profile: BackendProfile = NEO4J_LIKE,
+        cache: LruPageCache | None = None,
+        create: bool = True,
+        sync: str = "batch",
+    ) -> GraphSession:
+        """Open (or create) a durable data directory as a session.
+
+        Recovery loads the latest valid snapshot and replays the WAL
+        tail; afterwards every mutation of ``session.graph`` is
+        write-ahead logged until :meth:`close`.
+        """
+        from repro.graphdb.storage import GraphStore
+
+        store = GraphStore.open(data_dir, create=create, sync=sync)
+        session = cls(store.graph, profile, cache)
+        session.store = store
+        return session
+
+    def checkpoint(self) -> Path:
+        """Compact the WAL into a fresh snapshot (durable stores only)."""
+        if self.store is None:
+            raise GraphError("session has no backing store")
+        return self.store.checkpoint()
+
+    def close(self) -> None:
+        """Flush and detach the backing store, if any."""
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> GraphSession:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Lifecycle

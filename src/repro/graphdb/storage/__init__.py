@@ -1,0 +1,57 @@
+"""Durable storage for property graphs: snapshots + WAL + recovery.
+
+See ``README.md`` in this directory for the on-disk format (snapshot
+header and section layout, WAL record framing, generation protocol and
+compaction policy).  Public surface:
+
+* :func:`write_snapshot` / :func:`read_snapshot` - single-file binary
+  snapshots of a :class:`~repro.graphdb.graph.PropertyGraph`;
+* :class:`WriteAheadLog` / :func:`read_wal` - append-only mutation log
+  with batched fsync and torn-tail detection;
+* :class:`RecoveryManager` / :func:`recover_graph` - open a data
+  directory and reconstruct the latest consistent state;
+* :class:`GraphStore` - the live handle tying all three together
+  (open / mutate-with-logging / checkpoint / close).
+"""
+
+from repro.exceptions import StorageError
+from repro.graphdb.storage.codec import CodecError
+from repro.graphdb.storage.recovery import (
+    RecoveryError,
+    RecoveryManager,
+    RecoveryReport,
+    recover_graph,
+)
+from repro.graphdb.storage.snapshot import (
+    SnapshotError,
+    graph_state,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.graphdb.storage.store import GraphStore
+from repro.graphdb.storage.wal import (
+    WalError,
+    WalScan,
+    WriteAheadLog,
+    read_wal,
+    replay,
+)
+
+__all__ = [
+    "CodecError",
+    "GraphStore",
+    "RecoveryError",
+    "RecoveryManager",
+    "RecoveryReport",
+    "SnapshotError",
+    "StorageError",
+    "WalError",
+    "WalScan",
+    "WriteAheadLog",
+    "graph_state",
+    "read_snapshot",
+    "read_wal",
+    "recover_graph",
+    "replay",
+    "write_snapshot",
+]

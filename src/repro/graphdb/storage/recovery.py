@@ -1,0 +1,209 @@
+"""Crash recovery: snapshot + WAL tail -> consistent graph.
+
+A data directory holds numbered generations::
+
+    data_dir/
+        snapshot-00000003.rpgs     (latest checkpoint)
+        wal-00000003.rpgw          (mutations since that checkpoint)
+
+:class:`RecoveryManager` re-establishes the invariant *graph state ==
+latest valid snapshot + valid WAL prefix*:
+
+1. load the newest snapshot whose checksums validate, falling back to
+   older generations when a checkpoint was torn mid-write (the atomic
+   rename makes this rare, but a corrupt disk is still survivable);
+2. replay ``wal-<generation>`` up to the first torn or corrupt record
+   (a log of a *different* generation is ignored - it predates or
+   postdates the snapshot and must not be applied);
+3. truncate the torn tail so the log ends on a record boundary and
+   appending can resume.
+
+An empty or missing directory recovers to an empty graph at
+generation 0, which is how a fresh store is born.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import StorageError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.storage.snapshot import (
+    SnapshotError,
+    SnapshotIOError,
+    read_snapshot_with_generation,
+)
+from repro.graphdb.storage.wal import (
+    WalError,
+    WalIOError,
+    read_wal,
+    replay,
+)
+
+SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{8})\.rpgs$")
+WAL_PATTERN = re.compile(r"^wal-(\d{8})\.rpgw$")
+
+
+def snapshot_name(generation: int) -> str:
+    return f"snapshot-{generation:08d}.rpgs"
+
+
+def wal_name(generation: int) -> str:
+    return f"wal-{generation:08d}.rpgw"
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery found and did - surfaced by ``repro load``."""
+
+    data_dir: Path
+    generation: int = 0
+    snapshot_path: Path | None = None
+    wal_path: Path | None = None
+    replayed_ops: int = 0
+    truncated_bytes: int = 0
+    #: Snapshot files that failed validation and were skipped.
+    corrupt_snapshots: list[Path] = field(default_factory=list)
+    #: WAL files ignored because their generation did not match.
+    skipped_wals: list[Path] = field(default_factory=list)
+
+    def summary(self) -> str:
+        parts = [f"generation {self.generation}"]
+        if self.snapshot_path is None:
+            parts.append("fresh store (no snapshot)")
+        else:
+            parts.append(f"snapshot {self.snapshot_path.name}")
+        parts.append(f"{self.replayed_ops} WAL ops replayed")
+        if self.truncated_bytes:
+            parts.append(
+                f"{self.truncated_bytes} torn byte(s) truncated"
+            )
+        if self.corrupt_snapshots:
+            parts.append(
+                f"{len(self.corrupt_snapshots)} corrupt snapshot(s) skipped"
+            )
+        return ", ".join(parts)
+
+
+class RecoveryError(StorageError):
+    """Raised when no consistent state can be reconstructed."""
+
+
+class RecoveryManager:
+    """Opens a data directory and reconstructs the latest valid state."""
+
+    def __init__(self, data_dir: str | Path, graph_name: str | None = None):
+        self.data_dir = Path(data_dir)
+        self.graph_name = graph_name
+
+    # -- directory scanning -------------------------------------------
+    def snapshot_generations(self) -> list[int]:
+        """Snapshot generations on disk, newest first."""
+        return self._generations(SNAPSHOT_PATTERN)
+
+    def wal_generations(self) -> list[int]:
+        return self._generations(WAL_PATTERN)
+
+    def _generations(self, pattern: re.Pattern) -> list[int]:
+        if not self.data_dir.is_dir():
+            return []
+        found = []
+        for name in os.listdir(self.data_dir):
+            match = pattern.match(name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found, reverse=True)
+
+    # -- recovery ------------------------------------------------------
+    def recover(
+        self, truncate: bool = True
+    ) -> tuple[PropertyGraph, RecoveryReport]:
+        """Load the newest valid snapshot and replay its WAL tail.
+
+        With ``truncate=False`` the torn tail is left on disk (read-only
+        openers must not write); the returned graph is identical either
+        way.
+        """
+        report = RecoveryReport(data_dir=self.data_dir)
+        graph: PropertyGraph | None = None
+        for generation in self.snapshot_generations():
+            path = self.data_dir / snapshot_name(generation)
+            try:
+                graph, snap_gen = read_snapshot_with_generation(path)
+            except SnapshotIOError as exc:
+                # Transient read failure, not corruption: falling back
+                # would fork history and later prune the newest
+                # generation's data.  Abort and let the caller retry.
+                raise RecoveryError(str(exc)) from exc
+            except SnapshotError:
+                report.corrupt_snapshots.append(path)
+                continue
+            # The filename is what the directory protocol keys on; the
+            # embedded generation (snap_gen) is informational only.
+            del snap_gen
+            report.generation = generation
+            report.snapshot_path = path
+            break
+        if graph is None:
+            if report.corrupt_snapshots:
+                raise RecoveryError(
+                    f"every snapshot in {self.data_dir} is corrupt: "
+                    + ", ".join(
+                        p.name for p in report.corrupt_snapshots
+                    )
+                )
+            graph = PropertyGraph(
+                self.graph_name or self.data_dir.name or "graph"
+            )
+            report.generation = 0
+
+        self._replay_wal(graph, report, truncate)
+        return graph, report
+
+    def _replay_wal(
+        self,
+        graph: PropertyGraph,
+        report: RecoveryReport,
+        truncate: bool,
+    ) -> None:
+        wal_path = self.data_dir / wal_name(report.generation)
+        for generation in self.wal_generations():
+            path = self.data_dir / wal_name(generation)
+            if generation != report.generation:
+                report.skipped_wals.append(path)
+        if not wal_path.exists():
+            return
+        try:
+            scan = read_wal(wal_path)
+        except WalIOError as exc:
+            # Transient read failure: abort rather than mistake an
+            # unreadable log for crash debris and delete it.
+            raise RecoveryError(str(exc)) from exc
+        except WalError:
+            # Unusable header: the log carries no applicable records.
+            # Treat like a fully torn file - rewriting starts fresh.
+            report.wal_path = wal_path
+            report.truncated_bytes = wal_path.stat().st_size
+            if truncate:
+                wal_path.unlink()
+            return
+        if scan.generation != report.generation:
+            report.skipped_wals.append(wal_path)
+            return
+        report.wal_path = wal_path
+        report.replayed_ops = replay(graph, scan)
+        report.truncated_bytes = scan.torn_bytes
+        if truncate and scan.torn_bytes:
+            with open(wal_path, "r+b") as fh:
+                fh.truncate(scan.valid_end)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+
+def recover_graph(data_dir: str | Path) -> PropertyGraph:
+    """Read-only convenience: the recovered graph, nothing persisted."""
+    graph, _report = RecoveryManager(data_dir).recover(truncate=False)
+    return graph

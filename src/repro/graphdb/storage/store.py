@@ -1,0 +1,243 @@
+"""The durable store: one data directory, one live graph, one WAL.
+
+:class:`GraphStore` glues the layers together:
+
+* :meth:`GraphStore.open` recovers the directory's latest consistent
+  state (snapshot + WAL tail, see :mod:`.recovery`), attaches a
+  mutation listener to the recovered :class:`PropertyGraph`, and keeps
+  an appender on the current generation's WAL - from then on every
+  ``add_vertex`` / ``add_edge`` / ``set_property`` / ``remove_*`` /
+  ``create_property_index`` on the graph is logged before the call
+  returns (durability is governed by the WAL's sync mode);
+* :meth:`GraphStore.create` initializes a directory from an existing
+  in-memory graph (the dataset memoization and ``repro save`` path);
+* :meth:`GraphStore.checkpoint` compacts: it folds the current WAL
+  into a fresh snapshot of generation ``g+1`` (written atomically),
+  starts an empty ``wal-<g+1>``, and prunes the old generation's
+  files.  A crash anywhere in that sequence recovers to either the old
+  or the new generation, never a mixture, because recovery pairs each
+  snapshot strictly with its own generation's log.
+
+The store only ever *appends* to the log of the graph it owns; readers
+that want a point-in-time view without write access should use
+:func:`repro.graphdb.storage.recovery.recover_graph`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.exceptions import StorageError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.storage.recovery import (
+    RecoveryManager,
+    RecoveryReport,
+    snapshot_name,
+    wal_name,
+)
+from repro.graphdb.storage.snapshot import write_snapshot
+from repro.graphdb.storage.wal import WriteAheadLog
+
+
+class GraphStore:
+    """A property graph bound to a durable data directory."""
+
+    def __init__(
+        self,
+        data_dir: Path,
+        graph: PropertyGraph,
+        generation: int,
+        wal: WriteAheadLog,
+        recovery: RecoveryReport | None = None,
+    ):
+        self.data_dir = data_dir
+        self.graph = graph
+        self.generation = generation
+        self.recovery = recovery
+        self._wal = wal
+        self._closed = False
+        graph.add_listener(self._on_mutation)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        data_dir: str | Path,
+        create: bool = True,
+        sync: str = "batch",
+        graph_name: str | None = None,
+    ) -> GraphStore:
+        """Recover ``data_dir`` and return a live, logging store."""
+        data_dir = Path(data_dir)
+        if not data_dir.is_dir():
+            if not create:
+                raise StorageError(f"no data directory at {data_dir}")
+            data_dir.mkdir(parents=True, exist_ok=True)
+        graph, report = RecoveryManager(
+            data_dir, graph_name=graph_name
+        ).recover(truncate=True)
+        wal = WriteAheadLog(
+            data_dir / wal_name(report.generation),
+            generation=report.generation,
+            sync=sync,
+        )
+        store = cls(
+            data_dir, graph, report.generation, wal, recovery=report
+        )
+        store._prune(keep=report.generation)
+        return store
+
+    @classmethod
+    def create(
+        cls,
+        data_dir: str | Path,
+        graph: PropertyGraph,
+        overwrite: bool = False,
+        sync: str = "batch",
+    ) -> GraphStore:
+        """Initialize a directory from an in-memory graph (generation 1)."""
+        data_dir = Path(data_dir)
+        if data_dir.is_dir() and any(data_dir.iterdir()):
+            if not overwrite:
+                raise StorageError(
+                    f"data directory {data_dir} is not empty "
+                    "(pass overwrite=True to replace it)"
+                )
+            # Overwrite replaces *store artifacts* only; anything else
+            # in the directory is not ours to delete.
+            from repro.graphdb.storage.recovery import (
+                SNAPSHOT_PATTERN,
+                WAL_PATTERN,
+            )
+
+            foreign = [
+                p.name for p in data_dir.iterdir()
+                if not (
+                    SNAPSHOT_PATTERN.match(p.name)
+                    or WAL_PATTERN.match(p.name)
+                )
+            ]
+            if foreign:
+                raise StorageError(
+                    f"refusing to overwrite {data_dir}: it contains "
+                    f"non-store entries {sorted(foreign)[:5]}"
+                )
+            for path in data_dir.iterdir():
+                path.unlink()
+        data_dir.mkdir(parents=True, exist_ok=True)
+        generation = 1
+        write_snapshot(
+            graph, data_dir / snapshot_name(generation), generation
+        )
+        wal = WriteAheadLog(
+            data_dir / wal_name(generation),
+            generation=generation,
+            sync=sync,
+        )
+        return cls(data_dir, graph, generation, wal)
+
+    # ------------------------------------------------------------------
+    # Logging
+    # ------------------------------------------------------------------
+    def _on_mutation(self, op: str, args: tuple) -> None:
+        self._wal.append(op, args)
+
+    def sync(self) -> None:
+        """Force buffered WAL records to disk (fsync included)."""
+        self._wal.flush(fsync=True)
+
+    def wal_size_bytes(self) -> int:
+        return self._wal.size_bytes()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / compaction
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Path:
+        """Fold the WAL into a fresh snapshot; returns its path.
+
+        Ordering is crash-safe: the new snapshot is fully durable
+        before the new (empty) WAL exists, and old-generation files are
+        only removed after both.  Recovery at any intermediate point
+        finds either generation ``g`` complete or generation ``g+1``
+        complete.
+        """
+        self._require_open()
+        self._wal.flush(fsync=True)
+        new_generation = self.generation + 1
+        snapshot_path = self.data_dir / snapshot_name(new_generation)
+        write_snapshot(self.graph, snapshot_path, new_generation)
+        # A stale log of the target generation (left behind when a
+        # past recovery fell back over a torn checkpoint) must not be
+        # appended to: its snapshot was just atomically replaced, so
+        # its records belong to an abandoned history.
+        self._unlink(self.data_dir / wal_name(new_generation))
+        old_wal = self._wal
+        self._wal = WriteAheadLog(
+            self.data_dir / wal_name(new_generation),
+            generation=new_generation,
+            sync=old_wal.sync,
+            batch_ops=old_wal.batch_ops,
+            batch_bytes=old_wal.batch_bytes,
+        )
+        old_wal.close()
+        self.generation = new_generation
+        self._prune(keep=new_generation)
+        return snapshot_path
+
+    def _prune(self, keep: int) -> None:
+        """Best-effort removal of *older* generations' files.
+
+        Newer-generation files are never touched here: they can only
+        exist when recovery fell back past a snapshot it could not
+        validate, and deleting them on open would destroy the newest
+        data after a transient fault.  A later :meth:`checkpoint`
+        reaching that generation overwrites them legitimately.
+        """
+        manager = RecoveryManager(self.data_dir)
+        for generation in manager.snapshot_generations():
+            if generation < keep:
+                self._unlink(self.data_dir / snapshot_name(generation))
+        for generation in manager.wal_generations():
+            if generation < keep:
+                self._unlink(self.data_dir / wal_name(generation))
+
+    @staticmethod
+    def _unlink(path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:  # pragma: no cover - prune is best-effort
+            pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush the WAL and stop logging; the graph stays usable."""
+        if self._closed:
+            return
+        self._closed = True
+        self.graph.remove_listener(self._on_mutation)
+        self._wal.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise StorageError("store is closed")
+
+    def __enter__(self) -> GraphStore:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GraphStore {str(self.data_dir)!r} gen={self.generation} "
+            f"{self.graph.summary()}>"
+        )

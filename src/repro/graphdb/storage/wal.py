@@ -1,0 +1,391 @@
+"""Append-only write-ahead log for :class:`PropertyGraph` mutations.
+
+File layout::
+
+    header:  magic "RPGWAL01" (8) | version u16 | flags u16 |
+             generation u64 | crc u32 (over the preceding 20 bytes)
+    record:  length u32 | crc u32 (over payload) | payload
+    payload: opcode u8 | opcode-specific fields (codec varints/values)
+
+The ``generation`` ties a log to the snapshot it extends: recovery only
+replays ``wal-<g>`` on top of ``snapshot-<g>``, so a stale log from an
+older generation can never be double-applied after compaction.
+
+Each record frames exactly one logical mutation.  The length + CRC
+framing makes torn tails self-describing: replay stops at the first
+record whose header is short, whose payload is short, or whose CRC
+fails, and reports the byte offset of the last good record so the
+caller can truncate the file there.
+
+Appends are buffered and flushed in batches (``sync="batch"``, the
+default: every ``batch_ops`` records or ``batch_bytes`` bytes, and on
+:meth:`WriteAheadLog.flush` / :meth:`WriteAheadLog.close`).  ``"always"``
+fsyncs every append (maximum durability, slowest) and ``"never"``
+leaves flushing to the OS (fastest; a crash can lose the buffered
+tail but never corrupts the prefix).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import GraphError, StorageError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.storage.codec import (
+    CodecError,
+    read_props,
+    read_str,
+    read_uvarint,
+    read_value,
+    write_props,
+    write_str,
+    write_uvarint,
+    write_value,
+)
+
+MAGIC = b"RPGWAL01"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sHHQI")
+_RECORD = struct.Struct("<II")
+
+#: A single WAL record larger than this is treated as corruption.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+OP_ADD_VERTEX = 1
+OP_ADD_EDGE = 2
+OP_SET_PROPERTY = 3
+OP_REMOVE_PROPERTY = 4
+OP_REMOVE_EDGE = 5
+OP_REMOVE_VERTEX = 6
+OP_CREATE_INDEX = 7
+
+#: Mutation name (the :class:`PropertyGraph` listener vocabulary)
+#: to opcode and back.
+OPCODE_OF = {
+    "add_vertex": OP_ADD_VERTEX,
+    "add_edge": OP_ADD_EDGE,
+    "set_property": OP_SET_PROPERTY,
+    "remove_property": OP_REMOVE_PROPERTY,
+    "remove_edge": OP_REMOVE_EDGE,
+    "remove_vertex": OP_REMOVE_VERTEX,
+    "create_property_index": OP_CREATE_INDEX,
+}
+OP_NAME = {code: name for name, code in OPCODE_OF.items()}
+
+
+class WalError(StorageError):
+    """Raised for invalid WAL files or unsupported mutations."""
+
+
+class WalIOError(WalError):
+    """The log could not be *read* (transient I/O, permissions, ...).
+
+    Distinct from header corruption: recovery must abort on I/O
+    failures rather than treat the log as crash debris and discard it.
+    """
+
+
+def fsync_dir(directory: Path) -> None:
+    """Make a file creation/rename durable by fsyncing its directory."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# ----------------------------------------------------------------------
+# Mutation payload codec
+# ----------------------------------------------------------------------
+def encode_mutation(op: str, args: tuple) -> bytes:
+    """Encode one listener event ``(op, args)`` into a record payload."""
+    try:
+        opcode = OPCODE_OF[op]
+    except KeyError:
+        raise WalError(f"unsupported mutation {op!r}") from None
+    buf = bytearray((opcode,))
+    if opcode == OP_ADD_VERTEX:
+        vid, labels, props = args
+        write_uvarint(buf, vid)
+        ordered = sorted(labels)
+        write_uvarint(buf, len(ordered))
+        for label in ordered:
+            write_str(buf, label)
+        write_props(buf, props)
+    elif opcode == OP_ADD_EDGE:
+        eid, src, dst, label, props = args
+        write_uvarint(buf, eid)
+        write_uvarint(buf, src)
+        write_uvarint(buf, dst)
+        write_str(buf, label)
+        write_props(buf, props)
+    elif opcode == OP_SET_PROPERTY:
+        vid, name, value = args
+        write_uvarint(buf, vid)
+        write_str(buf, name)
+        write_value(buf, value)
+    elif opcode == OP_REMOVE_PROPERTY:
+        vid, name = args
+        write_uvarint(buf, vid)
+        write_str(buf, name)
+    elif opcode in (OP_REMOVE_EDGE, OP_REMOVE_VERTEX):
+        write_uvarint(buf, args[0])
+    else:  # OP_CREATE_INDEX
+        label, prop = args
+        write_str(buf, label)
+        write_str(buf, prop)
+    return bytes(buf)
+
+
+def decode_mutation(payload: bytes) -> tuple[str, tuple]:
+    """Inverse of :func:`encode_mutation`; raises :class:`CodecError`."""
+    if not payload:
+        raise CodecError("empty WAL payload")
+    opcode = payload[0]
+    pos = 1
+    if opcode == OP_ADD_VERTEX:
+        vid, pos = read_uvarint(payload, pos)
+        nlabels, pos = read_uvarint(payload, pos)
+        labels = []
+        for _ in range(nlabels):
+            label, pos = read_str(payload, pos)
+            labels.append(label)
+        props, pos = read_props(payload, pos)
+        return "add_vertex", (vid, frozenset(labels), props)
+    if opcode == OP_ADD_EDGE:
+        eid, pos = read_uvarint(payload, pos)
+        src, pos = read_uvarint(payload, pos)
+        dst, pos = read_uvarint(payload, pos)
+        label, pos = read_str(payload, pos)
+        props, pos = read_props(payload, pos)
+        return "add_edge", (eid, src, dst, label, props)
+    if opcode == OP_SET_PROPERTY:
+        vid, pos = read_uvarint(payload, pos)
+        name, pos = read_str(payload, pos)
+        value, pos = read_value(payload, pos)
+        return "set_property", (vid, name, value)
+    if opcode == OP_REMOVE_PROPERTY:
+        vid, pos = read_uvarint(payload, pos)
+        name, pos = read_str(payload, pos)
+        return "remove_property", (vid, name)
+    if opcode == OP_REMOVE_EDGE:
+        eid, pos = read_uvarint(payload, pos)
+        return "remove_edge", (eid,)
+    if opcode == OP_REMOVE_VERTEX:
+        vid, pos = read_uvarint(payload, pos)
+        return "remove_vertex", (vid,)
+    if opcode == OP_CREATE_INDEX:
+        label, pos = read_str(payload, pos)
+        prop, pos = read_str(payload, pos)
+        return "create_property_index", (label, prop)
+    raise CodecError(f"unknown WAL opcode {opcode}")
+
+
+def apply_mutation(graph: PropertyGraph, op: str, args: tuple) -> None:
+    """Replay one decoded mutation onto ``graph``.
+
+    ``add_vertex`` / ``add_edge`` verify that the graph assigns the id
+    the log recorded - a mismatch means the log is being replayed on
+    the wrong base state, which is an error, not a torn tail.
+    """
+    if op == "add_vertex":
+        vid, labels, props = args
+        got = graph.add_vertex(labels, props)
+        if got != vid:
+            raise WalError(
+                f"replayed add_vertex produced vid {got}, log says {vid}"
+            )
+    elif op == "add_edge":
+        eid, src, dst, label, props = args
+        got = graph.add_edge(src, dst, label, props)
+        if got != eid:
+            raise WalError(
+                f"replayed add_edge produced eid {got}, log says {eid}"
+            )
+    elif op == "set_property":
+        graph.set_property(*args)
+    elif op == "remove_property":
+        graph.remove_property(*args)
+    elif op == "remove_edge":
+        eid = args[0]
+        # remove_vertex logs its cascaded edge removals individually,
+        # so a replayed remove_edge may find the edge already gone.
+        if eid in graph._edges:
+            graph.remove_edge(eid)
+    elif op == "remove_vertex":
+        graph.remove_vertex(args[0])
+    elif op == "create_property_index":
+        graph.create_property_index(*args)
+    else:
+        raise WalError(f"unsupported mutation {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+class WriteAheadLog:
+    """Appender for one generation's log file."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        generation: int,
+        sync: str = "batch",
+        batch_ops: int = 64,
+        batch_bytes: int = 256 * 1024,
+    ):
+        if sync not in ("always", "batch", "never"):
+            raise WalError(f"unknown sync mode {sync!r}")
+        self.path = Path(path)
+        self.generation = generation
+        self.sync = sync
+        self.batch_ops = max(1, batch_ops)
+        self.batch_bytes = max(1, batch_bytes)
+        self._pending: list[bytes] = []
+        self._pending_bytes = 0
+        self.records_appended = 0
+        new = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = open(self.path, "ab")
+        if new:
+            header = bytearray(
+                _HEADER.pack(MAGIC, FORMAT_VERSION, 0, generation, 0)
+            )
+            header[-4:] = struct.pack("<I", zlib.crc32(bytes(header[:-4])))
+            self._fh.write(header)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            # The file itself must survive a crash, not just its
+            # contents - otherwise fsynced records vanish with the
+            # unflushed directory entry.
+            fsync_dir(self.path.parent)
+
+    # -- appends -------------------------------------------------------
+    def append(self, op: str, args: tuple) -> None:
+        payload = encode_mutation(op, args)
+        record = _RECORD.pack(len(payload), zlib.crc32(payload)) + payload
+        self._pending.append(record)
+        self._pending_bytes += len(record)
+        self.records_appended += 1
+        if self.sync == "always":
+            self.flush()
+        elif self.sync == "batch" and (
+            len(self._pending) >= self.batch_ops
+            or self._pending_bytes >= self.batch_bytes
+        ):
+            self.flush()
+
+    def flush(self, fsync: bool | None = None) -> None:
+        """Write buffered records; fsync unless the mode is ``never``."""
+        if self._pending:
+            self._fh.write(b"".join(self._pending))
+            self._pending.clear()
+            self._pending_bytes = 0
+        self._fh.flush()
+        if fsync is None:
+            fsync = self.sync != "never"
+        if fsync:
+            os.fsync(self._fh.fileno())
+
+    def size_bytes(self) -> int:
+        """Current on-disk size plus the buffered tail."""
+        return self._fh.tell() + self._pending_bytes
+
+    def close(self) -> None:
+        if self._fh.closed:
+            return
+        self.flush()
+        self._fh.close()
+
+    def __enter__(self) -> WriteAheadLog:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+@dataclass
+class WalScan:
+    """Result of scanning a log file up to its last valid record."""
+
+    generation: int
+    records: list[tuple[str, tuple]]
+    #: Byte offset just past the last valid record; anything beyond it
+    #: is a torn tail that recovery truncates.
+    valid_end: int
+    file_size: int
+
+    @property
+    def torn_bytes(self) -> int:
+        return self.file_size - self.valid_end
+
+
+def read_wal(path: str | Path) -> WalScan:
+    """Scan a WAL, collecting every valid record before the first tear.
+
+    Raises :class:`WalError` only when the *header* is unusable (wrong
+    magic or version, or too short to have been created by
+    :class:`WriteAheadLog` at all); damage after the header is normal
+    crash debris and is reported via :attr:`WalScan.valid_end`.
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise WalIOError(f"cannot read WAL {path}: {exc}") from exc
+    if len(data) < _HEADER.size:
+        raise WalError(f"WAL {path} too short for header")
+    magic, version, _flags, generation, crc = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise WalError(f"{path} is not a WAL (bad magic)")
+    if version != FORMAT_VERSION:
+        raise WalError(f"WAL {path} has unsupported version {version}")
+    if zlib.crc32(data[:_HEADER.size - 4]) != crc:
+        raise WalError(f"WAL {path}: header checksum")
+
+    records: list[tuple[str, tuple]] = []
+    pos = _HEADER.size
+    valid_end = pos
+    size = len(data)
+    while pos + _RECORD.size <= size:
+        length, crc = _RECORD.unpack_from(data, pos)
+        body_start = pos + _RECORD.size
+        body_end = body_start + length
+        if length > MAX_RECORD_BYTES or body_end > size:
+            break  # torn tail
+        payload = data[body_start:body_end]
+        if zlib.crc32(payload) != crc:
+            break
+        try:
+            records.append(decode_mutation(payload))
+        except CodecError:
+            break
+        pos = valid_end = body_end
+    return WalScan(
+        generation=generation,
+        records=records,
+        valid_end=valid_end,
+        file_size=size,
+    )
+
+
+def replay(graph: PropertyGraph, scan: WalScan) -> int:
+    """Apply every scanned record to ``graph``; returns the op count."""
+    for op, args in scan.records:
+        try:
+            apply_mutation(graph, op, args)
+        except GraphError as exc:
+            raise WalError(
+                f"WAL replay failed on {op}{args!r}: {exc}"
+            ) from exc
+    return len(scan.records)

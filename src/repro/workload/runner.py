@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.graphdb.backends import BackendProfile
 from repro.graphdb.graph import PropertyGraph
@@ -66,13 +67,39 @@ class WorkloadReport:
         )
 
 
+def resolve_graph(graph: PropertyGraph | str | Path) -> PropertyGraph:
+    """Accept a live graph, a snapshot file, or a durable data dir.
+
+    Paths are recovered read-only through the storage subsystem: a
+    directory goes through snapshot + WAL replay
+    (:func:`repro.graphdb.storage.recover_graph`), a file is loaded as
+    a bare snapshot.  Mutations made through the returned graph are
+    *not* logged - open a :class:`~repro.graphdb.storage.GraphStore`
+    for that.
+    """
+    if isinstance(graph, PropertyGraph):
+        return graph
+    from repro.graphdb.storage import read_snapshot, recover_graph
+
+    path = Path(graph)
+    if path.is_dir():
+        return recover_graph(path)
+    return read_snapshot(path)
+
+
 def run_queries(
-    graph: PropertyGraph,
+    graph: PropertyGraph | str | Path,
     profile: BackendProfile,
     queries: list[tuple[str, Query | str]],
     collect_rows: bool = False,
 ) -> WorkloadReport:
-    """Execute ``queries`` (qid, text-or-AST pairs) on one session."""
+    """Execute ``queries`` (qid, text-or-AST pairs) on one session.
+
+    ``graph`` may also be a path to a snapshot file or a durable data
+    directory (see :func:`resolve_graph`), so persisted workloads can
+    be replayed without manually recovering the store first.
+    """
+    graph = resolve_graph(graph)
     session = GraphSession(graph, profile)
     executor = Executor(session)
     report = WorkloadReport(backend=profile.name, graph_name=graph.name)
@@ -94,7 +121,7 @@ def run_queries(
 
 
 def run_single(
-    graph: PropertyGraph,
+    graph: PropertyGraph | str | Path,
     profile: BackendProfile,
     query: Query | str,
     qid: str = "q",

@@ -1,0 +1,160 @@
+"""WAL framing, batching, torn-tail, and replay tests."""
+
+import pytest
+
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.storage import (
+    WalError,
+    WriteAheadLog,
+    graph_state,
+    read_wal,
+    replay,
+)
+from repro.graphdb.storage.wal import (
+    apply_mutation,
+    decode_mutation,
+    encode_mutation,
+)
+
+
+MUTATIONS = [
+    ("add_vertex", (0, frozenset({"Drug"}), {"name": "aspirin"})),
+    ("add_vertex", (1, frozenset({"Drug", "Generic"}), {})),
+    ("add_edge", (0, 0, 1, "interacts", {"note": "x"})),
+    ("set_property", (1, "name", "ibuprofen")),
+    ("set_property", (1, "doses", [10, 20])),
+    ("remove_property", (0, "name")),
+    ("remove_edge", (0,)),
+    ("remove_vertex", (1,)),
+    ("create_property_index", ("Drug", "name")),
+]
+
+
+class TestMutationCodec:
+    @pytest.mark.parametrize("op,args", MUTATIONS)
+    def test_roundtrip(self, op, args):
+        assert decode_mutation(encode_mutation(op, args)) == (op, args)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(WalError):
+            encode_mutation("truncate_table", ())
+
+    def test_apply_checks_assigned_ids(self):
+        g = PropertyGraph()
+        g.add_vertex("A")  # consumes vid 0
+        with pytest.raises(WalError, match="vid"):
+            apply_mutation(g, "add_vertex", (0, frozenset({"B"}), {}))
+
+
+def log_all(path, generation=1, sync="batch", **kwargs):
+    wal = WriteAheadLog(path, generation=generation, sync=sync, **kwargs)
+    for op, args in MUTATIONS:
+        wal.append(op, args)
+    wal.close()
+    return wal
+
+
+class TestWriteRead:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        log_all(path, generation=3)
+        scan = read_wal(path)
+        assert scan.generation == 3
+        assert scan.records == MUTATIONS
+        assert scan.torn_bytes == 0
+
+    def test_replay_reproduces_graph(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        log_all(path)
+        expected = PropertyGraph("x")
+        for op, args in MUTATIONS:
+            apply_mutation(expected, op, args)
+        recovered = PropertyGraph("x")
+        assert replay(recovered, read_wal(path)) == len(MUTATIONS)
+        assert graph_state(recovered) == graph_state(expected)
+
+    def test_append_to_existing(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        log_all(path, generation=2)
+        wal = WriteAheadLog(path, generation=2)
+        wal.append("add_vertex", (2, frozenset({"C"}), {}))
+        wal.close()
+        scan = read_wal(path)
+        assert len(scan.records) == len(MUTATIONS) + 1
+        assert scan.generation == 2
+
+    def test_sync_modes(self, tmp_path):
+        for sync in ("always", "batch", "never"):
+            path = tmp_path / f"{sync}.rpgw"
+            log_all(path, sync=sync)
+            assert read_wal(path).records == MUTATIONS
+        with pytest.raises(WalError):
+            WriteAheadLog(tmp_path / "x.rpgw", 1, sync="sometimes")
+
+    def test_batch_buffers_until_threshold(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        wal = WriteAheadLog(path, 1, sync="batch", batch_ops=1000)
+        wal.append("add_vertex", (0, frozenset({"A"}), {}))
+        # Buffered, not yet on disk.
+        assert read_wal(path).records == []
+        wal.flush()
+        assert len(read_wal(path).records) == 1
+        wal.close()
+
+    def test_batch_ops_threshold_triggers_flush(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        wal = WriteAheadLog(path, 1, sync="batch", batch_ops=2)
+        wal.append("add_vertex", (0, frozenset({"A"}), {}))
+        wal.append("add_vertex", (1, frozenset({"A"}), {}))
+        assert len(read_wal(path).records) == 2  # no close needed
+        wal.close()
+
+    def test_size_includes_buffered_tail(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        wal = WriteAheadLog(path, 1, sync="batch", batch_ops=1000)
+        before = wal.size_bytes()
+        wal.append("add_vertex", (0, frozenset({"A"}), {}))
+        assert wal.size_bytes() > before
+        wal.close()
+
+
+class TestTornTails:
+    def test_truncated_record_detected(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        log_all(path)
+        data = path.read_bytes()
+        full = read_wal(path)
+        # Chop mid-way through the final record.
+        path.write_bytes(data[:full.valid_end - 3])
+        scan = read_wal(path)
+        assert scan.records == MUTATIONS[:-1]
+        assert scan.torn_bytes > 0
+
+    def test_bitflip_stops_replay_at_record(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        log_all(path)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        scan = read_wal(path)
+        assert len(scan.records) < len(MUTATIONS)
+        assert scan.records == MUTATIONS[:len(scan.records)]
+
+    def test_header_only_file(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        WriteAheadLog(path, generation=5).close()
+        scan = read_wal(path)
+        assert scan.records == []
+        assert scan.generation == 5
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        path.write_bytes(b"NOTAWAL!" + b"\0" * 16)
+        with pytest.raises(WalError):
+            read_wal(path)
+
+    def test_short_file_rejected(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        path.write_bytes(b"\x01\x02")
+        with pytest.raises(WalError):
+            read_wal(path)

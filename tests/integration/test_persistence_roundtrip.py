@@ -1,0 +1,150 @@
+"""Round-trip invariant: save -> reopen -> identical query results.
+
+For MED and FIN, on both the direct and the optimized graphs, a
+delete-heavy mutation sequence is applied through a durable
+:class:`GraphStore` (so it flows through the WAL), then the store is
+reopened and the *full benchmark workload suite* is executed on the
+live graph and on the recovered graph.  Result multisets must be
+identical.  A second pass checks the bare snapshot codec (write ->
+read, no WAL) the same way, after a checkpoint.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.harness import build_pipeline
+from repro.datasets import build_fin, build_med
+from repro.graphdb.backends import NEO4J_LIKE
+from repro.graphdb.query.executor import Executor
+from repro.graphdb.session import GraphSession
+from repro.graphdb.storage import (
+    GraphStore,
+    graph_state,
+    read_snapshot,
+    recover_graph,
+    write_snapshot,
+)
+
+
+def _normalize(rows):
+    out = []
+    for row in rows:
+        out.append(
+            tuple(
+                tuple(sorted(map(repr, v))) if isinstance(v, list)
+                else v
+                for v in row
+            )
+        )
+    return sorted(out, key=repr)
+
+
+def run_suite(graph, queries) -> dict:
+    """qid -> normalized result rows for the whole workload suite."""
+    results = {}
+    for qid, query in queries.items():
+        rows = Executor(GraphSession(graph, NEO4J_LIKE)).run(query).rows
+        results[qid] = _normalize(rows)
+    return results
+
+
+def mutate_heavily(graph, seed: int) -> None:
+    """A deterministic, delete-heavy mutation burst.
+
+    Roughly 8% of vertices and 5% of surviving edges are removed
+    (vertex removal cascades through incident edges), properties are
+    rewritten and deleted, and a few fresh vertices/edges are added so
+    recovery also replays id allocation.
+    """
+    rng = random.Random(seed)
+    vids = [v.vid for v in graph.iter_vertices()]
+    victims = rng.sample(vids, max(1, len(vids) // 12))
+    for vid in victims:
+        graph.remove_vertex(vid)
+    eids = [e.eid for e in graph.iter_edges()]
+    for eid in rng.sample(eids, max(1, len(eids) // 20)):
+        graph.remove_edge(eid)
+    survivors = [v.vid for v in graph.iter_vertices()]
+    for vid in rng.sample(survivors, max(1, len(survivors) // 10)):
+        graph.set_property(vid, "touched", rng.randint(0, 99))
+    for vid in rng.sample(survivors, max(1, len(survivors) // 20)):
+        props = graph.vertex(vid).properties
+        if props:
+            graph.remove_property(vid, next(iter(props)))
+    fresh = [
+        graph.add_vertex("Fresh", {"n": i, "tag": f"new{i}"})
+        for i in range(5)
+    ]
+    for vid in fresh[1:]:
+        graph.add_edge(fresh[0], vid, "freshLink")
+
+
+@pytest.fixture(scope="module")
+def med_pipe():
+    return build_pipeline(build_med(base_cardinality=30, seed=11))
+
+
+@pytest.fixture(scope="module")
+def fin_pipe():
+    return build_pipeline(build_fin(base_cardinality=6, seed=13))
+
+
+_SEEDS = {
+    ("med", "dir"): 101, ("med", "opt"): 202,
+    ("fin", "dir"): 303, ("fin", "opt"): 404,
+}
+
+
+def test_snapshot_roundtrip_without_mutations(med_pipe, tmp_path):
+    """The unmutated pipeline graphs survive the codec exactly.
+
+    Runs before the mutation tests below, which deliberately tear up
+    the module-scoped pipeline graphs.
+    """
+    for which, graph in (
+        ("dir", med_pipe.dir_graph), ("opt", med_pipe.opt_graph),
+    ):
+        path = tmp_path / f"{which}.rpgs"
+        write_snapshot(graph, path)
+        loaded = read_snapshot(path)
+        queries = (
+            med_pipe.dataset.queries if which == "dir"
+            else med_pipe.rewritten
+        )
+        assert run_suite(loaded, queries) == run_suite(graph, queries)
+
+
+@pytest.mark.parametrize("which", ["dir", "opt"])
+@pytest.mark.parametrize("name", ["med", "fin"])
+def test_mutated_store_roundtrip(
+    name, which, med_pipe, fin_pipe, tmp_path
+):
+    pipe = med_pipe if name == "med" else fin_pipe
+    graph = pipe.dir_graph if which == "dir" else pipe.opt_graph
+    queries = (
+        pipe.dataset.queries if which == "dir" else pipe.rewritten
+    )
+
+    data_dir = tmp_path / f"{name}-{which}"
+    store = GraphStore.create(data_dir, graph, sync="batch")
+    try:
+        mutate_heavily(graph, seed=_SEEDS[(name, which)])
+    finally:
+        store.close()
+
+    live = run_suite(graph, queries)
+
+    # WAL replay path.
+    recovered = recover_graph(data_dir)
+    assert graph_state(recovered) == graph_state(graph)
+    assert run_suite(recovered, queries) == live
+
+    # Checkpoint + bare snapshot codec path.
+    with GraphStore.open(data_dir) as reopened:
+        snapshot_path = reopened.checkpoint()
+    reloaded = read_snapshot(snapshot_path)
+    assert graph_state(reloaded) == graph_state(graph)
+    assert run_suite(reloaded, queries) == live
