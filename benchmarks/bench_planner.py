@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Cost-based vs syntactic query planning -> BENCH_planner.json.
+
+Runs every paper workload query (Q1-Q12) on the med and fin DIR and
+OPT graphs twice - once with the legacy *syntactic* planner (start at
+the categorically cheapest access, expand in pattern order) and once
+with the statistics-driven *cost-based* planner - and records the
+simulated backend latency of both, the speedup, and whether the two
+plans returned multiset-identical results (they must).
+
+A second suite runs *selective variants* of workload queries (the
+paper queries carry no WHERE clauses, so their plans differ mainly in
+join order): equality-augmented forms of Q6/Q9/Q10 where the
+syntactic heuristics demonstrably misfire - a poorly-selective
+property index that syntactic ordering prefers by fiat, and a
+"smaller label beats better histogram" tie-break.  These are where
+the histogram-driven access-path choice pays off.
+
+The deterministic simulated latency (work counters weighted by the
+neo4j-like backend profile) is the headline metric - it is stable
+across machines and CI; wall-clock medians are recorded alongside.
+Planning time is excluded from both sides (plans are warmed before
+measuring) so the comparison isolates plan *quality*; the plan cache
+amortizes planning in real runs anyway.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py [--out PATH]
+
+``benchmarks/run_bench.sh`` invokes it after the storage benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import build_pipeline
+from repro.datasets import build_fin, build_med
+from repro.graphdb.backends import NEO4J_LIKE
+from repro.graphdb.query.executor import Executor
+from repro.graphdb.session import GraphSession
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Benchmark scale (matches the engine benchmarks).
+SCALE = 0.5
+
+#: Selective variants of med workload queries: (qid, query text,
+#: indexes to create first as (label, prop) pairs).  Each is a paper
+#: query with an equality predicate attached - the shapes produced by
+#: parameterized application workloads.
+SELECTIVE_MED = [
+    (
+        "Q6sel",
+        # Parity case: the histogram confirms the syntactic choice
+        # (scan :Indication checking desc), so both planners agree.
+        "MATCH (d:Drug)-[:treat]->(i:Indication) "
+        "WHERE i.desc = {DESC!r} RETURN d.name",
+        [],
+    ),
+    (
+        "Q9sel",
+        # An index on the low-NDV Patient.gender exists and syntactic
+        # ordering picks it by fiat; cost-based prices its bucket (the
+        # most common gender) against the 1-row Drug.name label scan
+        # and starts at the drug instead.
+        "MATCH (p:Patient {{gender: {GENDER!r}}})-[:takes]->"
+        "(d:Drug {{name: {NAME!r}}}) RETURN p.patientId",
+        [("Patient", "gender")],
+    ),
+    (
+        "Q10sel",
+        # The same misfire via WHERE folding: both equalities fold
+        # into the node specs, syntactic again grabs the poorly
+        # selective gender index, cost-based starts at the unique
+        # drug name.
+        "MATCH (p:Patient)-[:takes]->(d:Drug) "
+        "WHERE p.gender = {GENDER!r} AND d.name = {NAME!r} "
+        "RETURN p.patientId, d.name",
+        [],
+    ),
+]
+
+
+def timed(fn, repeats: int) -> tuple[list[float], object]:
+    samples = []
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        samples.append((time.perf_counter() - started) * 1000.0)
+    return samples, result
+
+
+def multiset(rows) -> list:
+    return sorted(
+        (
+            tuple(
+                tuple(sorted(map(repr, v))) if isinstance(v, list) else v
+                for v in row
+            )
+            for row in rows
+        ),
+        key=repr,
+    )
+
+
+def compare(graph, qid: str, query, repeats: int) -> dict:
+    """Run one query under both planners; return the comparison row."""
+    runs = {}
+    for mode, cost_based in (("syntactic", False), ("cost", True)):
+        executor = Executor(
+            GraphSession(graph, NEO4J_LIKE), cost_based=cost_based
+        )
+        # Plan once up front for both modes (the syntactic path has no
+        # plan cache) so the timed loop measures execution only.
+        parsed, plan = executor._prepare(query)
+        executor._execute(parsed, plan)  # warm the page cache
+        samples, result = timed(
+            lambda: executor._execute(parsed, plan), repeats
+        )
+        runs[mode] = {
+            "latency_ms": round(result.latency_ms, 4),
+            "wall_median_ms": round(statistics.median(samples), 4),
+            "rows": len(result.rows),
+            "result": multiset(result.rows),
+        }
+    identical = runs["cost"]["result"] == runs["syntactic"]["result"]
+    for run in runs.values():
+        del run["result"]
+    entry = {
+        "qid": qid,
+        "graph": graph.name,
+        "syntactic": runs["syntactic"],
+        "cost": runs["cost"],
+        "speedup_simulated": round(
+            runs["syntactic"]["latency_ms"]
+            / max(runs["cost"]["latency_ms"], 1e-9),
+            3,
+        ),
+        "results_identical": identical,
+    }
+    print(
+        f"  {graph.name} {qid}: syn={entry['syntactic']['latency_ms']:.2f} "
+        f"cost={entry['cost']['latency_ms']:.2f} ms "
+        f"({entry['speedup_simulated']:.2f}x"
+        f"{', MISMATCH!' if not identical else ''})"
+    )
+    return entry
+
+
+def first_value(graph, query: str):
+    result = Executor(GraphSession(graph, NEO4J_LIKE)).run(query)
+    return result.rows[0][0]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_planner.json")
+    )
+    parser.add_argument("--repeats", type=int, default=9)
+    args = parser.parse_args(argv)
+
+    comparisons = []
+    print("workload suite (Q1-Q12, DIR and OPT):")
+    pipelines = {}
+    for build in (build_med, build_fin):
+        dataset = build()
+        pipeline = build_pipeline(dataset, scale=SCALE)
+        pipelines[dataset.name] = pipeline
+        for graph, queries in (
+            (pipeline.dir_graph, dataset.queries),
+            (pipeline.opt_graph, pipeline.rewritten),
+        ):
+            for qid in sorted(queries, key=lambda q: int(q[1:])):
+                comparisons.append(
+                    compare(graph, qid, queries[qid], args.repeats)
+                )
+
+    print("selective variants (med DIR):")
+    med_dir = pipelines["MED"].dir_graph
+    desc = first_value(
+        med_dir,
+        "MATCH (i:Indication) RETURN i.desc, count(*) AS n "
+        "ORDER BY n DESC LIMIT 1",
+    )
+    gender = first_value(
+        med_dir,
+        "MATCH (p:Patient) RETURN p.gender, count(*) AS n "
+        "ORDER BY n DESC LIMIT 1",
+    )
+    name = first_value(med_dir, "MATCH (d:Drug) RETURN d.name LIMIT 1")
+    selective = []
+    for qid, template, indexes in SELECTIVE_MED:
+        for label, prop in indexes:
+            med_dir.create_property_index(label, prop)
+        text = template.format(DESC=desc, GENDER=gender, NAME=name)
+        selective.append(compare(med_dir, qid, text, args.repeats))
+    comparisons.extend(selective)
+
+    mismatches = [c for c in comparisons if not c["results_identical"]]
+    wins = [c for c in comparisons if c["speedup_simulated"] > 1.001]
+    losses = [c for c in comparisons if c["speedup_simulated"] < 0.999]
+    best = max(comparisons, key=lambda c: c["speedup_simulated"])
+    report = {
+        "suite": "planner",
+        "scale": SCALE,
+        "backend": NEO4J_LIKE.name,
+        "summary": {
+            "queries": len(comparisons),
+            "wins": len(wins),
+            "losses": len(losses),
+            "mismatches": len(mismatches),
+            "best": {
+                "qid": best["qid"],
+                "graph": best["graph"],
+                "speedup_simulated": best["speedup_simulated"],
+            },
+        },
+        "comparisons": comparisons,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\n{len(wins)} wins / {len(losses)} losses / "
+        f"{len(mismatches)} result mismatches across "
+        f"{len(comparisons)} queries; best: {best['qid']} on "
+        f"{best['graph']} ({best['speedup_simulated']:.2f}x)"
+    )
+    print(f"wrote {out}")
+    if mismatches:
+        return 1  # plans must not change query semantics
+    if not wins:
+        return 1  # acceptance: beat syntactic ordering somewhere
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Run the engine micro-benchmarks and the storage benchmarks, recording
-# results at the repo root as BENCH_engine.json and BENCH_storage.json
-# (the perf trajectory artifacts).
+# Run the engine micro-benchmarks, the storage benchmarks, and the
+# planner benchmarks, recording results at the repo root as
+# BENCH_engine.json, BENCH_storage.json, and BENCH_planner.json (the
+# perf trajectory artifacts).
 #
 # Usage: benchmarks/run_bench.sh [extra pytest args...]
 set -euo pipefail
@@ -37,3 +38,5 @@ for bench in report["benchmarks"]:
 EOF
 
 python benchmarks/bench_storage.py --out "$REPO_ROOT/BENCH_storage.json"
+
+python benchmarks/bench_planner.py --out "$REPO_ROOT/BENCH_planner.json"

@@ -21,9 +21,10 @@ Commands
 
         python -m repro demo med --scale 0.5
 
-    ``--explain`` additionally prints each query's execution plan
-    (scan access path, expand order, pushed-down predicates) on both
-    the direct and the optimized graph.  ``--data-dir DIR`` memoizes
+    ``--explain`` additionally prints each query's ``EXPLAIN ANALYZE``
+    plan (scan access path, expand order, pushed-down predicates, and
+    the cost-based planner's estimated vs. actual rows per step) on
+    both the direct and the optimized graph.  ``--data-dir DIR`` memoizes
     the generated graphs as binary snapshots under ``DIR``, so repeat
     runs load in milliseconds instead of regenerating.
 
@@ -162,9 +163,11 @@ def cmd_demo(args) -> int:
         opt_executor = Executor(GraphSession(pipeline.opt_graph))
         for qid in sorted(dataset.queries, key=lambda q: int(q[1:])):
             print(f"\n{qid} on DIR:")
-            print(dir_executor.explain(dataset.queries[qid]))
+            print(dir_executor.explain(dataset.queries[qid], analyze=True))
             print(f"{qid} on OPT (rewritten):")
-            print(opt_executor.explain(pipeline.rewritten[qid]))
+            print(
+                opt_executor.explain(pipeline.rewritten[qid], analyze=True)
+            )
     table = ExperimentTable(
         f"{dataset.name} microbenchmark (neo4j-like, ms simulated)",
         ["query", "DIR", "OPT", "speedup"],
@@ -276,7 +279,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--scale", type=float, default=0.5)
     p_demo.add_argument(
         "--explain", action="store_true",
-        help="print each query's execution plan before running it",
+        help="print each query's EXPLAIN ANALYZE plan (estimated vs "
+             "actual rows per step) before the latency table",
     )
     p_demo.add_argument(
         "--data-dir", default=None, metavar="DIR",

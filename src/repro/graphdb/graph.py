@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.exceptions import GraphError
+from repro.graphdb.statistics import GraphStatistics
 
 #: Insertion-ordered bucket keyed by id.  Adjacency buckets map
 #: eid -> neighbor vid (so expansion never dereferences edge records);
@@ -70,6 +71,12 @@ class PropertyGraph:
         #: been applied; ``op`` is the method name, ``args`` its
         #: essential arguments including assigned ids.
         self._listeners: list = []
+        #: Planner statistics, materialized lazily by
+        #: :meth:`statistics` (or attached by the snapshot loader) and
+        #: kept current by per-mutation hooks in the methods below.
+        #: Unlike the listeners, the hooks receive pre-mutation context
+        #: (removals need the labels/values being removed).
+        self._stats: GraphStatistics | None = None
 
     # ------------------------------------------------------------------
     # Mutation listeners (write-ahead logging hook)
@@ -112,6 +119,10 @@ class PropertyGraph:
                 value = self._vertices[vid].properties.get(prop)
                 if value is not None:
                     index.setdefault(value, {})[vid] = None
+        if self._stats is not None:
+            self._stats.on_add_vertex(
+                label_set, self._vertices[vid].properties
+            )
         if self._listeners:
             self._emit(
                 "add_vertex", vid, label_set,
@@ -138,6 +149,12 @@ class PropertyGraph:
             self._pairs.setdefault((src, dst), {}).setdefault(label, {})[
                 eid
             ] = None
+        if self._stats is not None:
+            self._stats.on_add_edge(
+                label,
+                self._vertices[src].labels,
+                self._vertices[dst].labels,
+            )
         if self._listeners:
             self._emit(
                 "add_edge", eid, src, dst, label,
@@ -156,6 +173,8 @@ class PropertyGraph:
                 self._index_discard(index, old, vid)
             if value is not None:
                 index.setdefault(value, {})[vid] = None
+        if self._stats is not None:
+            self._stats.on_set_property(vertex.labels, name, old, value)
         if self._listeners:
             self._emit("set_property", vid, name, value)
 
@@ -167,6 +186,8 @@ class PropertyGraph:
         for (label, prop), index in self._property_indexes.items():
             if prop == name and label in vertex.labels:
                 self._index_discard(index, old, vid)
+        if self._stats is not None:
+            self._stats.on_remove_property(vertex.labels, name, old)
         if self._listeners:
             self._emit("remove_property", vid, name)
 
@@ -182,6 +203,14 @@ class PropertyGraph:
     def remove_edge(self, eid: int) -> None:
         """Remove an edge (update handling, Section 4.2 of the paper)."""
         edge = self.edge(eid)
+        if self._stats is not None:
+            # Endpoint vertices still exist here (remove_vertex drops
+            # its incident edges before the vertex itself).
+            self._stats.on_remove_edge(
+                edge.label,
+                self._vertices[edge.src].labels,
+                self._vertices[edge.dst].labels,
+            )
         del self._edges[eid]
         self._adjacency_discard(self._out[edge.src], edge.label, eid)
         self._adjacency_discard(self._in[edge.dst], edge.label, eid)
@@ -221,6 +250,8 @@ class PropertyGraph:
         del self._vertices[vid]
         del self._out[vid]
         del self._in[vid]
+        if self._stats is not None:
+            self._stats.on_remove_vertex(vertex.labels, vertex.properties)
         if self._listeners:
             self._emit("remove_vertex", vid)
 
@@ -358,6 +389,8 @@ class PropertyGraph:
             if value is not None:
                 index.setdefault(value, {})[vid] = None
         self._property_indexes[key] = index
+        if self._stats is not None:
+            self._stats.on_create_index()
         if self._listeners:
             self._emit("create_property_index", label, prop)
 
@@ -378,6 +411,22 @@ class PropertyGraph:
     # ------------------------------------------------------------------
     # Stats
     # ------------------------------------------------------------------
+    def statistics(self) -> GraphStatistics:
+        """Planner statistics, built on first use, then incremental.
+
+        The first call runs one batch pass over the vertex and edge
+        stores; afterwards every mutation keeps the counters current,
+        so repeated calls are O(1).  See
+        :mod:`repro.graphdb.statistics`.
+        """
+        if self._stats is None:
+            self._stats = GraphStatistics.build(self)
+        return self._stats
+
+    @property
+    def has_statistics(self) -> bool:
+        return self._stats is not None
+
     @property
     def num_vertices(self) -> int:
         return len(self._vertices)

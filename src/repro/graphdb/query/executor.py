@@ -19,6 +19,18 @@ aggregate function, the non-aggregated items become grouping keys;
 ``size(collect(x))`` style nesting is evaluated inside-out at group
 level.  Aggregation (and full-sort ORDER BY) are the only pipeline
 breakers - everything upstream of them still streams.
+
+Planning is cost-based by default: the planner prices candidate
+orderings against the graph's :class:`~repro.graphdb.statistics.
+GraphStatistics` (built lazily on first query, maintained
+incrementally afterwards), and plans built from query *text* are
+cached in the statistics object's LRU plan cache keyed on
+``(query text, stats epoch)``, so repeated queries skip parsing and
+planning until enough mutations accumulate.  Construct the executor
+with ``cost_based=False`` to force the legacy syntactic ordering.
+:meth:`Executor.explain` renders the chosen plan; with
+``analyze=True`` it also runs the query and pairs each step's
+estimated row count with the rows it actually produced.
 """
 
 from __future__ import annotations
@@ -211,18 +223,72 @@ def _passes(filters: list[RowFn], binding: Binding) -> bool:
     return True
 
 
-class Executor:
-    """Executes parsed queries against one instrumented session."""
+def _counted(
+    stream: Iterable[Binding], counts: list[int], index: int
+) -> Iterator[Binding]:
+    """Count the bindings one step yields (EXPLAIN ANALYZE probe)."""
+    for binding in stream:
+        counts[index] += 1
+        yield binding
 
-    def __init__(self, session: GraphSession):
+
+class Executor:
+    """Executes parsed queries against one instrumented session.
+
+    ``cost_based=False`` disables statistics-driven planning (and the
+    plan cache) and falls back to the legacy syntactic ordering - the
+    baseline the planner benchmarks compare against.
+    """
+
+    def __init__(self, session: GraphSession, cost_based: bool = True):
         self.session = session
+        self.cost_based = cost_based
 
     def run(self, query: Query | str) -> QueryResult:
-        if isinstance(query, str):
-            query = parse_query(query)
-        plan = build_plan(query, self.session.graph)
+        query, plan = self._prepare(query)
+        return self._execute(query, plan)
+
+    def _prepare(self, query: Query | str) -> tuple[Query, Plan]:
+        """Parse and plan, consulting the per-graph plan cache.
+
+        The cache key is the query text, or - AST nodes are frozen
+        dataclasses - the :class:`Query` itself; the one unhashable
+        case (a list literal embedded in an expression) is planned
+        afresh.  The rewriter's pre-parsed OPT queries therefore cache
+        just like text does.
+        """
+        graph = self.session.graph
+        if not self.cost_based:
+            if isinstance(query, str):
+                query = parse_query(query)
+            return query, build_plan(query, graph, cost_based=False)
+        stats = graph.statistics()
+        key: Query | str | None = query
+        try:
+            hash(key)
+        except TypeError:  # AST embeds an unhashable (list) literal
+            key = None
+        cached = (
+            stats.plan_cache.get(key, stats.epoch)
+            if key is not None
+            else None
+        )
+        if cached is not None:
+            return cached
+        parsed = parse_query(query) if isinstance(query, str) else query
+        plan = build_plan(parsed, graph, statistics=stats)
+        if key is not None:
+            stats.plan_cache.put(key, stats.epoch, (parsed, plan))
+        return parsed, plan
+
+    def _execute(
+        self,
+        query: Query,
+        plan: Plan,
+        step_counts: list[int] | None = None,
+    ) -> QueryResult:
         evaluator = _Evaluator(self.session, plan)
-        stream = self._match_stream(plan, evaluator)
+        stream = self._match_stream(plan, evaluator, step_counts)
         columns, rows = self._project(query, stream, evaluator)
         if query.distinct:
             rows = _dedupe(rows)
@@ -237,20 +303,33 @@ class Executor:
         latency = self.session.profile.latency_ms(metrics)
         return QueryResult(columns, rows, metrics, latency)
 
-    def explain(self, query: Query | str) -> str:
-        """Render the plan (steps, access paths, pushed predicates)."""
-        if isinstance(query, str):
-            query = parse_query(query)
-        return build_plan(query, self.session.graph).describe()
+    def explain(self, query: Query | str, analyze: bool = False) -> str:
+        """Render the plan (steps, access paths, pushed predicates).
+
+        ``analyze=True`` additionally *executes* the query, counting
+        the bindings each step produced, and renders estimated vs
+        actual rows per step (``EXPLAIN ANALYZE``).  Short-circuiting
+        still applies: under ``LIMIT``, actual counts reflect the rows
+        the pipeline really pulled, not the full match.
+        """
+        query, plan = self._prepare(query)
+        if not analyze:
+            return plan.describe()
+        counts = [0] * len(plan.steps)
+        self._execute(query, plan, step_counts=counts)
+        return plan.describe(actual=counts)
 
     # ------------------------------------------------------------------
     # Pattern matching (generator pipeline)
     # ------------------------------------------------------------------
     def _match_stream(
-        self, plan: Plan, evaluator: _Evaluator
+        self,
+        plan: Plan,
+        evaluator: _Evaluator,
+        step_counts: list[int] | None = None,
     ) -> Iterator[Binding]:
         stream: Iterable[Binding] = ((),)
-        for step in plan.steps:
+        for i, step in enumerate(plan.steps):
             filters = [evaluator.compile(f) for f in step.filters]
             if isinstance(step, ScanStep):
                 stream = self._scan_stream(step, filters, stream)
@@ -259,6 +338,8 @@ class Executor:
                 stream = self._expand_stream(step, spec, filters, stream)
             else:
                 stream = self._join_stream(step, filters, stream)
+            if step_counts is not None:
+                stream = _counted(stream, step_counts, i)
         return iter(stream)
 
     def _candidates(self, step: ScanStep) -> list[int]:

@@ -1,4 +1,4 @@
-"""Pattern-matching planner.
+"""Cost-based pattern-matching planner.
 
 Turns the MATCH patterns of a query into an ordered list of steps:
 
@@ -11,10 +11,26 @@ Turns the MATCH patterns of a query into an ordered list of steps:
   variables (cycles in the pattern graph) with an O(1) endpoint-pair
   probe.
 
-Start-point choice is selectivity-driven: an exact property filter with
-an index beats a label scan, and smaller labels beat bigger ones - the
-same heuristics production engines apply.  Disconnected pattern
-components each get their own scan (cartesian product).
+Two orderings are implemented:
+
+* **Cost-based** (the default): candidate orderings are *priced*
+  against :class:`~repro.graphdb.statistics.GraphStatistics` - label
+  and edge-type cardinalities, per-(edge type, label) average fan-out,
+  and property-value histograms.  For every pattern component the
+  enumerator tries each variable as the start point, grows the
+  ordering greedily by the cheapest next expansion, and keeps the
+  candidate with the lowest total cost (sum of rows examined and rows
+  produced across steps - the classic C_out flavor).  The same
+  histograms price the scan access path, so a poorly-selective
+  property index loses to a highly-selective label scan instead of
+  winning by fiat.  Every step carries its estimated row count, which
+  ``EXPLAIN`` renders and ``EXPLAIN ANALYZE`` pairs with actual rows.
+* **Syntactic** (``cost_based=False``): the legacy heuristic - start
+  at the variable whose access path looks categorically cheapest
+  (index beats label-with-props beats label beats all-vertices, sizes
+  break ties), then expand along pattern edges in the order they were
+  written.  Kept as the baseline the planner benchmarks compare
+  against, and as the fallback when statistics are unavailable.
 
 The planner also owns two jobs the executor used to do per row:
 
@@ -29,14 +45,20 @@ The planner also owns two jobs the executor used to do per row:
 * **Predicate pushdown** - WHERE is decomposed into AND-conjuncts;
   single-variable equality conjuncts (``x.p = literal``) are folded
   into the variable's :class:`NodeSpec` props (where they can hit a
-  property index and drive scan selection), and every remaining
-  conjunct is attached to the earliest step that binds all of its
-  variables, so non-matching bindings die as soon as possible.
+  property index, drive scan selection, and sharpen the histogram
+  estimates), and every remaining conjunct is attached to the earliest
+  step that binds all of its variables, so non-matching bindings die
+  as soon as possible.
+
+Plans built from query *text* are cached per graph in the statistics
+object's LRU plan cache, keyed on ``(query text, stats epoch)`` - see
+:class:`~repro.graphdb.statistics.PlanCache`.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field, replace
 
 from repro.exceptions import QueryError
@@ -53,6 +75,16 @@ from repro.graphdb.query.ast import (
     expr_text,
     variables_used,
 )
+from repro.graphdb.statistics import GraphStatistics, is_hashable
+
+#: Assumed selectivity of an equality check the statistics cannot
+#: price (prop filters on unlabeled variables).
+_DEFAULT_EQ_SELECTIVITY = 0.1
+#: Floor for estimates used as multipliers, so a zero estimate cannot
+#: collapse the cost of everything downstream of it.
+_MIN_ROWS = 0.01
+#: Cap for variable-length fan-out estimates.
+_MAX_ROWS = 1e15
 
 
 @dataclass
@@ -95,6 +127,8 @@ class ScanStep:
     check_props: tuple[tuple[str, object], ...] = ()
     #: Pushed-down WHERE conjuncts evaluable once this step binds.
     filters: tuple[Expr, ...] = ()
+    #: Estimated bindings produced (None when planned syntactically).
+    est_rows: float | None = None
 
 
 @dataclass(frozen=True)
@@ -109,6 +143,7 @@ class ExpandStep:
     #: flipped when the plan walks the pattern backwards).
     walk_direction: str = "out"
     filters: tuple[Expr, ...] = ()
+    est_rows: float | None = None
 
 
 @dataclass(frozen=True)
@@ -118,6 +153,7 @@ class JoinCheckStep:
     dst_slot: int = 0
     rel_slot: int | None = None
     filters: tuple[Expr, ...] = ()
+    est_rows: float | None = None
 
 
 @dataclass
@@ -128,13 +164,19 @@ class Plan:
     slots: dict[str, int] = field(default_factory=dict)
     #: Variable name -> "vertex" | "edge" (what the slot holds).
     slot_kinds: dict[str, str] = field(default_factory=dict)
+    #: "cost" or "syntactic" - how the step order was chosen.
+    ordering: str = "cost"
 
     @property
     def num_slots(self) -> int:
         return len(self.slots)
 
-    def describe(self) -> str:
-        """Human-readable rendering of steps and pushed predicates."""
+    def describe(self, actual: list[int] | None = None) -> str:
+        """Human-readable rendering of steps and pushed predicates.
+
+        ``actual`` (per-step binding counts collected by
+        ``EXPLAIN ANALYZE``) adds an estimated-vs-actual column.
+        """
         lines = []
         for i, step in enumerate(self.steps):
             if isinstance(step, ScanStep):
@@ -155,9 +197,13 @@ class Plan:
                 if residual:
                     text += f" check[{', '.join(residual)}]"
             elif isinstance(step, ExpandStep):
+                # Render the arrow as seen from from_var, flipping the
+                # stored direction when the plan walks the pattern
+                # backwards (from_var is the edge's dst side).
+                flipped = step.from_var != step.edge.src_var
                 text = (
                     f"Expand ({step.from_var})"
-                    f"{_edge_text(step.edge)}({step.to_var}) "
+                    f"{_edge_text(step.edge, flipped)}({step.to_var}) "
                     f"[{step.walk_direction}]"
                 )
             else:
@@ -169,20 +215,35 @@ class Plan:
                     text += " [O(1) pair probe]"
             for predicate in step.filters:
                 text += f" filter[{expr_text(predicate)}]"
+            text += _rows_text(
+                step.est_rows, actual[i] if actual is not None else None
+            )
             lines.append(f"{i + 1}. {text}")
         return "\n".join(lines)
 
 
-def _edge_text(edge: EdgeSpec) -> str:
+def _rows_text(est: float | None, actual: int | None) -> str:
+    parts = []
+    if est is not None:
+        parts.append(f"est~{est:.0f}")
+    if actual is not None:
+        parts.append(f"actual={actual}")
+    if not parts:
+        return ""
+    return f" ({', '.join(parts)} rows)"
+
+
+def _edge_text(edge: EdgeSpec, flipped: bool = False) -> str:
     inner = edge.rel_var or ""
     if edge.labels:
         inner += ":" + "|".join(edge.labels)
     if not edge.is_plain_hop:
         inner += f"*{edge.min_hops}..{edge.max_hops}"
     body = f"[{inner}]" if inner else ""
-    if edge.direction == "out":
+    direction = _FLIP[edge.direction] if flipped else edge.direction
+    if direction == "out":
         return f"-{body}->"
-    if edge.direction == "in":
+    if direction == "in":
         return f"<-{body}-"
     return f"-{body}-"
 
@@ -190,8 +251,43 @@ def _edge_text(edge: EdgeSpec) -> str:
 _FLIP = {"out": "in", "in": "out", "any": "any"}
 
 
-def build_plan(query: Query, graph: PropertyGraph) -> Plan:
-    """Plan the MATCH portion of ``query`` against ``graph``."""
+# ----------------------------------------------------------------------
+# Ordering ops (shared between the two enumerators)
+# ----------------------------------------------------------------------
+@dataclass
+class _ScanOp:
+    var: str
+    access: tuple[str, str | None, str | None]  # (kind, label, prop)
+    est: float | None = None
+
+
+@dataclass
+class _ExpandOp:
+    edge: EdgeSpec
+    from_var: str
+    est: float | None = None
+
+
+@dataclass
+class _JoinOp:
+    edge: EdgeSpec
+    est: float | None = None
+
+
+def build_plan(
+    query: Query,
+    graph: PropertyGraph,
+    statistics: GraphStatistics | None = None,
+    cost_based: bool = True,
+) -> Plan:
+    """Plan the MATCH portion of ``query`` against ``graph``.
+
+    With ``cost_based=True`` (the default) the step order and scan
+    access paths are chosen by the statistics-driven cost model
+    (``statistics`` defaults to ``graph.statistics()``, building them
+    on first use).  ``cost_based=False`` reproduces the legacy
+    syntactic ordering and leaves estimates unset.
+    """
     specs, edges = _collect(query)
     if not specs:
         raise QueryError("query has no node patterns")
@@ -199,13 +295,31 @@ def build_plan(query: Query, graph: PropertyGraph) -> Plan:
     conjuncts = _decompose_where(query)
     residual = [c for c in conjuncts if not _try_fold(c, specs)]
 
-    remaining_edges = list(edges)
-    bound: set[str] = set()
+    if cost_based:
+        if statistics is None:
+            statistics = graph.statistics()
+        ops = _order_cost_based(specs, edges, graph, statistics)
+        ordering = "cost"
+    else:
+        ops = _order_syntactic(specs, edges, graph)
+        ordering = "syntactic"
+
+    steps, slots, slot_kinds, bound_after = _emit_steps(ops, specs, graph)
+    _attach_filters(steps, bound_after, residual)
+    return Plan(steps, specs, slots, slot_kinds, ordering)
+
+
+# ----------------------------------------------------------------------
+# Step emission (ordering ops -> slotted steps)
+# ----------------------------------------------------------------------
+def _emit_steps(
+    ops: list, specs: dict[str, NodeSpec], graph: PropertyGraph
+) -> tuple[list, dict[str, int], dict[str, str], list[set[str]]]:
     slots: dict[str, int] = {}
     slot_kinds: dict[str, str] = {}
     steps: list = []
-    #: Variables bound after each step (slots plus never-slotted vars
-    #: do not diverge here: every slotted var is bound when allocated).
+    bound: set[str] = set()
+    #: Variables bound after each step (drives filter pushdown).
     bound_after: list[set[str]] = []
 
     def alloc(var: str, kind: str) -> int:
@@ -215,121 +329,81 @@ def build_plan(query: Query, graph: PropertyGraph) -> Plan:
         slot_kinds[var] = kind
         return slots[var]
 
-    def estimate(spec: NodeSpec) -> tuple[int, int]:
-        """(cost class, estimated cardinality): lower is better."""
-        access, label, _prop = _choose_access(spec, graph)
-        if access == "index":
-            return (0, 1)
-        if access == "label":
-            cost_class = 1 if spec.props else 2
-            return (cost_class, graph.label_count(label))
-        return (3, graph.num_vertices)
-
-    unbound = set(specs)
-    while unbound:
-        # Pick the cheapest unbound variable as this component's start.
-        start = min(unbound, key=lambda v: (estimate(specs[v]), v))
-        steps.append(
-            _make_scan(specs[start], graph, alloc(start, "vertex"))
-        )
-        bound.add(start)
+    for op in ops:
+        if isinstance(op, _ScanOp):
+            steps.append(
+                _make_scan(
+                    specs[op.var], op.access,
+                    alloc(op.var, "vertex"), op.est,
+                )
+            )
+            bound.add(op.var)
+        elif isinstance(op, _ExpandOp):
+            edge = op.edge
+            from_var = op.from_var
+            to_var = (
+                edge.dst_var if from_var == edge.src_var else edge.src_var
+            )
+            from_slot = slots[from_var]
+            to_slot = alloc(to_var, "vertex")
+            rel_slot = (
+                alloc(edge.rel_var, "edge")
+                if edge.rel_var and edge.is_plain_hop
+                else None
+            )
+            steps.append(
+                ExpandStep(
+                    from_var,
+                    to_var,
+                    edge,
+                    from_slot=from_slot,
+                    to_slot=to_slot,
+                    rel_slot=rel_slot,
+                    walk_direction=(
+                        edge.direction
+                        if from_var == edge.src_var
+                        else _FLIP[edge.direction]
+                    ),
+                    est_rows=op.est,
+                )
+            )
+            bound.add(to_var)
+            if edge.rel_var and edge.is_plain_hop:
+                bound.add(edge.rel_var)
+        else:  # _JoinOp
+            edge = op.edge
+            rel_slot = (
+                alloc(edge.rel_var, "edge")
+                if edge.rel_var and edge.is_plain_hop
+                else None
+            )
+            steps.append(
+                JoinCheckStep(
+                    edge,
+                    src_slot=slots[edge.src_var],
+                    dst_slot=slots[edge.dst_var],
+                    rel_slot=rel_slot,
+                    est_rows=op.est,
+                )
+            )
+            if edge.rel_var and edge.is_plain_hop:
+                bound.add(edge.rel_var)
         bound_after.append(set(bound))
-        unbound.discard(start)
-        # Greedily expand along pattern edges into the bound set.
-        progress = True
-        while progress:
-            progress = False
-            for edge in list(remaining_edges):
-                src_bound = edge.src_var in bound
-                dst_bound = edge.dst_var in bound
-                if src_bound and dst_bound:
-                    rel_slot = (
-                        alloc(edge.rel_var, "edge")
-                        if edge.rel_var and edge.is_plain_hop
-                        else None
-                    )
-                    steps.append(
-                        JoinCheckStep(
-                            edge,
-                            src_slot=slots[edge.src_var],
-                            dst_slot=slots[edge.dst_var],
-                            rel_slot=rel_slot,
-                        )
-                    )
-                    if edge.rel_var and edge.is_plain_hop:
-                        bound.add(edge.rel_var)
-                elif src_bound or dst_bound:
-                    from_var = edge.src_var if src_bound else edge.dst_var
-                    to_var = edge.dst_var if src_bound else edge.src_var
-                    from_slot = slots[from_var]
-                    to_slot = alloc(to_var, "vertex")
-                    rel_slot = (
-                        alloc(edge.rel_var, "edge")
-                        if edge.rel_var and edge.is_plain_hop
-                        else None
-                    )
-                    steps.append(
-                        ExpandStep(
-                            from_var,
-                            to_var,
-                            edge,
-                            from_slot=from_slot,
-                            to_slot=to_slot,
-                            rel_slot=rel_slot,
-                            walk_direction=(
-                                edge.direction
-                                if from_var == edge.src_var
-                                else _FLIP[edge.direction]
-                            ),
-                        )
-                    )
-                    bound.add(to_var)
-                    if edge.rel_var and edge.is_plain_hop:
-                        bound.add(edge.rel_var)
-                    unbound.discard(to_var)
-                else:
-                    continue
-                remaining_edges.remove(edge)
-                bound_after.append(set(bound))
-                progress = True
-    _attach_filters(steps, bound_after, residual)
-    return Plan(steps, specs, slots, slot_kinds)
+    return steps, slots, slot_kinds, bound_after
 
 
-def _hashable_value(value: object) -> bool:
-    try:
-        hash(value)
-    except TypeError:
-        return False
-    return True
-
-
-def _choose_access(
-    spec: NodeSpec, graph: PropertyGraph
-) -> tuple[str, str | None, str | None]:
-    """(access kind, label, prop): the single source of scan selection.
-
-    Both the start-point cost model and the emitted :class:`ScanStep`
-    derive from this, so they cannot disagree.
-    """
-    for prop, value in spec.props.items():
-        if not _hashable_value(value):
-            continue  # index buckets are keyed by value
-        for label in spec.labels:
-            if graph.has_property_index(label, prop):
-                return ("index", label, prop)
-    if spec.labels:
-        return ("label", min(spec.labels, key=graph.label_count), None)
-    return ("all", None, None)
-
-
-def _make_scan(spec: NodeSpec, graph: PropertyGraph, slot: int) -> ScanStep:
+def _make_scan(
+    spec: NodeSpec,
+    access: tuple[str, str | None, str | None],
+    slot: int,
+    est: float | None,
+) -> ScanStep:
     """Build the scan step and record its residual checks."""
-    access, label, prop = _choose_access(spec, graph)
+    kind, label, prop = access
     return ScanStep(
         spec.var,
         slot=slot,
-        access=access,
+        access=kind,
         access_label=label,
         access_prop=prop,
         access_value=spec.props[prop] if prop is not None else None,
@@ -341,6 +415,356 @@ def _make_scan(spec: NodeSpec, graph: PropertyGraph, slot: int) -> ScanStep:
             for name, value in spec.props.items()
             if name != prop
         ),
+        est_rows=est,
+    )
+
+
+# ----------------------------------------------------------------------
+# Syntactic ordering (the legacy heuristic, kept as baseline/fallback)
+# ----------------------------------------------------------------------
+def _choose_access(
+    spec: NodeSpec, graph: PropertyGraph
+) -> tuple[str, str | None, str | None]:
+    """(access kind, label, prop): the syntactic scan selection.
+
+    Index access wins categorically, then the smallest label.  The
+    cost-based path prices the same candidates with histograms instead
+    (see :func:`_scan_estimate`).
+    """
+    for prop, value in spec.props.items():
+        if not is_hashable(value):
+            continue  # index buckets are keyed by value
+        for label in spec.labels:
+            if graph.has_property_index(label, prop):
+                return ("index", label, prop)
+    if spec.labels:
+        return ("label", min(spec.labels, key=graph.label_count), None)
+    return ("all", None, None)
+
+
+def _order_syntactic(
+    specs: dict[str, NodeSpec],
+    edges: list[EdgeSpec],
+    graph: PropertyGraph,
+) -> list:
+    def estimate(spec: NodeSpec) -> tuple[int, int]:
+        """(cost class, cardinality): lower is categorically better."""
+        access, label, _prop = _choose_access(spec, graph)
+        if access == "index":
+            return (0, 1)
+        if access == "label":
+            cost_class = 1 if spec.props else 2
+            return (cost_class, graph.label_count(label))
+        return (3, graph.num_vertices)
+
+    ops: list = []
+    remaining = list(edges)
+    bound: set[str] = set()
+    unbound = set(specs)
+    while unbound:
+        # Pick the cheapest unbound variable as this component's start.
+        start = min(unbound, key=lambda v: (estimate(specs[v]), v))
+        ops.append(_ScanOp(start, _choose_access(specs[start], graph)))
+        bound.add(start)
+        unbound.discard(start)
+        # Greedily expand along pattern edges in written order.
+        progress = True
+        while progress:
+            progress = False
+            for edge in list(remaining):
+                src_bound = edge.src_var in bound
+                dst_bound = edge.dst_var in bound
+                if src_bound and dst_bound:
+                    ops.append(_JoinOp(edge))
+                elif src_bound or dst_bound:
+                    from_var = edge.src_var if src_bound else edge.dst_var
+                    to_var = edge.dst_var if src_bound else edge.src_var
+                    ops.append(_ExpandOp(edge, from_var))
+                    bound.add(to_var)
+                    unbound.discard(to_var)
+                else:
+                    continue
+                remaining.remove(edge)
+                progress = True
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Cost-based ordering
+# ----------------------------------------------------------------------
+def _order_cost_based(
+    specs: dict[str, NodeSpec],
+    edges: list[EdgeSpec],
+    graph: PropertyGraph,
+    stats: GraphStatistics,
+) -> list:
+    """Enumerate candidate orderings per component; keep the cheapest.
+
+    Every variable of a component is tried as the start point; from
+    each start the ordering grows greedily by the cheapest applicable
+    next step (join checks - which only shrink the intermediate - are
+    always applied first).  Components are then sequenced by ascending
+    estimated output so cartesian products stay as small as possible,
+    and each later component's estimates are scaled by the rows already
+    flowing through the pipeline.
+    """
+    candidates = []
+    for component_vars, component_edges in _components(specs, edges):
+        best = None
+        for start in sorted(component_vars):
+            candidate = _greedy_candidate(
+                start, component_edges, specs, graph, stats
+            )
+            if best is None or candidate[0] < best[0]:
+                best = candidate
+        candidates.append(best)
+
+    # Cheapest-output component first; scale later components' row
+    # estimates by the bindings already produced (the executor re-runs
+    # their memoized scans per upstream binding).
+    candidates.sort(key=lambda c: (c[1], c[0]))
+    ops: list = []
+    base_rows = 1.0
+    for _cost, rows, component_ops in candidates:
+        for op in component_ops:
+            if op.est is not None:
+                op.est = op.est * base_rows
+            ops.append(op)
+        base_rows = max(base_rows * rows, _MIN_ROWS)
+    return ops
+
+
+def _components(
+    specs: dict[str, NodeSpec], edges: list[EdgeSpec]
+) -> list[tuple[set[str], list[EdgeSpec]]]:
+    """Connected components of the pattern graph, in first-seen order."""
+    parent = {var: var for var in specs}
+
+    def find(var: str) -> str:
+        while parent[var] != var:
+            parent[var] = parent[parent[var]]
+            var = parent[var]
+        return var
+
+    for edge in edges:
+        root_a, root_b = find(edge.src_var), find(edge.dst_var)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    grouped: dict[str, tuple[set[str], list[EdgeSpec]]] = {}
+    for var in specs:
+        grouped.setdefault(find(var), (set(), []))[0].add(var)
+    for edge in edges:
+        grouped[find(edge.src_var)][1].append(edge)
+    return list(grouped.values())
+
+
+def _greedy_candidate(
+    start: str,
+    component_edges: list[EdgeSpec],
+    specs: dict[str, NodeSpec],
+    graph: PropertyGraph,
+    stats: GraphStatistics,
+) -> tuple[float, float, list]:
+    """(total cost, output rows, ops) for one start point."""
+    examined, rows, access = _scan_estimate(specs[start], graph, stats)
+    ops: list = [_ScanOp(start, access, rows)]
+    cost = examined + rows
+    bound = {start}
+    pending = list(component_edges)
+    while pending:
+        # Join checks never grow the intermediate result; apply every
+        # one that became available before weighing expansions.
+        for edge in [
+            e for e in pending
+            if e.src_var in bound and e.dst_var in bound
+        ]:
+            cost += rows  # one probe per binding
+            rows = max(rows * _join_selectivity(edge, specs, stats),
+                       _MIN_ROWS)
+            ops.append(_JoinOp(edge, rows))
+            pending.remove(edge)
+        if not pending:
+            break
+        best = None
+        for edge in pending:
+            src_bound = edge.src_var in bound
+            dst_bound = edge.dst_var in bound
+            if not (src_bound or dst_bound):
+                continue
+            from_var = edge.src_var if src_bound else edge.dst_var
+            to_var = edge.dst_var if src_bound else edge.src_var
+            step_examined, step_rows = _expand_estimate(
+                rows, specs[from_var], edge, from_var,
+                specs[to_var], stats,
+            )
+            key = (step_examined + step_rows, from_var, to_var)
+            if best is None or key < best[0]:
+                best = (key, edge, from_var, to_var,
+                        step_examined, step_rows)
+        if best is None:  # pragma: no cover - components are connected
+            break
+        _key, edge, from_var, to_var, step_examined, step_rows = best
+        cost += step_examined + step_rows
+        rows = max(step_rows, _MIN_ROWS)
+        ops.append(_ExpandOp(edge, from_var, rows))
+        bound.add(to_var)
+        pending.remove(edge)
+    return cost, rows, ops
+
+
+def _scan_estimate(
+    spec: NodeSpec, graph: PropertyGraph, stats: GraphStatistics
+) -> tuple[float, float, tuple[str, str | None, str | None]]:
+    """Price every scan access path; return the cheapest.
+
+    Returns ``(rows examined, rows produced, access)`` where access is
+    the ``(kind, label, prop)`` triple :func:`_make_scan` consumes.
+    """
+    total = max(1, graph.num_vertices)
+    options: list[tuple[float, int, float, tuple]] = []
+
+    def residual_selectivity(
+        anchor_label: str | None, skip_prop: str | None
+    ) -> float:
+        sel = 1.0
+        for name, value in spec.props.items():
+            if name == skip_prop:
+                continue
+            if anchor_label is not None:
+                sel *= stats.eq_selectivity(anchor_label, name, value)
+            else:
+                sel *= _DEFAULT_EQ_SELECTIVITY
+        for label in spec.labels:
+            if label != anchor_label:
+                if anchor_label is not None:
+                    # Co-occurrence, not independence: merged-label
+                    # vertices carry correlated label sets.
+                    sel *= stats.label_overlap(anchor_label, label)
+                else:
+                    sel *= min(1.0, stats.label_count(label) / total)
+        return sel
+
+    for prop, value in spec.props.items():
+        if not is_hashable(value):
+            continue  # index buckets are keyed by value
+        for label in spec.labels:
+            if graph.has_property_index(label, prop):
+                bucket = stats.eq_estimate(label, prop, value)
+                out = bucket * residual_selectivity(label, prop)
+                # rank 0: with equal cost an index lookup still wins
+                # (it reads only matches; a scan touches everything).
+                options.append((bucket, 0, out, ("index", label, prop)))
+    if spec.labels:
+        label = min(spec.labels, key=stats.label_count)
+        examined = float(stats.label_count(label))
+        out = examined * residual_selectivity(label, None)
+        options.append((examined, 1, out, ("label", label, None)))
+    else:
+        examined = float(total)
+        out = examined * residual_selectivity(None, None)
+        options.append((examined, 2, out, ("all", None, None)))
+
+    examined, _rank, out, access = min(
+        options, key=lambda o: (o[0] + o[2], o[1])
+    )
+    return examined, max(out, _MIN_ROWS), access
+
+
+def _expand_estimate(
+    rows: float,
+    from_spec: NodeSpec,
+    edge: EdgeSpec,
+    from_var: str,
+    to_spec: NodeSpec,
+    stats: GraphStatistics,
+) -> tuple[float, float]:
+    """(edges examined, bindings produced) for one expansion."""
+    walk = (
+        edge.direction if from_var == edge.src_var
+        else _FLIP[edge.direction]
+    )
+    per_hop = stats.fanout(from_spec.labels, edge.labels, walk)
+    if edge.is_plain_hop:
+        fan = per_hop
+    else:
+        fan = 1.0 if edge.min_hops == 0 else 0.0
+        log_cap = math.log(_MAX_ROWS)
+        for depth in range(max(edge.min_hops, 1), edge.max_hops + 1):
+            # Cap in log space: per_hop ** depth overflows a float
+            # long before the min() below could clamp it.
+            if per_hop > 1.0 and depth * math.log(per_hop) >= log_cap:
+                fan = _MAX_ROWS
+                break
+            fan += min(per_hop ** depth, _MAX_ROWS)
+            if fan >= _MAX_ROWS:
+                break
+    examined = rows * min(fan, _MAX_ROWS)
+
+    selectivity = 1.0
+    if to_spec.labels:
+        fractions = []
+        for label in to_spec.labels:
+            if from_spec.labels:
+                # Condition on the near end's anchor label: the label
+                # composition of a vertex's neighborhood depends
+                # heavily on the vertex's own label.
+                near = min(from_spec.labels, key=stats.label_count)
+                fraction = stats.cond_endpoint_fraction(
+                    edge.labels, near, label, walk
+                )
+            else:
+                far_end = {"out": "dst", "in": "src"}.get(walk)
+                if far_end is None:
+                    fraction = 0.5 * (
+                        stats.endpoint_label_fraction(
+                            edge.labels, label, "src"
+                        )
+                        + stats.endpoint_label_fraction(
+                            edge.labels, label, "dst"
+                        )
+                    )
+                else:
+                    fraction = stats.endpoint_label_fraction(
+                        edge.labels, label, far_end
+                    )
+            fractions.append(fraction)
+        selectivity *= min(fractions)
+        anchor = min(to_spec.labels, key=stats.label_count)
+        for name, value in to_spec.props.items():
+            selectivity *= stats.eq_selectivity(anchor, name, value)
+    else:
+        for _ in to_spec.props:
+            selectivity *= _DEFAULT_EQ_SELECTIVITY
+    return examined, max(examined * selectivity, _MIN_ROWS)
+
+
+def _join_selectivity(
+    edge: EdgeSpec, specs: dict[str, NodeSpec], stats: GraphStatistics
+) -> float:
+    """P(a matching edge exists between two already-bound vertices)."""
+    matching = stats.edge_count(edge.labels)
+    for var, end in ((edge.src_var, "src"), (edge.dst_var, "dst")):
+        labels = specs[var].labels
+        if labels:
+            matching *= min(
+                stats.endpoint_label_fraction(edge.labels, label, end)
+                for label in labels
+            )
+    src_size = _spec_cardinality(specs[edge.src_var], stats)
+    dst_size = _spec_cardinality(specs[edge.dst_var], stats)
+    pairs = max(src_size * dst_size, 1.0)
+    selectivity = matching / pairs
+    if edge.direction == "any":
+        selectivity *= 2.0
+    return min(1.0, max(selectivity, 1e-9))
+
+
+def _spec_cardinality(spec: NodeSpec, stats: GraphStatistics) -> float:
+    if not spec.labels:
+        return float(max(1, stats.num_vertices))
+    return float(
+        max(1, min(stats.label_count(label) for label in spec.labels))
     )
 
 
@@ -383,7 +807,7 @@ def _try_fold(conjunct: Expr, specs: dict[str, NodeSpec]) -> bool:
             continue
         if not isinstance(literal, Literal) or literal.value is None:
             continue
-        if not _hashable_value(literal.value):
+        if not is_hashable(literal.value):
             continue  # property indexes can't look this up
         spec = specs.get(prop_ref.var)
         if spec is None:

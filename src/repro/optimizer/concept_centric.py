@@ -11,6 +11,12 @@ the remaining budget; scanning continues in score order (first-fit by
 priority).  This matches Algorithm 7's space-exhaustion behavior without
 overshooting the budget (the paper's pseudocode breaks after S drops
 below zero; see DESIGN.md).
+
+Reproduces: the CC series of Figures 8 and 9 (benefit ratio vs. space
+budget on MED and FIN; ``benchmarks/bench_fig8_space_med.py`` /
+``benchmarks/bench_fig9_space_fin.py``) and CC's rows in the Table 2
+optimization-efficiency comparison
+(``benchmarks/bench_table2_efficiency.py``).
 """
 
 from __future__ import annotations

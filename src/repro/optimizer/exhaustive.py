@@ -8,6 +8,11 @@ selection.  It is exponential in the number of items and guarded by
 ``max_items``, so it is only usable on small ontologies - which is
 exactly the point; ``tests/optimizer/test_exhaustive.py`` uses it as
 ground truth for RC's near-optimality.
+
+Reproduces: the exhaustive-search baseline of the Section 5.4 / Table 2
+efficiency comparison (``benchmarks/bench_table2_efficiency.py``
+reports it timing out past ``max_items`` exactly as the paper's run
+did after 3 hours).
 """
 
 from __future__ import annotations

@@ -4,6 +4,12 @@ Applies every rule to a fixpoint.  Theorem 3 guarantees the produced
 schema is unique regardless of rule order; the space-constrained
 algorithms measure their quality against this schema's total benefit
 (``BR = B_SC / B_NSC``).
+
+Reproduces: the benefit/space ceilings of Figures 8 and 9 (the
+``BR = 1`` asymptote and the space axis normalization,
+``benchmarks/bench_fig8_space_med.py`` /
+``benchmarks/bench_fig9_space_fin.py``) and the Figures 4-7 example
+transformations shown by ``examples/quickstart.py``.
 """
 
 from __future__ import annotations

@@ -5,6 +5,11 @@ benefit score from relation-centric (RC) and concept-centric (CC)
 algorithms."*  :func:`optimize` runs both and returns the winner (ties go
 to RC, which carries the near-optimality guarantee); both candidates stay
 available on the result for inspection.
+
+Reproduces: the schemas behind the Figure 11 microbenchmark and the
+Figure 12 mixed-workload comparison (PGSG is the optimizer the paper
+evaluates end to end; ``benchmarks/bench_fig11_microbench.py`` and
+``benchmarks/bench_fig12_workload.py`` drive it).
 """
 
 from __future__ import annotations

@@ -4,6 +4,13 @@ Every rule application is priced by the cost-benefit model (Equations
 3-5) and the near-optimal subset under the space limit is selected with
 the knapsack FPTAS, giving a *global* ordering over relationships (the
 paper's motivation for RC over CC).
+
+Reproduces: the RC series of Figures 8 and 9 (benefit ratio vs. space
+budget; ``benchmarks/bench_fig8_space_med.py`` /
+``benchmarks/bench_fig9_space_fin.py``), RC's rows of Table 2
+(``benchmarks/bench_table2_efficiency.py``), and the Figure 10
+sensitivity to the (theta1, theta2) Jaccard thresholds
+(``benchmarks/bench_fig10_jaccard_fin.py``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,127 @@
+"""Statistics persistence: the snapshot STATS section and recovery.
+
+Snapshots written from a graph with materialized statistics must carry
+them (exact counters, histograms truncated to most common values) and
+reattach them on load; stores recovered through snapshot + WAL replay
+must end up with statistics matching a fresh batch build, because
+replay goes through the ordinary mutation API.
+"""
+
+import pytest
+
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.statistics import MCV_CAP, GraphStatistics
+from repro.graphdb.storage import (
+    GraphStore,
+    read_snapshot,
+    write_snapshot,
+)
+
+
+def build_graph() -> PropertyGraph:
+    g = PropertyGraph("stats-rt")
+    drugs = [
+        g.add_vertex("Drug", {"name": f"d{i}", "tier": i % 3})
+        for i in range(6)
+    ]
+    inds = [
+        g.add_vertex(["Indication", "Tagged"], {"desc": f"x{i % 2}"})
+        for i in range(4)
+    ]
+    for i, ind in enumerate(inds):
+        g.add_edge(drugs[i], ind, "treat")
+    g.create_property_index("Drug", "name")
+    return g
+
+
+class TestSnapshotRoundtrip:
+    def test_counters_survive(self, tmp_path):
+        g = build_graph()
+        stats = g.statistics()
+        path = tmp_path / "snap"
+        write_snapshot(g, path, 1)
+        loaded = read_snapshot(path)
+        assert loaded.has_statistics
+        restored = loaded._stats
+        assert restored.epoch == stats.epoch
+        assert restored.label_counts == stats.label_counts
+        assert restored.edge_label_counts == stats.edge_label_counts
+        assert restored._src == stats._src
+        assert restored._dst == stats._dst
+        assert restored._label_pairs == stats._label_pairs
+        assert restored._triples == stats._triples
+        assert restored.props.keys() == stats.props.keys()
+        assert restored.eq_estimate("Drug", "tier", 0) == 2.0
+
+    def test_without_stats_section(self, tmp_path):
+        g = build_graph()  # statistics never materialized
+        path = tmp_path / "snap"
+        write_snapshot(g, path, 1)
+        loaded = read_snapshot(path)
+        assert not loaded.has_statistics
+        # ... and a lazy rebuild still works on the loaded graph.
+        assert loaded.statistics().label_count("Drug") == 6
+
+    def test_mcv_truncation(self, tmp_path):
+        g = PropertyGraph()
+        for i in range(3 * MCV_CAP):
+            # One common value, 2*MCV_CAP singletons: more distinct
+            # values than the persisted histogram keeps.
+            value = "common" if i % 3 == 0 else f"rare{i}"
+            g.add_vertex("P", {"v": value})
+        stats = g.statistics()
+        full = stats.props[("P", "v")]
+        path = tmp_path / "snap"
+        write_snapshot(g, path, 1)
+        restored = read_snapshot(path)._stats.props[("P", "v")]
+        assert len(restored.hist) == MCV_CAP
+        assert restored.hist["common"] == full.hist["common"]
+        assert restored.ndv == full.ndv
+        assert restored.count == full.count
+        # Untracked tail values estimate uniformly, not zero.
+        tail_estimate = restored.eq_estimate("rare-nonexistent")
+        assert tail_estimate == pytest.approx(1.0)
+
+    def test_loaded_stats_stay_live(self, tmp_path):
+        g = build_graph()
+        g.statistics()
+        path = tmp_path / "snap"
+        write_snapshot(g, path, 1)
+        loaded = read_snapshot(path)
+        loaded.remove_vertex(0)
+        fresh = GraphStatistics.build(loaded)
+        assert loaded._stats.label_counts == fresh.label_counts
+        assert loaded._stats.edge_label_counts == fresh.edge_label_counts
+
+
+class TestStoreRecovery:
+    def test_wal_replay_updates_attached_stats(self, tmp_path):
+        g = build_graph()
+        g.statistics()
+        store = GraphStore.create(tmp_path / "data", g)
+        vid = g.add_vertex("Drug", {"name": "post-snap"})
+        g.add_edge(vid, 6, "treat")  # vertex 6 is the first Indication
+        g.remove_vertex(0)
+        store.close()
+
+        with GraphStore.open(tmp_path / "data", create=False) as opened:
+            recovered = opened.graph
+            assert recovered.has_statistics
+            fresh = GraphStatistics.build(recovered)
+            live = recovered._stats
+            assert live.label_counts == fresh.label_counts
+            assert live.edge_label_counts == fresh.edge_label_counts
+            assert live._src == fresh._src
+            assert live._dst == fresh._dst
+            assert live._triples == fresh._triples
+
+    def test_checkpoint_persists_current_stats(self, tmp_path):
+        g = build_graph()
+        g.statistics()
+        store = GraphStore.create(tmp_path / "data", g)
+        g.add_vertex("NewLabel")
+        store.checkpoint()
+        store.close()
+        with GraphStore.open(tmp_path / "data", create=False) as opened:
+            assert opened.graph.has_statistics
+            assert opened.graph._stats.label_count("NewLabel") == 1

@@ -1,0 +1,236 @@
+"""GraphStatistics: batch build, incremental maintenance, estimation.
+
+The load-bearing property is *parity*: after any mutation sequence,
+incrementally maintained statistics must equal a fresh batch build
+over the final graph - otherwise cost-based plans drift as the graph
+churns.  The estimation API is pinned down against hand-computable
+fixtures.
+"""
+
+import random
+
+import pytest
+
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.statistics import GraphStatistics, PlanCache, PropertyStats
+
+
+def snapshot_of(stats: GraphStatistics) -> dict:
+    """Comparable dump of every counter (histograms included)."""
+    return {
+        "num_vertices": stats.num_vertices,
+        "num_edges": stats.num_edges,
+        "labels": dict(stats.label_counts),
+        "edge_labels": dict(stats.edge_label_counts),
+        "src": dict(stats._src),
+        "dst": dict(stats._dst),
+        "src_total": dict(stats._src_total),
+        "dst_total": dict(stats._dst_total),
+        "pairs": dict(stats._label_pairs),
+        "triples": dict(stats._triples),
+        "props": {
+            key: (stat.count, stat.unhashable, dict(stat.hist))
+            for key, stat in stats.props.items()
+            if stat.count > 0
+        },
+    }
+
+
+@pytest.fixture()
+def graph():
+    g = PropertyGraph()
+    drugs = [
+        g.add_vertex("Drug", {"name": f"d{i}", "brand": f"b{i % 2}"})
+        for i in range(4)
+    ]
+    inds = [
+        g.add_vertex("Indication", {"desc": f"x{i % 3}"}) for i in range(8)
+    ]
+    for i, ind in enumerate(inds):
+        g.add_edge(drugs[i % 4], ind, "treat")
+    g.add_vertex(["Drug", "Compound"], {"name": "dual"})
+    return g
+
+
+class TestBatchBuild:
+    def test_cardinalities(self, graph):
+        stats = graph.statistics()
+        assert stats.num_vertices == 13
+        assert stats.num_edges == 8
+        assert stats.label_count("Drug") == 5
+        assert stats.label_count("Indication") == 8
+        assert stats.label_count("Nope") == 0
+        assert stats.edge_label_counts == {"treat": 8}
+
+    def test_degree_pairs(self, graph):
+        stats = graph.statistics()
+        assert stats._src[("treat", "Drug")] == 8
+        assert stats._dst[("treat", "Indication")] == 8
+        assert stats.fanout({"Drug"}, ("treat",), "out") == pytest.approx(
+            8 / 5
+        )
+        assert stats.fanout(
+            {"Indication"}, ("treat",), "in"
+        ) == pytest.approx(1.0)
+        # Untyped expansion falls back to the per-label totals.
+        assert stats.fanout({"Drug"}, (), "out") == pytest.approx(8 / 5)
+
+    def test_label_pairs(self, graph):
+        stats = graph.statistics()
+        assert stats._label_pairs == {("Compound", "Drug"): 1}
+        assert stats.label_overlap("Compound", "Drug") == 1.0
+        assert stats.label_overlap("Drug", "Compound") == pytest.approx(
+            1 / 5
+        )
+
+    def test_histograms(self, graph):
+        stats = graph.statistics()
+        assert stats.eq_estimate("Drug", "brand", "b0") == 2.0
+        assert stats.eq_estimate("Drug", "name", "d1") == 1.0
+        assert stats.eq_estimate("Drug", "name", "zzz") == 0.0
+        assert stats.eq_estimate("Drug", "nope", 1) == 0.0
+        assert stats.props[("Indication", "desc")].ndv == 3
+
+    def test_conditional_endpoint_fraction(self, graph):
+        stats = graph.statistics()
+        assert stats.cond_endpoint_fraction(
+            ("treat",), "Drug", "Indication", "out"
+        ) == 1.0
+        assert stats.cond_endpoint_fraction(
+            ("treat",), "Indication", "Drug", "in"
+        ) == 1.0
+        # No treat edges leave an Indication: the conditioning side is
+        # empty, and the unconditional dst-fraction fallback (treat
+        # edges ending at a Drug) is also zero.
+        assert stats.cond_endpoint_fraction(
+            ("treat",), "Indication", "Drug", "out"
+        ) == 0.0
+
+    def test_statistics_is_idempotent(self, graph):
+        assert graph.statistics() is graph.statistics()
+        assert graph.has_statistics
+
+
+class TestIncrementalParity:
+    def test_scripted_mutations(self, graph):
+        stats = graph.statistics()
+        drug = graph.add_vertex("Drug", {"name": "late"})
+        ind = graph.add_vertex("Indication", {"desc": "x0"})
+        eid = graph.add_edge(drug, ind, "treat")
+        graph.set_property(drug, "name", "renamed")
+        graph.set_property(drug, "brand", "b9")
+        graph.remove_property(ind, "desc")
+        graph.remove_edge(eid)
+        graph.remove_vertex(drug)
+        assert snapshot_of(stats) == snapshot_of(
+            GraphStatistics.build(graph)
+        )
+
+    def test_remove_vertex_cascades_edges(self, graph):
+        stats = graph.statistics()
+        # Vertex 0 is a Drug with treat edges; cascading removal must
+        # decrement edge stats with endpoint labels still available.
+        graph.remove_vertex(0)
+        assert snapshot_of(stats) == snapshot_of(
+            GraphStatistics.build(graph)
+        )
+
+    def test_randomized_churn(self):
+        rng = random.Random(7)
+        g = PropertyGraph()
+        g.statistics()  # maintain from the start
+        vids = []
+        eids = []
+        for step in range(400):
+            op = rng.random()
+            if op < 0.45 or len(vids) < 2:
+                labels = rng.sample(
+                    ["A", "B", "C", "D"], k=rng.randint(1, 2)
+                )
+                props = {
+                    "p": rng.randint(0, 5),
+                    "q": rng.choice(["x", "y", None]),
+                }
+                props = {k: v for k, v in props.items() if v is not None}
+                vids.append(g.add_vertex(labels, props))
+            elif op < 0.75:
+                src, dst = rng.choice(vids), rng.choice(vids)
+                eids.append(
+                    g.add_edge(src, dst, rng.choice(["e", "f"]))
+                )
+            elif op < 0.85 and vids:
+                g.set_property(
+                    rng.choice(vids), "p", rng.randint(0, 5)
+                )
+            elif op < 0.93 and eids:
+                eid = eids.pop(rng.randrange(len(eids)))
+                if eid in g._edges:
+                    g.remove_edge(eid)
+            elif vids:
+                vid = vids.pop(rng.randrange(len(vids)))
+                if vid in g._vertices:
+                    g.remove_vertex(vid)
+                eids = [e for e in eids if e in g._edges]
+        assert snapshot_of(g._stats) == snapshot_of(
+            GraphStatistics.build(g)
+        )
+
+
+class TestEpoch:
+    def test_epoch_advances_after_enough_mutations(self):
+        g = PropertyGraph()
+        stats = g.statistics()
+        assert stats.epoch == 0
+        for _ in range(64):
+            g.add_vertex("A")
+        assert stats.epoch == 1
+
+    def test_index_creation_bumps_epoch_immediately(self):
+        g = PropertyGraph()
+        g.add_vertex("A", {"p": 1})
+        stats = g.statistics()
+        before = stats.epoch
+        g.create_property_index("A", "p")
+        assert stats.epoch == before + 1
+        # Re-creating an existing index is a no-op.
+        g.create_property_index("A", "p")
+        assert stats.epoch == before + 1
+
+
+class TestPropertyStats:
+    def test_unhashable_values_counted_in_aggregate(self):
+        stat = PropertyStats()
+        stat.add([1, 2])
+        stat.add("x")
+        assert stat.count == 2
+        assert stat.unhashable == 1
+        assert stat.eq_estimate([1, 2]) == 1.0
+        stat.remove([1, 2])
+        assert stat.unhashable == 0
+
+    def test_truncated_tail_estimates_uniformly(self):
+        stat = PropertyStats()
+        stat.count = 20
+        stat.hist = {"common": 10}
+        stat.extra_ndv = 5
+        stat.extra_count = 10
+        assert stat.eq_estimate("common") == 10.0
+        assert stat.eq_estimate("rare") == 2.0
+        assert stat.ndv == 6
+        stat.remove("rare")  # untracked: shrinks the tail
+        assert stat.extra_count == 9
+
+
+class TestPlanCache:
+    def test_epoch_keys_and_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.put("q1", 0, "plan1")
+        cache.put("q2", 0, "plan2")
+        assert cache.get("q1", 0) == "plan1"
+        assert cache.get("q1", 1) is None  # stale epoch misses
+        cache.put("q3", 0, "plan3")  # evicts q2 (q1 was touched)
+        assert cache.get("q2", 0) is None
+        assert cache.get("q1", 0) == "plan1"
+        assert cache.get("q3", 0) == "plan3"
+        assert cache.hits == 3
+        assert cache.misses == 2

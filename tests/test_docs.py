@@ -1,0 +1,37 @@
+"""The documentation surface must not rot: every relative markdown
+link in README.md, docs/, EXPERIMENTS.md, and the storage README must
+resolve (the CI docs job runs the same checker)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_links", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_documentation_links_resolve(capsys):
+    checker = load_checker()
+    exit_code = checker.main([])
+    output = capsys.readouterr().out
+    assert exit_code == 0, f"broken documentation links:\n{output}"
+
+
+def test_documentation_surface_exists():
+    for relative in (
+        "README.md",
+        "docs/ARCHITECTURE.md",
+        "docs/QUERY_LANGUAGE.md",
+        "benchmarks/EXPERIMENTS.md",
+        "src/repro/graphdb/storage/README.md",
+    ):
+        assert (REPO_ROOT / relative).is_file(), relative

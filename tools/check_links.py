@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Markdown link checker (stdlib only) for the docs CI job.
+
+Scans markdown files for inline links/images (``[text](target)``) and
+verifies that every *relative* target resolves to an existing file or
+directory (anchors are stripped; external ``http(s)``/``mailto``
+targets are skipped - CI must not depend on third-party uptime).
+Bare intra-document anchors (``#section``) are checked against the
+document's headings.
+
+Usage::
+
+    python tools/check_links.py [PATH ...]
+
+Paths may be files or directories (directories are walked for
+``*.md``).  With no arguments, checks the repo's documentation
+surface: README.md, docs/, benchmarks/EXPERIMENTS.md, and
+src/repro/graphdb/storage/README.md.  Exits non-zero when any link is
+broken.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The default documentation surface (kept in sync with the CI job).
+DEFAULT_TARGETS = [
+    "README.md",
+    "docs",
+    "benchmarks/EXPERIMENTS.md",
+    "src/repro/graphdb/storage/README.md",
+]
+
+#: Inline link or image: [text](target) / ![alt](target).  Targets
+#: with spaces or nested parens are not used in this repo.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+#: Fenced code blocks are excluded from scanning.
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's heading -> anchor slug (close enough for our docs)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def scan_file(path: Path) -> list[str]:
+    """Return human-readable problems found in one markdown file."""
+    problems: list[str] = []
+    in_fence = False
+    anchors: set[str] = set()
+    links: list[tuple[int, str]] = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        heading = HEADING_RE.match(line)
+        if heading:
+            anchors.add(github_anchor(heading.group(1)))
+        for match in LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+
+    for lineno, target in links:
+        if target.startswith(SKIP_SCHEMES):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                problems.append(
+                    f"{path}:{lineno}: broken anchor {target!r}"
+                )
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path}:{lineno}: broken link {target!r} "
+                f"(resolved to {resolved})"
+            )
+    return problems
+
+
+def collect(paths: list[str]) -> tuple[list[Path], list[str]]:
+    """(markdown files found, explicitly named paths that don't exist).
+
+    A missing named path is an error, not a warning: the CI job must
+    fail when a checked document is renamed away, not silently lose
+    coverage.
+    """
+    files: list[Path] = []
+    missing: list[str] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = REPO_ROOT / path
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            missing.append(raw)
+    return files, missing
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    files, missing = collect(args or DEFAULT_TARGETS)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    problems: list[str] = [
+        f"missing checked path: {raw}" for raw in missing
+    ]
+    for path in files:
+        problems.extend(scan_file(path))
+    for problem in problems:
+        print(problem)
+    print(
+        f"checked {len(files)} file(s): "
+        f"{'OK' if not problems else f'{len(problems)} broken link(s)'}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
