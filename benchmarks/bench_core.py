@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Graph-core benchmarks -> BENCH_core.json.
+
+Measures the hot paths the columnar core refactor targets, on the MED
+dataset (full scale, DIR graph):
+
+* **full_label_scan** - an unindexed equality scan over every vertex
+  of a label (``MATCH (d:Drug) WHERE d.name = ... RETURN count(*)``):
+  the executor's scan operator must check the property on every
+  candidate, so the per-row property access path dominates;
+* **label_project_scan** - project one property for every vertex of a
+  large label (aggregated so projection cost, not row materialization,
+  dominates);
+* **two_hop_expand** - a 2-hop typed pattern
+  (``(p:Patient)-[:takes]->(d:Drug)-[:treat]->(i:Indication)``):
+  adjacency iteration dominates;
+* **stats_build** - a cold :class:`GraphStatistics` batch build (the
+  pass every fresh graph pays on its first cost-based plan);
+* **snapshot_load** - decoding a binary snapshot into a live graph;
+* **pagerank_kernel** - the power-iteration PageRank kernel over the
+  MED graph's adjacency (the same kernel Algorithm 6 runs on
+  ontologies, here fed a graph-sized input).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_core.py [--out PATH]
+
+``--smoke`` runs one small-scale iteration of everything (used by CI
+to catch accidental complexity regressions without timing noise).
+``benchmarks/run_bench.sh`` invokes the full version after the
+storage benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench.harness import build_pipeline
+from repro.datasets import build_med
+from repro.graphdb.backends import NEO4J_LIKE
+from repro.graphdb.query.executor import Executor
+from repro.graphdb.session import GraphSession
+from repro.graphdb.statistics import GraphStatistics
+from repro.graphdb.storage import read_snapshot, write_snapshot
+from repro.optimizer.pagerank import pagerank
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Acceptance targets for the columnar-core refactor (vs. the
+#: object-per-vertex baseline recorded in EXPERIMENTS.md).
+TARGET_SCAN_SPEEDUP = 1.3
+TARGET_STATS_SPEEDUP = 1.3
+
+
+def timed(fn, repeats: int) -> list[float]:
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - started) * 1000.0)
+    return samples
+
+
+def stats(samples: list[float]) -> dict:
+    return {
+        "repeats": len(samples),
+        "median_ms": round(statistics.median(samples), 3),
+        "mean_ms": round(statistics.fmean(samples), 3),
+        "min_ms": round(min(samples), 3),
+        "max_ms": round(max(samples), 3),
+        "stdev_ms": round(
+            statistics.stdev(samples) if len(samples) > 1 else 0.0, 3
+        ),
+    }
+
+
+def bench(name: str, fn, repeats: int, extra: dict | None = None) -> dict:
+    fn()  # warmup (builds statistics / plan-cache entries once)
+    entry = {"name": name, "stats": stats(timed(fn, repeats))}
+    if extra:
+        entry["extra"] = extra
+    print(f"  {name}: median {entry['stats']['median_ms']:.2f} ms")
+    return entry
+
+
+def graph_adjacency(graph) -> dict[int, list[int]]:
+    """Undirected adjacency mapping for the PageRank kernel."""
+    adjacency: dict[int, list[int]] = {
+        v.vid: [] for v in graph.iter_vertices()
+    }
+    for edge in graph.iter_edges():
+        adjacency[edge.src].append(edge.dst)
+        adjacency[edge.dst].append(edge.src)
+    return adjacency
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--repeats", type=int, default=9)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one small-scale pass of every benchmark (CI regression "
+             "canary; no timing claims)",
+    )
+    args = parser.parse_args(argv)
+    scale = 0.25 if args.smoke else 1.0
+    repeats = 1 if args.smoke else max(3, args.repeats)
+
+    print(f"graph-core benchmarks (MED, scale {scale:g})")
+    pipeline = build_pipeline(build_med(), scale=scale)
+    graph = pipeline.dir_graph
+    print(f"  {graph.summary()}")
+    executor = Executor(GraphSession(graph, NEO4J_LIKE))
+
+    # Scan the *largest* label on its most common property: the scan
+    # operator must examine every row of the label.  Queries are tiny
+    # (sub-ms), so each sample runs an inner batch of executions.
+    scan_label = max(graph.labels(), key=graph.label_count)
+    sample = graph.vertex(graph.vertices_with_label(scan_label)[0])
+    scan_prop = next(iter(sample.properties))
+    scan_value = sample.properties[scan_prop]
+    scan_query = (
+        f"MATCH (x:{scan_label}) WHERE x.{scan_prop} = {scan_value!r} "
+        "RETURN count(*)"
+    )
+    project_query = (
+        f"MATCH (x:{scan_label}) RETURN count(x.{scan_prop})"
+    )
+    expand_query = (
+        "MATCH (p:Patient)-[:takes]->(d:Drug)-[:treat]->(i:Indication) "
+        "RETURN count(*)"
+    )
+    batch = 1 if args.smoke else 40
+
+    def batched(query: str):
+        def run():
+            for _ in range(batch):
+                executor.run(query)
+        return run
+
+    benchmarks = [
+        bench(
+            "full_label_scan", batched(scan_query), repeats,
+            {"label": scan_label, "prop": scan_prop,
+             "rows_scanned": graph.label_count(scan_label),
+             "runs_per_sample": batch,
+             "target_speedup": TARGET_SCAN_SPEEDUP},
+        ),
+        bench(
+            "label_project_scan", batched(project_query), repeats,
+            {"label": scan_label,
+             "rows_scanned": graph.label_count(scan_label),
+             "runs_per_sample": batch},
+        ),
+        bench(
+            "two_hop_expand", batched(expand_query), repeats,
+            {"result": executor.run(expand_query).single_value(),
+             "runs_per_sample": batch},
+        ),
+        bench(
+            "stats_build", lambda: GraphStatistics.build(graph), repeats,
+            {"vertices": graph.num_vertices, "edges": graph.num_edges,
+             "target_speedup": TARGET_STATS_SPEEDUP},
+        ),
+    ]
+
+    with tempfile.TemporaryDirectory() as tmpname:
+        snap = Path(tmpname) / "med-dir.rpgs"
+        nbytes = write_snapshot(graph, snap)
+        benchmarks.append(bench(
+            "snapshot_load", lambda: read_snapshot(snap), repeats,
+            {"bytes": nbytes},
+        ))
+
+    adjacency = graph_adjacency(graph)
+    scores_holder: dict = {}
+
+    def run_pagerank():
+        scores, iterations = pagerank(adjacency, tol=1e-8)
+        scores_holder["iterations"] = iterations
+        scores_holder["checksum"] = round(sum(scores.values()), 6)
+
+    benchmarks.append(bench(
+        "pagerank_kernel", run_pagerank, max(3, repeats // 2) if not args.smoke else 1,
+        None,
+    ))
+    benchmarks[-1]["extra"] = dict(scores_holder)
+
+    report = {
+        "suite": "core",
+        "dataset": "med",
+        "scale": scale,
+        "benchmarks": benchmarks,
+    }
+    if args.smoke:
+        print("smoke pass complete")
+        return 0
+    out = Path(args.out) if args.out else REPO_ROOT / "BENCH_core.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

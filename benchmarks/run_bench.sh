@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Run the engine micro-benchmarks, the storage benchmarks, and the
-# planner benchmarks, recording results at the repo root as
-# BENCH_engine.json, BENCH_storage.json, and BENCH_planner.json (the
-# perf trajectory artifacts).
+# Run the engine micro-benchmarks, the storage benchmarks, the
+# planner benchmarks, and the graph-core benchmarks, recording results
+# at the repo root as BENCH_engine.json, BENCH_storage.json,
+# BENCH_planner.json, and BENCH_core.json (the perf trajectory
+# artifacts).
 #
 # Usage: benchmarks/run_bench.sh [extra pytest args...]
 set -euo pipefail
@@ -40,3 +41,5 @@ EOF
 python benchmarks/bench_storage.py --out "$REPO_ROOT/BENCH_storage.json"
 
 python benchmarks/bench_planner.py --out "$REPO_ROOT/BENCH_planner.json"
+
+python benchmarks/bench_core.py --out "$REPO_ROOT/BENCH_core.json"

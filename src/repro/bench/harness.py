@@ -135,6 +135,12 @@ def build_pipeline(
             cache_dir,
             build_opt,
         )
+    # Pipeline graphs are read-only from here on (benchmarks, demos,
+    # workload runs): freeze both so query expansion runs over the
+    # immutable CSR view instead of the mutable dict adjacency.  Any
+    # later mutation invalidates the view and falls back seamlessly.
+    dir_graph.freeze()
+    opt_graph.freeze()
     rewriter = QueryRewriter(dataset.ontology, result.mapping)
     rewritten = {
         qid: rewriter.rewrite(text)

@@ -41,6 +41,13 @@ Commands
         python -m repro load ./med-data --query "MATCH (d:Drug) RETURN count(*)"
         python -m repro load ./med-data --checkpoint
 
+``stats``
+    Recover a data directory read-only and dump its shape as JSON:
+    label and edge-type cardinalities plus, per label-set table, the
+    row count and each property column's dtype::
+
+        python -m repro stats ./med-data
+
 Exit codes: 0 on success, 1 for invalid inputs or corrupt/missing
 data (:class:`~repro.exceptions.ReproError`, I/O and JSON errors),
 2 for command-line usage errors (argparse).
@@ -235,6 +242,51 @@ def cmd_load(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    from collections import Counter
+
+    from repro.exceptions import StorageError
+    from repro.graphdb.storage import recover_graph
+    from repro.graphdb.storage.recovery import RecoveryManager
+
+    data_dir = Path(args.data_dir)
+    manager = RecoveryManager(data_dir)
+    if not data_dir.is_dir() or not (
+        manager.snapshot_generations() or manager.wal_generations()
+    ):
+        raise StorageError(f"no graph store at {data_dir}")
+    graph = recover_graph(data_dir)
+    symbols = graph.symbols
+    edge_types = Counter(
+        symbols.name(sid) for sid in graph._e_label if sid >= 0
+    )
+    tables = [
+        {
+            "labels": sorted(table.labels),
+            "rows": table.live,
+            "columns": {
+                symbols.name(key_sid): column.kind
+                for key_sid, column in sorted(table.columns.items())
+                if column.count
+            },
+        }
+        for table in graph.iter_tables()
+        if table.live
+    ]
+    report = {
+        "name": graph.name,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "labels": {
+            label: graph.label_count(label) for label in graph.labels()
+        },
+        "edge_types": dict(sorted(edge_types.items())),
+        "tables": tables,
+    }
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -318,6 +370,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="compact the WAL into a fresh snapshot before exiting",
     )
     p_load.set_defaults(fn=cmd_load)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="dump a data directory's cardinalities and column dtypes",
+    )
+    p_stats.add_argument("data_dir", help="data directory to inspect")
+    p_stats.set_defaults(fn=cmd_stats)
     return parser
 
 

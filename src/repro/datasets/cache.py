@@ -5,7 +5,11 @@ the DIR/OPT loaders) costs hundreds of milliseconds per run and is
 repeated by every CLI demo, benchmark, and test session.  This module
 memoizes the finished :class:`~repro.graphdb.graph.PropertyGraph` as a
 binary snapshot (:mod:`repro.graphdb.storage.snapshot`), so repeated
-runs load in milliseconds instead of regenerating.
+runs load in milliseconds instead of regenerating.  The snapshot's
+columnar sections decode straight into the graph's typed property
+columns, and a cache hit arrives unfrozen - callers that are done
+mutating (e.g. ``build_pipeline``) freeze the graph themselves to get
+the CSR read view.
 
 Cache keys cover every generation *input*: dataset name, seed, base
 cardinality, scale, the optimizer's budget fraction and Jaccard

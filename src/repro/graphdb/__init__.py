@@ -6,10 +6,12 @@ from repro.graphdb.backends import (
     PROFILES,
     BackendProfile,
 )
+from repro.graphdb.columnar import PropertyColumn, SymbolTable, VertexTable
 from repro.graphdb.graph import Edge, PropertyGraph, Vertex
 from repro.graphdb.metrics import ExecutionMetrics, LruPageCache
 from repro.graphdb.query.executor import Executor, QueryResult
 from repro.graphdb.session import GraphSession
+from repro.graphdb.view import GraphView, graph_pagerank
 
 __all__ = [
     "BackendProfile",
@@ -17,11 +19,16 @@ __all__ = [
     "ExecutionMetrics",
     "Executor",
     "GraphSession",
+    "GraphView",
     "JANUSGRAPH_LIKE",
     "LruPageCache",
     "NEO4J_LIKE",
     "PROFILES",
+    "PropertyColumn",
     "PropertyGraph",
     "QueryResult",
+    "SymbolTable",
     "Vertex",
+    "VertexTable",
+    "graph_pagerank",
 ]

@@ -2,66 +2,358 @@
 
 A directed multigraph whose vertices carry a *set of labels* (vertices
 produced by collapsing rules keep the labels of every merged concept -
-the same behaviour Neo4j multi-labels give) and whose vertices and edges
-carry property maps.  Adjacency is indexed by edge label in both
-directions, so expanding a typed pattern hop only touches matching
-edges.
+the same behaviour Neo4j multi-labels give) and whose vertices and
+edges carry property maps.
+
+Since the columnar-core refactor the primary representation is
+column-oriented (the layout analytical graph engines use):
+
+* every label / edge-type / property-key string is interned once into
+  the graph's :class:`~repro.graphdb.columnar.SymbolTable`;
+* vertices live in one :class:`~repro.graphdb.columnar.VertexTable`
+  per distinct label *set*, with typed per-(label-set, key) property
+  columns (``array``-backed for int/float, list-backed otherwise) and
+  a dense table-local row id per vertex (``_v_tid`` / ``_v_row`` map a
+  vid to its table and row);
+* edges live in parallel columns indexed directly by eid
+  (``_e_src`` / ``_e_dst`` / ``_e_label``); the rare edges with
+  properties keep a sparse side dict;
+* :meth:`PropertyGraph.freeze` materializes an immutable per-edge-type
+  CSR read view (see :mod:`repro.graphdb.view`), invalidated by the
+  graph's mutation epoch - the counter every mutation advances
+  alongside the WAL listener callbacks.
+
+The classic object API survives as façades: :class:`Vertex` and
+:class:`Edge` are id-holding views whose ``labels`` / ``properties``
+attributes read through to the columns, so existing callers (loaders,
+optimizers, tests) are untouched while scans, statistics builds and
+the snapshot codec iterate flat columns.
 
 Every secondary structure (label index, adjacency lists, property
-indexes, the endpoint-pair index) uses insertion-ordered dict buckets
-keyed by id, so membership tests, insertion and removal are all O(1)
-while iteration order stays deterministic (insertion order, like the
-list buckets they replaced).  The endpoint-pair index additionally gives
-``has_edge_between`` an O(1) answer to "is there a :T edge from u to
-v?", which the executor's join-check step uses instead of scanning a
-full adjacency list.
+indexes, the endpoint-pair index) still uses insertion-ordered dict
+buckets keyed by id, so membership tests, insertion and removal are
+all O(1) while iteration order stays deterministic.  The
+endpoint-pair index additionally gives ``has_edge_between`` an O(1)
+answer to "is there a :T edge from u to v?", which the executor's
+join-check step uses instead of scanning a full adjacency list.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import MutableMapping
 from typing import Iterable, Iterator
 
 from repro.exceptions import GraphError
+from repro.graphdb.columnar import (
+    KIND_FLOAT,
+    KIND_INT,
+    PropertyColumn,
+    SymbolTable,
+    VertexTable,
+)
 from repro.graphdb.statistics import GraphStatistics
+from repro.graphdb.view import GraphView
 
 #: Insertion-ordered bucket keyed by id.  Adjacency buckets map
 #: eid -> neighbor vid (so expansion never dereferences edge records);
 #: the label/property/pair indexes ignore the values.
 _Bucket = dict
 
+_MISSING = object()
 
-@dataclass
+
+class VertexProperties(MutableMapping):
+    """Dict-like façade over one vertex's property columns.
+
+    Reads go straight to the columns.  Writes mirror the old
+    plain-dict semantics: they update the stored value *without*
+    touching property indexes, statistics, or WAL listeners - code
+    that needs those side effects calls
+    :meth:`PropertyGraph.set_property` (exactly as before, when
+    mutating ``vertex.properties`` bypassed the same machinery).
+    """
+
+    __slots__ = ("_graph", "_vid")
+
+    def __init__(self, graph: "PropertyGraph", vid: int):
+        self._graph = graph
+        self._vid = vid
+
+    def _locate(self) -> tuple[VertexTable, int]:
+        return self._graph._locate(self._vid)
+
+    def __getitem__(self, name: str) -> object:
+        table, row = self._locate()
+        sid = self._graph._symbols.sid(name)
+        value = table.get_prop(row, sid, _MISSING)
+        if value is _MISSING:
+            raise KeyError(name)
+        return value
+
+    def get(self, name: str, default: object = None) -> object:
+        table, row = self._locate()
+        return table.get_prop(row, self._graph._symbols.sid(name), default)
+
+    def __setitem__(self, name: str, value: object) -> None:
+        table, row = self._locate()
+        table.set_prop(row, self._graph._symbols.intern(name), value)
+        self._graph._touch()
+
+    def __delitem__(self, name: str) -> None:
+        table, row = self._locate()
+        sid = self._graph._symbols.sid(name)
+        if sid is None or not table.has_prop(row, sid):
+            raise KeyError(name)
+        table.unset_prop(row, sid)
+        self._graph._touch()
+
+    def __contains__(self, name: str) -> bool:
+        table, row = self._locate()
+        return table.has_prop(row, self._graph._symbols.sid(name))
+
+    def __iter__(self) -> Iterator[str]:
+        table, row = self._locate()
+        name = self._graph._symbols.name
+        return iter([name(sid) for sid in table.row_keys(row)])
+
+    def __len__(self) -> int:
+        table, row = self._locate()
+        return len(table.row_keys(row))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(dict(self))
+
+
 class Vertex:
-    vid: int
-    labels: frozenset[str]
-    properties: dict[str, object] = field(default_factory=dict)
+    """Lightweight façade over one row of a vertex table."""
+
+    __slots__ = ("_graph", "vid")
+
+    def __init__(self, graph: "PropertyGraph", vid: int):
+        self._graph = graph
+        self.vid = vid
+
+    @property
+    def labels(self) -> frozenset[str]:
+        return self._graph.labels_of(self.vid)
+
+    @property
+    def properties(self) -> VertexProperties:
+        return VertexProperties(self._graph, self.vid)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Vertex)
+            and other.vid == self.vid
+            and other._graph is self._graph
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._graph), self.vid))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Vertex(vid={self.vid}, labels={set(self.labels)!r}, "
+            f"properties={dict(self.properties)!r})"
+        )
 
 
-@dataclass
+class EdgeProperties(MutableMapping):
+    """Dict-like façade over one edge's sparse property dict.
+
+    Reads never allocate: property-less edges stay absent from the
+    graph's sparse side table.  The backing dict is created (and
+    registered) only on the first write.
+    """
+
+    __slots__ = ("_graph", "_eid")
+
+    def __init__(self, graph: "PropertyGraph", eid: int):
+        self._graph = graph
+        self._eid = eid
+
+    def _props(self) -> dict:
+        return self._graph._e_props.get(self._eid) or {}
+
+    def __getitem__(self, name: str) -> object:
+        return self._props()[name]
+
+    def get(self, name: str, default: object = None) -> object:
+        return self._props().get(name, default)
+
+    def __setitem__(self, name: str, value: object) -> None:
+        graph = self._graph
+        eid = self._eid
+        labels = graph._e_label
+        if not (0 <= eid < len(labels)) or labels[eid] < 0:
+            raise GraphError(f"unknown edge {eid}")
+        props = graph._e_props.get(eid)
+        if props is None:
+            props = graph._e_props[eid] = {}
+        props[name] = value
+
+    def __delitem__(self, name: str) -> None:
+        del self._props()[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._props()
+
+    def __iter__(self):
+        return iter(self._props())
+
+    def __len__(self) -> int:
+        return len(self._props())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(dict(self._props()))
+
+
 class Edge:
-    eid: int
-    src: int
-    dst: int
-    label: str
-    properties: dict[str, object] = field(default_factory=dict)
+    """Lightweight façade over one row of the edge columns."""
+
+    __slots__ = ("_graph", "eid")
+
+    def __init__(self, graph: "PropertyGraph", eid: int):
+        self._graph = graph
+        self.eid = eid
+
+    @property
+    def src(self) -> int:
+        return self._graph._e_src[self.eid]
+
+    @property
+    def dst(self) -> int:
+        return self._graph._e_dst[self.eid]
+
+    @property
+    def label(self) -> str:
+        sid = self._graph._e_label[self.eid]
+        if sid < 0:  # stale facade of a removed edge
+            raise GraphError(f"unknown edge {self.eid}")
+        return self._graph._symbols.name(sid)
+
+    @property
+    def properties(self) -> EdgeProperties:
+        """Dict-like view of the edge's (sparse) properties."""
+        return EdgeProperties(self._graph, self.eid)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Edge)
+            and other.eid == self.eid
+            and other._graph is self._graph
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._graph), self.eid))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Edge(eid={self.eid}, src={self.src}, dst={self.dst}, "
+            f"label={self.label!r})"
+        )
+
+
+class _VerticesView:
+    """Mapping-flavored view of the live vertex ids (test/debug aid)."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "PropertyGraph"):
+        self._graph = graph
+
+    def __contains__(self, vid: object) -> bool:
+        tids = self._graph._v_tid
+        return (
+            isinstance(vid, int) and 0 <= vid < len(tids) and tids[vid] >= 0
+        )
+
+    def __len__(self) -> int:
+        return sum(table.live for table in self._graph._tables)
+
+    def __iter__(self) -> Iterator[int]:
+        for vid, tid in enumerate(self._graph._v_tid):
+            if tid >= 0:
+                yield vid
+
+    def __getitem__(self, vid: int) -> Vertex:
+        if vid not in self:
+            raise KeyError(vid)
+        return Vertex(self._graph, vid)
+
+    def values(self) -> Iterator[Vertex]:
+        graph = self._graph
+        return (Vertex(graph, vid) for vid in self)
+
+
+class _EdgesView:
+    """Mapping-flavored view of the live edge ids (test/debug aid)."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, graph: "PropertyGraph"):
+        self._graph = graph
+
+    def __contains__(self, eid: object) -> bool:
+        labels = self._graph._e_label
+        return (
+            isinstance(eid, int)
+            and 0 <= eid < len(labels)
+            and labels[eid] >= 0
+        )
+
+    def __len__(self) -> int:
+        return self._graph._num_edges
+
+    def __iter__(self) -> Iterator[int]:
+        for eid, sid in enumerate(self._graph._e_label):
+            if sid >= 0:
+                yield eid
+
+    def __getitem__(self, eid: int) -> Edge:
+        if eid not in self:
+            raise KeyError(eid)
+        return Edge(self._graph, eid)
+
+    def values(self) -> Iterator[Edge]:
+        graph = self._graph
+        return (Edge(graph, eid) for eid in self)
 
 
 class PropertyGraph:
-    """Vertex/edge stores with label, adjacency, and pair indexes."""
+    """Columnar vertex/edge stores with label, adjacency, pair indexes."""
 
     def __init__(self, name: str = "graph"):
         self.name = name
-        self._vertices: dict[int, Vertex] = {}
-        self._edges: dict[int, Edge] = {}
-        self._label_index: dict[str, _Bucket] = {}
+        #: String interning shared by labels, edge types, and keys.
+        self._symbols = SymbolTable()
+        #: One table per distinct label set; index == label-set id.
+        self._tables: list[VertexTable] = []
+        self._labelset_ids: dict[frozenset[int], int] = {}
+        #: label-set id -> frozenset of label strings (façade reads).
+        self._labelset_strs: list[frozenset[str]] = []
+        #: vid -> owning table id (-1 = removed) / table-local row.
+        self._v_tid: list[int] = []
+        self._v_row: list[int] = []
+        #: Edge columns indexed directly by eid (-1 label = removed).
+        self._e_src: list[int] = []
+        self._e_dst: list[int] = []
+        self._e_label: list[int] = []
+        #: Sparse eid -> property dict (most edges carry none).
+        self._e_props: dict[int, dict] = {}
+        self._num_edges = 0
+        #: label sid -> insertion-ordered vid bucket.
+        self._label_index: dict[int, _Bucket] = {}
         self._out: dict[int, dict[str, _Bucket]] = {}
         self._in: dict[int, dict[str, _Bucket]] = {}
         #: (src, dst) -> label -> ordered set of eids.  ``None`` means
         #: "not materialized yet": the snapshot loader defers building
         #: this index until the first endpoint probe, because batch
-        #: construction from ``_edges`` is cheaper than the per-edge
-        #: incremental path and many workloads never probe at all.
+        #: construction from the edge columns is cheaper than the
+        #: per-edge incremental path and many workloads never probe at
+        #: all.  While deferred, mutations leave it deferred (they are
+        #: visible to the eventual batch build); they must never create
+        #: a partially-populated index.
         self._pairs: dict[tuple[int, int], dict[str, _Bucket]] | None = {}
         self._property_indexes: dict[tuple[str, str], dict] = {}
         self._next_vid = 0
@@ -77,6 +369,19 @@ class PropertyGraph:
         #: Unlike the listeners, the hooks receive pre-mutation context
         #: (removals need the labels/values being removed).
         self._stats: GraphStatistics | None = None
+        #: Mutation epoch + cached frozen CSR view.  Every mutation
+        #: advances the epoch and drops the view; :meth:`freeze`
+        #: rebuilds it on demand.
+        self._epoch = 0
+        self._view: GraphView | None = None
+        #: labels-argument -> VertexTable memo for add_vertex: loaders
+        #: pass the same str/tuple/frozenset label arguments millions
+        #: of times, so the intern + frozenset work runs once per
+        #: distinct argument.  Symbol ids and tables are append-only,
+        #: so entries never go stale.
+        self._table_cache: dict = {}
+        self._vertices = _VerticesView(self)
+        self._edges = _EdgesView(self)
 
     # ------------------------------------------------------------------
     # Mutation listeners (write-ahead logging hook)
@@ -95,6 +400,68 @@ class PropertyGraph:
             listener(op, args)
 
     # ------------------------------------------------------------------
+    # Epoch / frozen view
+    # ------------------------------------------------------------------
+    @property
+    def mutation_epoch(self) -> int:
+        return self._epoch
+
+    def _touch(self) -> None:
+        """Advance the mutation epoch; invalidates any frozen view."""
+        self._epoch += 1
+        self._view = None
+
+    def freeze(self) -> GraphView:
+        """The CSR read view of the current epoch (built on demand).
+
+        O(V + E) when (re)built, O(1) while the graph stays unmutated.
+        Hot read paths (the session's expand, PageRank, benchmarks)
+        use a valid view automatically; they never build one
+        implicitly.
+        """
+        view = self._view
+        if view is None or view.epoch != self._epoch:
+            view = self._view = GraphView(self)
+        return view
+
+    @property
+    def frozen_view(self) -> GraphView | None:
+        """The cached CSR view if still valid, else ``None``."""
+        return self._view
+
+    # ------------------------------------------------------------------
+    # Internal columnar plumbing
+    # ------------------------------------------------------------------
+    def _locate(self, vid: int) -> tuple[VertexTable, int]:
+        try:
+            # vid < 0 must not fall into Python negative indexing.
+            tid = self._v_tid[vid] if vid >= 0 else -1
+        except (IndexError, TypeError):
+            raise GraphError(f"unknown vertex {vid}") from None
+        if tid < 0:
+            raise GraphError(f"unknown vertex {vid}")
+        return self._tables[tid], self._v_row[vid]
+
+    def _table_for(self, label_sids: frozenset[int]) -> VertexTable:
+        tid = self._labelset_ids.get(label_sids)
+        if tid is None:
+            tid = len(self._tables)
+            self._labelset_ids[label_sids] = tid
+            name = self._symbols.name
+            labels = frozenset(name(sid) for sid in label_sids)
+            self._tables.append(VertexTable(tid, label_sids, labels))
+            self._labelset_strs.append(labels)
+        return self._tables[tid]
+
+    def _row_properties(self, table: VertexTable, row: int) -> dict:
+        name = self._symbols.name
+        return {
+            name(sid): column.data[row]
+            for sid, column in table.columns.items()
+            if column.present(row)
+        }
+
+    # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def add_vertex(
@@ -102,32 +469,53 @@ class PropertyGraph:
         labels: Iterable[str] | str,
         properties: dict[str, object] | None = None,
     ) -> int:
-        if isinstance(labels, str):
-            labels = (labels,)
-        label_set = frozenset(labels)
-        if not label_set:
-            raise GraphError("a vertex needs at least one label")
+        table = (
+            self._table_cache.get(labels)
+            if isinstance(labels, (str, tuple, frozenset))
+            else None
+        )
+        if table is None:
+            cache_key = (
+                labels if isinstance(labels, (str, tuple, frozenset))
+                else None
+            )
+            if isinstance(labels, str):
+                labels = (labels,)
+            intern = self._symbols.intern
+            label_sids = frozenset(intern(label) for label in labels)
+            if not label_sids:
+                raise GraphError("a vertex needs at least one label")
+            table = self._table_for(label_sids)
+            if cache_key is not None:
+                self._table_cache[cache_key] = table
+        props = dict(properties or {})
         vid = self._next_vid
         self._next_vid += 1
-        self._vertices[vid] = Vertex(vid, label_set, dict(properties or {}))
-        for label in label_set:
-            self._label_index.setdefault(label, {})[vid] = None
+        row = table.new_row(vid)
+        self._v_tid.append(table.labelset_id)
+        self._v_row.append(row)
+        if props:
+            intern = self._symbols.intern
+            for name, value in props.items():
+                table.set_prop(row, intern(name), value)
+        label_index = self._label_index
+        for sid in table.label_sids:
+            label_index.setdefault(sid, {})[vid] = None
         self._out[vid] = {}
         self._in[vid] = {}
-        for (label, prop), index in self._property_indexes.items():
-            if label in label_set:
-                value = self._vertices[vid].properties.get(prop)
-                if value is not None:
-                    index.setdefault(value, {})[vid] = None
+        label_set = table.labels
+        if self._property_indexes:
+            for (label, prop), index in self._property_indexes.items():
+                if label in label_set:
+                    value = props.get(prop)
+                    if value is not None:
+                        index.setdefault(value, {})[vid] = None
         if self._stats is not None:
-            self._stats.on_add_vertex(
-                label_set, self._vertices[vid].properties
-            )
+            self._stats.on_add_vertex(label_set, props)
+        self._epoch += 1
+        self._view = None
         if self._listeners:
-            self._emit(
-                "add_vertex", vid, label_set,
-                self._vertices[vid].properties,
-            )
+            self._emit("add_vertex", vid, label_set, props)
         return vid
 
     def add_edge(
@@ -137,12 +525,19 @@ class PropertyGraph:
         label: str,
         properties: dict[str, object] | None = None,
     ) -> int:
+        tids = self._v_tid
         for endpoint in (src, dst):
-            if endpoint not in self._vertices:
+            if not (0 <= endpoint < len(tids)) or tids[endpoint] < 0:
                 raise GraphError(f"unknown vertex {endpoint}")
+        props = dict(properties or {})
         eid = self._next_eid
         self._next_eid += 1
-        self._edges[eid] = Edge(eid, src, dst, label, dict(properties or {}))
+        self._e_src.append(src)
+        self._e_dst.append(dst)
+        self._e_label.append(self._symbols.intern(label))
+        self._num_edges += 1
+        if props:
+            self._e_props[eid] = props
         self._out[src].setdefault(label, {})[eid] = dst
         self._in[dst].setdefault(label, {})[eid] = src
         if self._pairs is not None:
@@ -152,42 +547,51 @@ class PropertyGraph:
         if self._stats is not None:
             self._stats.on_add_edge(
                 label,
-                self._vertices[src].labels,
-                self._vertices[dst].labels,
+                self._labelset_strs[tids[src]],
+                self._labelset_strs[tids[dst]],
             )
+        self._epoch += 1
+        self._view = None
         if self._listeners:
-            self._emit(
-                "add_edge", eid, src, dst, label,
-                self._edges[eid].properties,
-            )
+            self._emit("add_edge", eid, src, dst, label, props)
         return eid
 
     def set_property(self, vid: int, name: str, value: object) -> None:
-        vertex = self.vertex(vid)
-        old = vertex.properties.get(name)
-        vertex.properties[name] = value
-        for (label, prop), index in self._property_indexes.items():
-            if prop != name or label not in vertex.labels:
-                continue
-            if old is not None:
-                self._index_discard(index, old, vid)
-            if value is not None:
-                index.setdefault(value, {})[vid] = None
+        table, row = self._locate(vid)
+        sid = self._symbols.intern(name)
+        old = table.get_prop(row, sid)
+        table.set_prop(row, sid, value)
+        labels = table.labels
+        if self._property_indexes:
+            for (label, prop), index in self._property_indexes.items():
+                if prop != name or label not in labels:
+                    continue
+                if old is not None:
+                    self._index_discard(index, old, vid)
+                if value is not None:
+                    index.setdefault(value, {})[vid] = None
         if self._stats is not None:
-            self._stats.on_set_property(vertex.labels, name, old, value)
+            self._stats.on_set_property(labels, name, old, value)
+        self._touch()
         if self._listeners:
             self._emit("set_property", vid, name, value)
 
     def remove_property(self, vid: int, name: str) -> None:
-        vertex = self.vertex(vid)
-        old = vertex.properties.pop(name, None)
+        table, row = self._locate(vid)
+        sid = self._symbols.sid(name)
+        old = table.get_prop(row, sid)
+        if sid is not None:
+            table.unset_prop(row, sid)
         if old is None:
             return
-        for (label, prop), index in self._property_indexes.items():
-            if prop == name and label in vertex.labels:
-                self._index_discard(index, old, vid)
+        labels = table.labels
+        if self._property_indexes:
+            for (label, prop), index in self._property_indexes.items():
+                if prop == name and label in labels:
+                    self._index_discard(index, old, vid)
         if self._stats is not None:
-            self._stats.on_remove_property(vertex.labels, name, old)
+            self._stats.on_remove_property(labels, name, old)
+        self._touch()
         if self._listeners:
             self._emit("remove_property", vid, name)
 
@@ -202,23 +606,31 @@ class PropertyGraph:
 
     def remove_edge(self, eid: int) -> None:
         """Remove an edge (update handling, Section 4.2 of the paper)."""
-        edge = self.edge(eid)
+        labels = self._e_label
+        if not (0 <= eid < len(labels)) or labels[eid] < 0:
+            raise GraphError(f"unknown edge {eid}")
+        src = self._e_src[eid]
+        dst = self._e_dst[eid]
+        label = self._symbols.name(labels[eid])
         if self._stats is not None:
             # Endpoint vertices still exist here (remove_vertex drops
             # its incident edges before the vertex itself).
             self._stats.on_remove_edge(
-                edge.label,
-                self._vertices[edge.src].labels,
-                self._vertices[edge.dst].labels,
+                label,
+                self._labelset_strs[self._v_tid[src]],
+                self._labelset_strs[self._v_tid[dst]],
             )
-        del self._edges[eid]
-        self._adjacency_discard(self._out[edge.src], edge.label, eid)
-        self._adjacency_discard(self._in[edge.dst], edge.label, eid)
+        labels[eid] = -1
+        self._num_edges -= 1
+        self._e_props.pop(eid, None)
+        self._adjacency_discard(self._out[src], label, eid)
+        self._adjacency_discard(self._in[dst], label, eid)
         if self._pairs is not None:
-            pair = self._pairs[(edge.src, edge.dst)]
-            self._adjacency_discard(pair, edge.label, eid)
+            pair = self._pairs[(src, dst)]
+            self._adjacency_discard(pair, label, eid)
             if not pair:
-                del self._pairs[(edge.src, edge.dst)]
+                del self._pairs[(src, dst)]
+        self._touch()
         if self._listeners:
             self._emit("remove_edge", eid)
 
@@ -233,25 +645,35 @@ class PropertyGraph:
 
     def remove_vertex(self, vid: int) -> None:
         """Remove a vertex and every incident edge."""
-        vertex = self.vertex(vid)
-        for edge in list(self.out_edges(vid)) + list(self.in_edges(vid)):
-            if edge.eid in self._edges:
-                self.remove_edge(edge.eid)
-        for label in vertex.labels:
-            bucket = self._label_index[label]
+        table, row = self._locate(vid)
+        incident: list[int] = []
+        for adjacency in (self._out.get(vid, {}), self._in.get(vid, {})):
+            for bucket in adjacency.values():
+                incident.extend(bucket)
+        e_labels = self._e_label
+        for eid in incident:
+            if e_labels[eid] >= 0:  # self-loops appear on both sides
+                self.remove_edge(eid)
+        labels = table.labels
+        props = self._row_properties(table, row)
+        for sid in table.label_sids:
+            bucket = self._label_index[sid]
             del bucket[vid]
             if not bucket:
-                del self._label_index[label]
-        for (label, prop), index in self._property_indexes.items():
-            if label in vertex.labels:
-                value = vertex.properties.get(prop)
-                if value is not None:
-                    self._index_discard(index, value, vid)
-        del self._vertices[vid]
+                del self._label_index[sid]
+        if self._property_indexes:
+            for (label, prop), index in self._property_indexes.items():
+                if label in labels:
+                    value = props.get(prop)
+                    if value is not None:
+                        self._index_discard(index, value, vid)
+        table.tombstone(row)
+        self._v_tid[vid] = -1
         del self._out[vid]
         del self._in[vid]
         if self._stats is not None:
-            self._stats.on_remove_vertex(vertex.labels, vertex.properties)
+            self._stats.on_remove_vertex(labels, props)
+        self._touch()
         if self._listeners:
             self._emit("remove_vertex", vid)
 
@@ -259,28 +681,58 @@ class PropertyGraph:
     # Access
     # ------------------------------------------------------------------
     def vertex(self, vid: int) -> Vertex:
-        try:
-            return self._vertices[vid]
-        except KeyError:
-            raise GraphError(f"unknown vertex {vid}") from None
+        self._locate(vid)  # raises GraphError when unknown
+        return Vertex(self, vid)
 
     def edge(self, eid: int) -> Edge:
+        labels = self._e_label
+        if (
+            not isinstance(eid, int)
+            or not (0 <= eid < len(labels))
+            or labels[eid] < 0
+        ):
+            raise GraphError(f"unknown edge {eid}")
+        return Edge(self, eid)
+
+    def labels_of(self, vid: int) -> frozenset[str]:
+        """The label set of one vertex (no façade construction)."""
         try:
-            return self._edges[eid]
-        except KeyError:
-            raise GraphError(f"unknown edge {eid}") from None
+            tid = self._v_tid[vid] if vid >= 0 else -1
+        except (IndexError, TypeError):
+            raise GraphError(f"unknown vertex {vid}") from None
+        if tid < 0:
+            raise GraphError(f"unknown vertex {vid}")
+        return self._labelset_strs[tid]
+
+    def get_property(
+        self, vid: int, name: str, default: object = None
+    ) -> object:
+        """One property value straight from its column."""
+        table, row = self._locate(vid)
+        return table.get_prop(row, self._symbols.sid(name), default)
 
     def has_label(self, vid: int, label: str) -> bool:
-        return label in self.vertex(vid).labels
+        return label in self.labels_of(vid)
 
     def vertices_with_label(self, label: str) -> list[int]:
-        return list(self._label_index.get(label, ()))
+        sid = self._symbols.sid(label)
+        if sid is None:
+            return []
+        return list(self._label_index.get(sid, ()))
 
     def label_count(self, label: str) -> int:
-        return len(self._label_index.get(label, ()))
+        sid = self._symbols.sid(label)
+        if sid is None:
+            return 0
+        return len(self._label_index.get(sid, ()))
 
     def labels(self) -> list[str]:
-        return sorted(self._label_index)
+        name = self._symbols.name
+        return sorted(name(sid) for sid in self._label_index)
+
+    def vertex_ids(self) -> list[int]:
+        """Live vertex ids in ascending (== insertion) order."""
+        return [vid for vid, tid in enumerate(self._v_tid) if tid >= 0]
 
     def out_edges(self, vid: int, label: str | None = None) -> list[Edge]:
         adjacency = self._out.get(vid, {})
@@ -293,12 +745,11 @@ class PropertyGraph:
     def _edges_from(
         self, adjacency: dict[str, _Bucket], label: str | None
     ) -> list[Edge]:
-        edges = self._edges
         if label is not None:
-            return [edges[e] for e in adjacency.get(label, ())]
+            return [Edge(self, e) for e in adjacency.get(label, ())]
         result: list[Edge] = []
         for edge_ids in adjacency.values():
-            result.extend(edges[e] for e in edge_ids)
+            result.extend(Edge(self, e) for e in edge_ids)
         return result
 
     def has_edge_between(
@@ -332,16 +783,29 @@ class PropertyGraph:
         return None
 
     def _build_pairs(self) -> dict[tuple[int, int], dict[str, _Bucket]]:
-        """Materialize the endpoint-pair index from the edge store."""
+        """Materialize the endpoint-pair index from the edge columns.
+
+        Runs over the *current* edge columns in ascending-eid order,
+        so any mutations applied while the index was deferred are
+        fully reflected - a deferred index is only ever built whole,
+        never patched incrementally.
+        """
         pairs: dict[tuple[int, int], dict[str, _Bucket]] = {}
-        for edge in self._edges.values():
-            by_label = pairs.get((edge.src, edge.dst))
+        name = self._symbols.name
+        for eid, (sid, src, dst) in enumerate(
+            zip(self._e_label, self._e_src, self._e_dst)
+        ):
+            if sid < 0:
+                continue
+            key = (src, dst)
+            by_label = pairs.get(key)
             if by_label is None:
-                by_label = pairs[(edge.src, edge.dst)] = {}
-            bucket = by_label.get(edge.label)
+                by_label = pairs[key] = {}
+            label = name(sid)
+            bucket = by_label.get(label)
             if bucket is None:
-                bucket = by_label[edge.label] = {}
-            bucket[edge.eid] = None
+                bucket = by_label[label] = {}
+            bucket[eid] = None
         self._pairs = pairs
         return pairs
 
@@ -371,10 +835,22 @@ class PropertyGraph:
         return out_deg + in_deg
 
     def iter_vertices(self) -> Iterator[Vertex]:
-        return iter(self._vertices.values())
+        for vid, tid in enumerate(self._v_tid):
+            if tid >= 0:
+                yield Vertex(self, vid)
 
     def iter_edges(self) -> Iterator[Edge]:
-        return iter(self._edges.values())
+        for eid, sid in enumerate(self._e_label):
+            if sid >= 0:
+                yield Edge(self, eid)
+
+    def iter_tables(self) -> list[VertexTable]:
+        """The per-label-set vertex tables (statistics / codec use)."""
+        return self._tables
+
+    @property
+    def symbols(self) -> SymbolTable:
+        return self._symbols
 
     # ------------------------------------------------------------------
     # Property indexes (exact-match lookups for {prop: value} patterns)
@@ -384,13 +860,18 @@ class PropertyGraph:
         if key in self._property_indexes:
             return
         index: dict = {}
-        for vid in self._label_index.get(label, ()):
-            value = self._vertices[vid].properties.get(prop)
-            if value is not None:
-                index.setdefault(value, {})[vid] = None
+        sid = self._symbols.sid(label)
+        prop_sid = self._symbols.sid(prop)
+        if sid is not None and prop_sid is not None:
+            for vid in self._label_index.get(sid, ()):
+                table = self._tables[self._v_tid[vid]]
+                value = table.get_prop(self._v_row[vid], prop_sid)
+                if value is not None:
+                    index.setdefault(value, {})[vid] = None
         self._property_indexes[key] = index
         if self._stats is not None:
             self._stats.on_create_index()
+        self._touch()
         if self._listeners:
             self._emit("create_property_index", label, prop)
 
@@ -414,9 +895,9 @@ class PropertyGraph:
     def statistics(self) -> GraphStatistics:
         """Planner statistics, built on first use, then incremental.
 
-        The first call runs one batch pass over the vertex and edge
-        stores; afterwards every mutation keeps the counters current,
-        so repeated calls are O(1).  See
+        The first call runs one batch pass over the property columns
+        and edge columns; afterwards every mutation keeps the counters
+        current, so repeated calls are O(1).  See
         :mod:`repro.graphdb.statistics`.
         """
         if self._stats is None:
@@ -429,30 +910,38 @@ class PropertyGraph:
 
     @property
     def num_vertices(self) -> int:
-        return len(self._vertices)
+        return sum(table.live for table in self._tables)
 
     @property
     def num_edges(self) -> int:
-        return len(self._edges)
+        return self._num_edges
 
     def size_bytes(self, edge_bytes: int = 16) -> int:
         """Approximate storage footprint (used to sanity-check budgets)."""
         from repro.ontology.model import DataType
 
         total = 0
-        for vertex in self._vertices.values():
-            for value in vertex.properties.values():
-                if isinstance(value, list):
-                    total += DataType.STRING.size_bytes * len(value)
-                elif isinstance(value, bool):
-                    total += DataType.BOOL.size_bytes
-                elif isinstance(value, int):
-                    total += DataType.INT.size_bytes
-                elif isinstance(value, float):
-                    total += DataType.FLOAT.size_bytes
+        for table in self._tables:
+            for column in table.columns.values():
+                if column.kind == KIND_INT:
+                    total += DataType.INT.size_bytes * column.count
+                elif column.kind == KIND_FLOAT:
+                    total += DataType.FLOAT.size_bytes * column.count
                 else:
-                    total += DataType.STRING.size_bytes
-        total += edge_bytes * len(self._edges)
+                    for present, value in zip(column.mask, column.data):
+                        if not present:
+                            continue
+                        if isinstance(value, list):
+                            total += DataType.STRING.size_bytes * len(value)
+                        elif isinstance(value, bool):
+                            total += DataType.BOOL.size_bytes
+                        elif isinstance(value, int):
+                            total += DataType.INT.size_bytes
+                        elif isinstance(value, float):
+                            total += DataType.FLOAT.size_bytes
+                        else:
+                            total += DataType.STRING.size_bytes
+        total += edge_bytes * self._num_edges
         return total
 
     def summary(self) -> str:

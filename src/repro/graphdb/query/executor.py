@@ -149,8 +149,10 @@ class _Evaluator:
             if self.kinds[expr.var] == "edge":
                 read_edge = self.session.read_edge_property
                 return lambda b: read_edge(b[slot], prop)
-            read_vertex = self.session.read_property
-            return lambda b: read_vertex(b[slot], prop)
+            # Fused column reader: symbol id and column map resolved
+            # once per compilation, one call per row after that.
+            read_vertex = self.session.property_reader(prop)
+            return lambda b: read_vertex(b[slot])
         if isinstance(expr, FuncCall):
             if expr.name in AGGREGATE_FUNCTIONS:
                 name = expr.name
@@ -349,7 +351,7 @@ class Executor:
             )
         if step.access == "label":
             return self.session.label_scan(step.access_label)
-        return [v.vid for v in self.session.graph.iter_vertices()]
+        return self.session.graph.vertex_ids()
 
     def _scan_stream(
         self,
@@ -360,6 +362,12 @@ class Executor:
         labels = frozenset(step.check_labels) if step.check_labels else None
         props = step.check_props
         needs_check = labels is not None or bool(props)
+        # Label/all scans with residual checks stream through the
+        # session's columnar fast path: per-table label subsetting and
+        # a zip over the checked property's column, instead of a
+        # per-vertex accept probe.  Index scans keep the classic path
+        # (their candidate set is already tiny).
+        columnar = needs_check and step.access in ("label", "all")
         accept = self.session.accept_vertex
         matched: list[int] | None = None
         for binding in source:
@@ -368,6 +376,15 @@ class Executor:
                 # the scan short) while memoizing accepted vertices for
                 # any later cartesian-product passes.
                 matched = []
+                if columnar:
+                    for vid in self.session.scan_rows(
+                        step.access_label, labels, props
+                    ):
+                        matched.append(vid)
+                        extended = binding + (vid,)
+                        if not filters or _passes(filters, extended):
+                            yield extended
+                    continue
                 for vid in self._candidates(step):
                     if needs_check and not accept(vid, labels, props):
                         continue

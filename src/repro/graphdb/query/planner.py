@@ -4,7 +4,12 @@ Turns the MATCH patterns of a query into an ordered list of steps:
 
 * ``ScanStep`` - produce candidate bindings for one variable from a
   property-index lookup, a label scan, or (last resort) an all-vertices
-  scan; the access path is chosen at plan time and recorded on the step;
+  scan; the access path is chosen at plan time and recorded on the
+  step.  Label/all scans that carry residual ``check_labels`` /
+  ``check_props`` execute columnar (the session zips each label-set
+  table's vid list against the checked property's column); the
+  recorded checks are therefore both the executor's contract and the
+  cost model's selectivity input;
 * ``ExpandStep`` - extend bindings along one relationship pattern via
   adjacency, checking the far node's labels/property filters inline;
 * ``JoinCheckStep`` - verify a relationship between two already-bound

@@ -11,10 +11,16 @@ layout behave.
 Besides the classic per-read API (:meth:`GraphSession.read_labels`,
 :meth:`GraphSession.expand`, ...), the session exposes fused fast paths
 the streaming executor uses: :meth:`GraphSession.expand_pairs` (raw
-(eid, neighbor) pairs, no Edge list), :meth:`GraphSession.accept_vertex`
-(label + property check in one call) and
-:meth:`GraphSession.edge_between` (O(1) endpoint-pair join probe, one
-traversal instead of a full adjacency scan).
+(eid, neighbor) pairs - served from the graph's frozen CSR view when
+one is valid, from the mutable dict adjacency otherwise),
+:meth:`GraphSession.accept_vertex` (label + property check in one
+call, reading property columns directly), and
+:meth:`GraphSession.edge_between` (O(1) endpoint-pair join probe).
+:meth:`GraphSession.scan_rows` streams an entire label (or
+all-vertices) scan with a folded equality predicate as one columnar
+pass - ``zip`` over the vid list and the property column instead of a
+per-vertex dict probe - while staying lazy so ``LIMIT`` still
+short-circuits.
 
 A session can also own a durable backing store:
 :meth:`GraphSession.open` recovers a data directory (snapshot + WAL
@@ -28,6 +34,7 @@ graph behave exactly as before - ``store`` stays ``None``.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Iterator
 
 from repro.exceptions import GraphError
 from repro.graphdb.backends import BackendProfile, NEO4J_LIKE
@@ -52,10 +59,15 @@ class GraphSession:
         self.store = None
         self._vertices_per_page = max(1, profile.vertices_per_page)
         self._adjacency_per_page = max(1, profile.adjacency_per_page)
-        # Hot-path aliases: the adjacency dicts are mutated in place by
-        # the graph, never replaced, so binding them once is safe.
+        # Hot-path aliases: the adjacency dicts and id-location lists
+        # are mutated in place by the graph, never replaced, so
+        # binding them once is safe.
         self._graph_out = graph._out
         self._graph_in = graph._in
+        #: Edge-label tuple -> interned-sid tuple (symbol ids are
+        #: append-only, so entries never go stale; labels the graph
+        #: has not seen yet re-resolve on each miss until interned).
+        self._label_sids: dict[tuple[str, ...], tuple] = {}
 
     # ------------------------------------------------------------------
     # Page simulation
@@ -73,16 +85,70 @@ class GraphSession:
     def read_labels(self, vid: int) -> frozenset[str]:
         self.metrics.vertex_reads += 1
         self._touch_page(("v", vid // self._vertices_per_page))
-        return self.graph.vertex(vid).labels
+        return self.graph.labels_of(vid)
 
     def read_property(self, vid: int, name: str) -> object:
         self.metrics.property_reads += 1
         self._touch_page(("v", vid // self._vertices_per_page))
-        return self.graph.vertex(vid).properties.get(name)
+        return self.graph.get_property(vid, name)
+
+    def property_reader(self, name: str):
+        """A fused per-query closure for reading one vertex property.
+
+        Resolves the property key's symbol id once and binds every
+        hot attribute (metrics, page geometry, column maps) into the
+        closure, so the executor's compiled projections pay one call
+        per row instead of four.  Safe to hold for one execution:
+        symbol ids are append-only and a query never mutates the
+        graph.  Accounting matches :meth:`read_property` exactly.
+        """
+        graph = self.graph
+        sid = graph._symbols.sid(name)
+        v_tid = graph._v_tid
+        v_row = graph._v_row
+        tables = graph._tables
+        metrics = self.metrics
+        per_page = self._vertices_per_page
+        touch = self._touch_page
+
+        def read(vid: int) -> object:
+            metrics.property_reads += 1
+            touch(("v", vid // per_page))
+            tid = v_tid[vid]
+            if tid < 0:
+                raise GraphError(f"unknown vertex {vid}")
+            column = tables[tid].columns.get(sid)
+            if column is None:
+                return None
+            row = v_row[vid]
+            mask = column.mask
+            if row >= len(mask) or not mask[row]:
+                return None
+            return column.data[row]
+
+        if sid is None:
+            # Key never interned: every read is None (same page/metric
+            # accounting as a probing read).
+            def read_absent(vid: int) -> object:
+                metrics.property_reads += 1
+                touch(("v", vid // per_page))
+                if v_tid[vid] < 0:
+                    raise GraphError(f"unknown vertex {vid}")
+                return None
+
+            return read_absent
+        return read
 
     def read_edge_property(self, eid: int, name: str) -> object:
         self.metrics.property_reads += 1
-        return self.graph.edge(eid).properties.get(name)
+        graph = self.graph
+        labels = graph._e_label
+        if not (0 <= eid < len(labels)) or labels[eid] < 0:
+            raise GraphError(f"unknown edge {eid}")
+        props = graph._e_props.get(eid)
+        if props is None:
+            return None
+        return props.get(name)
 
     def expand(
         self, vid: int, label: str | None, direction: str
@@ -105,12 +171,28 @@ class GraphSession:
     ) -> list[tuple[int, int]]:
         """(eid, neighbor) pairs of ``vid``; one page touch per expand.
 
-        The fast path behind pattern expansion: adjacency buckets store
-        the neighbor id, so no edge record is dereferenced and no
-        :class:`Edge` list is built.
+        The fast path behind pattern expansion.  When the graph holds
+        a valid frozen CSR view the pairs come from two offset reads
+        and a slice per edge type; otherwise the mutable adjacency
+        dicts serve them (buckets store the neighbor id, so no edge
+        record is dereferenced either way).
         """
         self._touch_page(("a", vid // self._adjacency_per_page))
-        metrics = self.metrics
+        graph = self.graph
+        view = graph._view
+        if view is not None and view.epoch == graph._epoch:
+            if labels:
+                sids = self._label_sids.get(labels)
+                if sids is None:
+                    sid = graph._symbols.sid
+                    sids = tuple(sid(label) for label in labels)
+                    if None not in sids:
+                        self._label_sids[labels] = sids
+            else:
+                sids = None
+            pairs = view.expand_pairs(vid, sids, direction)
+            self.metrics.edge_traversals += len(pairs)
+            return pairs
         pairs: list[tuple[int, int]] = []
         if direction != "in":
             adjacency = self._graph_out.get(vid)
@@ -120,7 +202,7 @@ class GraphSession:
             adjacency = self._graph_in.get(vid)
             if adjacency:
                 self._collect_pairs(adjacency, labels, pairs)
-        metrics.edge_traversals += len(pairs)
+        self.metrics.edge_traversals += len(pairs)
         return pairs
 
     @staticmethod
@@ -146,25 +228,161 @@ class GraphSession:
 
         Counts one vertex read when labels are checked and one property
         read per checked property, like the equivalent sequence of
-        :meth:`read_labels` / :meth:`read_property` calls.
+        :meth:`read_labels` / :meth:`read_property` calls.  Reads go
+        straight to the label-set table and its columns.
         """
         metrics = self.metrics
         touch_page = self._touch_page
         page = ("v", vid // self._vertices_per_page)
-        vertex = self.graph.vertex(vid)
+        graph = self.graph
+        try:
+            tid = graph._v_tid[vid]
+        except IndexError:
+            raise GraphError(f"unknown vertex {vid}") from None
+        if tid < 0:
+            raise GraphError(f"unknown vertex {vid}")
+        table = graph._tables[tid]
         if labels is not None:
             metrics.vertex_reads += 1
             touch_page(page)
-            if not labels <= vertex.labels:
+            if not labels <= table.labels:
                 return False
         if props:
-            properties = vertex.properties
+            row = graph._v_row[vid]
+            sid = graph._symbols.sid
+            columns = table.columns
             for prop, value in props:
                 metrics.property_reads += 1
                 touch_page(page)
-                if properties.get(prop) != value:
+                column = columns.get(sid(prop))
+                if column is None:
+                    if value is not None:
+                        return False
+                    continue
+                mask = column.mask
+                stored = (
+                    column.data[row]
+                    if row < len(mask) and mask[row] else None
+                )
+                if stored != value:
                     return False
         return True
+
+    def scan_rows(
+        self,
+        label: str | None,
+        check_labels: frozenset[str] | None,
+        check_props: tuple[tuple[str, object], ...],
+    ) -> Iterator[int]:
+        """Columnar label/all scan with inline residual checks.
+
+        Streams the vids that pass - lazily, so ``LIMIT`` stops the
+        scan early - by iterating each matching label-set table's vid
+        list zipped against the checked property's column.  Residual
+        *label* checks collapse to a per-table subset test (every row
+        of a table shares one label set); the first property check
+        rides the column zip; any further properties fall back to
+        per-row column reads.  Work accounting mirrors the per-vertex
+        path: one vertex read per examined row when labels are
+        checked, one property read per property actually examined, and
+        one page touch per distinct vertex page (vids within a table
+        ascend, so consecutive rows share pages).
+        """
+        graph = self.graph
+        self.metrics.index_lookups += 1
+        sym = graph._symbols
+        label_sid = None
+        if label is not None:
+            label_sid = sym.sid(label)
+            if label_sid is None:
+                return
+        count_labels = check_labels is not None
+        primary = check_props[0] if check_props else None
+        rest = check_props[1:] if len(check_props) > 1 else ()
+        rest_sids = tuple((sym.sid(p), v) for p, v in rest)
+        metrics = self.metrics
+        per_page = self._vertices_per_page
+        touch = self._touch_page
+        for table in graph._tables:
+            if table.live == 0:
+                continue
+            if label_sid is not None and label_sid not in table.label_sids:
+                continue
+            if check_labels is not None and not check_labels <= table.labels:
+                # Whole table rejected by its label set: the label
+                # check still "examined" each live row once.
+                metrics.vertex_reads += table.live
+                continue
+            vids = table.vids
+            examined = 0
+            last_page = -1
+            try:
+                if primary is None:
+                    for vid in vids:
+                        if vid < 0:
+                            continue
+                        examined += 1
+                        page = vid // per_page
+                        if page != last_page:
+                            touch(("v", page))
+                            last_page = page
+                        yield vid
+                    continue
+                name, value = primary
+                name_sid = sym.sid(name)
+                column = (
+                    table.columns.get(name_sid)
+                    if name_sid is not None else None
+                )
+                if column is None:
+                    # Property never set on this table: only a None
+                    # target can match (absent reads as None).
+                    if value is not None:
+                        metrics.property_reads += table.live
+                        continue
+                    mask: bytes = b"\x00" * len(vids)
+                    data: list = [None] * len(vids)
+                else:
+                    mask = column.mask
+                    data = column.data
+                matches_none = value is None
+                if matches_none and len(mask) < len(vids):
+                    # Columns pad lazily: rows past the mask's end are
+                    # absent, which a None target must still match -
+                    # zip would otherwise silently truncate them away.
+                    short = len(vids) - len(mask)
+                    mask = bytes(mask) + b"\x00" * short
+                    data = list(data) + [None] * short
+                for vid, present, stored in zip(vids, mask, data):
+                    if vid < 0:
+                        continue
+                    examined += 1
+                    if present:
+                        if stored != value:
+                            continue
+                    elif not matches_none:
+                        continue
+                    page = vid // per_page
+                    if page != last_page:
+                        touch(("v", page))
+                        last_page = page
+                    if rest_sids:
+                        row = graph._v_row[vid]
+                        if any(
+                            table.get_prop(row, sid) != want
+                            for sid, want in rest_sids
+                        ):
+                            continue
+                    yield vid
+            finally:
+                # Charged per examined row: one vertex read when the
+                # label set was checked, one property read per declared
+                # property (residual props are charged even for rows
+                # the primary check pruned - acceptable for the
+                # simulated model and monotone under LIMIT).
+                if count_labels:
+                    metrics.vertex_reads += examined
+                metrics.property_reads += examined * len(check_props)
 
     def edge_between(
         self,

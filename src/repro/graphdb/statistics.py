@@ -41,7 +41,11 @@ plans with warm statistics instead of paying a rebuild.
 
 from __future__ import annotations
 
+from collections import Counter
+from itertools import compress
 from typing import Iterable
+
+from repro.graphdb.columnar import KIND_OBJ
 
 #: Histograms persisted into snapshots keep at most this many
 #: most-common values; the remainder is summarized as (extra distinct
@@ -162,6 +166,45 @@ class PlanCache:
         return len(self._entries)
 
 
+def _column_histogram(table, column) -> tuple[Counter, int, int]:
+    """(value histogram, unhashable count, non-null count) of a column.
+
+    Considers live, present rows only and skips stored ``None`` values
+    (parity with the incremental hooks, which ignore null properties).
+    Typed columns can never hold ``None`` or unhashables, so they take
+    a pure ``compress`` + ``Counter`` fast path.
+    """
+    mask = column.mask
+    data = column.data
+    if table.live != len(table.vids):
+        # Tombstoned rows have their presence bits cleared, but guard
+        # against vid<0 anyway so a future partial-unset cannot leak
+        # removed rows into planner statistics.
+        # Columns pad lazily, so the mask may be shorter than the vid
+        # list; rows past its end are absent and need no clearing.
+        selectors = bytearray(mask)
+        for row, vid in enumerate(table.vids[:len(selectors)]):
+            if vid < 0:
+                selectors[row] = 0
+        values = list(compress(data, selectors))
+    else:
+        values = list(compress(data, mask))
+    if column.kind != KIND_OBJ:
+        return Counter(values), 0, len(values)
+    values = [v for v in values if v is not None]
+    try:
+        return Counter(values), 0, len(values)
+    except TypeError:
+        hist: Counter = Counter()
+        unhashable = 0
+        for value in values:
+            if is_hashable(value):
+                hist[value] += 1
+            else:
+                unhashable += 1
+        return hist, unhashable, len(values)
+
+
 class GraphStatistics:
     """Incrementally maintained cardinality statistics for one graph."""
 
@@ -200,16 +243,76 @@ class GraphStatistics:
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, graph) -> "GraphStatistics":
-        """One batch pass over a live :class:`PropertyGraph`."""
+        """One batch pass over the columns of a live :class:`PropertyGraph`.
+
+        Instead of walking per-vertex label sets and property dicts,
+        the build iterates the graph's per-label-set tables: label and
+        label-pair counts fall out of table sizes, each property
+        histogram is one :class:`collections.Counter` pass over a flat
+        column, and edge degree statistics aggregate one
+        ``(edge type, src label set, dst label set)`` Counter over the
+        edge columns before fanning out to per-label counters.  The
+        result is exactly what replaying every mutation through the
+        incremental hooks would produce.
+        """
         stats = cls()
-        for vertex in graph.iter_vertices():
-            stats._vertex_added(vertex.labels, vertex.properties)
-        for edge in graph.iter_edges():
-            stats._edge_added(
-                edge.label,
-                graph.vertex(edge.src).labels,
-                graph.vertex(edge.dst).labels,
+        symbols = graph._symbols
+        bump = cls._bump
+        for table in graph._tables:
+            live = table.live
+            if live == 0:
+                continue
+            labels = table.labels
+            stats.num_vertices += live
+            for pair in cls._pairs_of(labels):
+                bump(stats._label_pairs, pair, live)
+            for label in labels:
+                stats.label_counts[label] = (
+                    stats.label_counts.get(label, 0) + live
+                )
+            for key_sid, column in table.columns.items():
+                hist, unhashable, total = _column_histogram(table, column)
+                if total == 0:
+                    continue
+                name = symbols.name(key_sid)
+                for label in labels:
+                    stat = stats.props.get((label, name))
+                    if stat is None:
+                        stat = stats.props[(label, name)] = PropertyStats()
+                    stat.count += total
+                    stat.unhashable += unhashable
+                    stat_hist = stat.hist
+                    for value, occurrences in hist.items():
+                        stat_hist[value] = (
+                            stat_hist.get(value, 0) + occurrences
+                        )
+
+        v_tid = graph._v_tid
+        labelsets = graph._labelset_strs
+        combos = Counter(
+            (sid, v_tid[src], v_tid[dst])
+            for sid, src, dst in zip(
+                graph._e_label, graph._e_src, graph._e_dst
             )
+            if sid >= 0
+        )
+        for (sid, src_tid, dst_tid), count in combos.items():
+            label = symbols.name(sid)
+            src_labels = labelsets[src_tid]
+            dst_labels = labelsets[dst_tid]
+            stats.num_edges += count
+            bump(stats.edge_label_counts, label, count)
+            for src_label in src_labels:
+                bump(stats._src, (label, src_label), count)
+                bump(stats._src_total, src_label, count)
+            for dst_label in dst_labels:
+                bump(stats._dst, (label, dst_label), count)
+                bump(stats._dst_total, dst_label, count)
+            for src_label in src_labels:
+                for dst_label in dst_labels:
+                    bump(
+                        stats._triples, (label, src_label, dst_label), count
+                    )
         stats._reset_epoch_trigger()
         return stats
 

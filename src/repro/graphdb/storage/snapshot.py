@@ -30,11 +30,16 @@ id        payload
           histograms truncated to their most common values
 ========  =============================================================
 
-The layout is deliberately *columnar*: decoding hot paths are bulk
-``array.frombytes`` + ``tolist`` calls and fused per-row loops instead
-of a tagged record parser, which is what makes a snapshot load several
-times faster than regenerating the same graph (the point of the
-dataset memoization cache).  Property columns are typed - a column
+The layout is deliberately *columnar*, and since the columnar-core
+refactor it mirrors the in-memory representation: the encoder reads
+the graph's label-set tables and typed property columns directly, and
+the decoder maps each section straight back into them - splitting
+every property column by owning label-set table and adopting
+dense-prefix int/float columns wholesale as arrays - with no
+per-vertex object or property-dict rehydration anywhere.  That bulk
+``array.frombytes`` / bulk-adopt path is what makes a snapshot load
+several times faster than regenerating the same graph (the point of
+the dataset memoization cache).  Property columns are typed - a column
 whose values are all ints/floats/strings becomes a packed vector; any
 other mix falls back to the tagged value codec, the same encoding the
 WAL uses.
@@ -64,7 +69,8 @@ from array import array
 from pathlib import Path
 
 from repro.exceptions import StorageError
-from repro.graphdb.graph import Edge, PropertyGraph, Vertex
+from repro.graphdb.columnar import KIND_FLOAT, KIND_INT, KIND_OBJ, PropertyColumn
+from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.statistics import MCV_CAP, GraphStatistics, PropertyStats
 from repro.graphdb.storage.codec import (
     CodecError,
@@ -186,30 +192,51 @@ def _encode_sections(
         return sid
 
     # VERTEX -----------------------------------------------------------
+    # The graph already holds vertices grouped by label set, so the
+    # section is assembled straight from the columnar core: the vid /
+    # label-set-id arrays from the vid->table map, the property
+    # columns by concatenating each table's (vid, value) pairs per
+    # property name.  Snapshot label-set ids are assigned in
+    # first-vertex order (as the object-walking encoder did).
+    sym_name = graph._symbols.name
     vids = array("q")
     lsids = array("i")
-    labelsets: dict[frozenset, int] = {}
-    columns: dict[str, tuple[list[int], list[object]]] = {}
-    for vertex in graph.iter_vertices():
-        vid = vertex.vid
+    ls_of_tid: dict[int, int] = {}
+    ls_order: list[int] = []
+    for vid, tid in enumerate(graph._v_tid):
+        if tid < 0:
+            continue
         vids.append(vid)
-        lsid = labelsets.get(vertex.labels)
+        lsid = ls_of_tid.get(tid)
         if lsid is None:
-            lsid = labelsets[vertex.labels] = len(labelsets)
+            lsid = ls_of_tid[tid] = len(ls_order)
+            ls_order.append(tid)
         lsids.append(lsid)
-        for name, value in vertex.properties.items():
-            column = columns.get(name)
-            if column is None:
-                column = columns[name] = ([], [])
-            column[0].append(vid)
-            column[1].append(value)
+
+    columns: dict[str, tuple[list[int], list[object]]] = {}
+    for table in graph.iter_tables():
+        if table.live == 0:
+            continue
+        table_vids = table.vids
+        for key_sid, col in table.columns.items():
+            if col.count == 0:
+                continue
+            name = sym_name(key_sid)
+            entry = columns.get(name)
+            if entry is None:
+                entry = columns[name] = ([], [])
+            col_vids, values = entry
+            for vid, present, value in zip(table_vids, col.mask, col.data):
+                if present and vid >= 0:
+                    col_vids.append(vid)
+                    values.append(value)
 
     vbuf = bytearray()
     write_uvarint(vbuf, len(vids))
     vbuf += _to_le_bytes(vids)
-    write_uvarint(vbuf, len(labelsets))
-    for labels in labelsets:  # insertion order == id order
-        ordered = sorted(labels)
+    write_uvarint(vbuf, len(ls_order))
+    for tid in ls_order:
+        ordered = sorted(graph._labelset_strs[tid])
         write_uvarint(vbuf, len(ordered))
         for label in ordered:
             write_uvarint(vbuf, intern(label))
@@ -228,14 +255,19 @@ def _encode_sections(
     srcs = array("q")
     dsts = array("q")
     label_ids = array("i")
-    with_props: list[Edge] = []
-    for edge in graph.iter_edges():
-        eids.append(edge.eid)
-        srcs.append(edge.src)
-        dsts.append(edge.dst)
-        label_ids.append(intern(edge.label))
-        if edge.properties:
-            with_props.append(edge)
+    for eid, (sid, src, dst) in enumerate(
+        zip(graph._e_label, graph._e_src, graph._e_dst)
+    ):
+        if sid < 0:
+            continue
+        eids.append(eid)
+        srcs.append(src)
+        dsts.append(dst)
+        label_ids.append(intern(sym_name(sid)))
+    with_props = sorted(
+        eid for eid, props in graph._e_props.items()
+        if props and graph._e_label[eid] >= 0
+    )
     ebuf = bytearray()
     write_uvarint(ebuf, len(eids))
     ebuf += _to_le_bytes(eids)
@@ -243,9 +275,9 @@ def _encode_sections(
     ebuf += _to_le_bytes(dsts)
     ebuf += _to_le_bytes(label_ids)
     write_uvarint(ebuf, len(with_props))
-    for edge in with_props:
-        write_uvarint(ebuf, edge.eid)
-        write_props(ebuf, edge.properties)
+    for eid in with_props:
+        write_uvarint(ebuf, eid)
+        write_props(ebuf, graph._e_props[eid])
 
     # INDEX ------------------------------------------------------------
     index_keys = sorted(graph._property_indexes)
@@ -528,76 +560,79 @@ def _decode_graph(
         strings.append(value)
 
     graph = PropertyGraph(name)
-    vertices = graph._vertices
+    symbols = graph._symbols
     label_index = graph._label_index
     out_adj = graph._out
     in_adj = graph._in
+    # snapshot string id -> graph symbol id, interned once up front.
+    sym_ids = [symbols.intern(s) for s in strings]
 
-    # VERTEX (columnar)
+    # VERTEX (columnar): the section's vid / label-set-id / property
+    # columns land directly in the graph's label-set tables - no
+    # per-vertex object or dict is ever rehydrated.
     pos = sections[SECTION_VERTICES][0]
     count, pos = read_uvarint(data, pos)
     if count != num_vertices:
         raise CodecError("vertex count mismatch with META")
     vid_list, pos = _read_array(data, pos, "q", count)
     n_labelsets, pos = read_uvarint(data, pos)
-    labelsets: list[frozenset] = []
+    tables = []
     labelset_names: list[tuple[str, ...]] = []
     try:
         for _ in range(n_labelsets):
             nlabels, pos = read_uvarint(data, pos)
             names = []
+            label_sids = []
             for _ in range(nlabels):
                 sid, pos = read_uvarint(data, pos)
                 names.append(strings[sid])
-            labelsets.append(frozenset(names))
+                label_sids.append(sym_ids[sid])
+            tables.append(graph._table_for(frozenset(label_sids)))
             labelset_names.append(tuple(names))
         lsid_list, pos = _read_array(data, pos, "i", count)
-        # Bulk-construct the vertex store: map() drives the dataclass
-        # constructor from C, dict.update(zip()) fills the dicts at C
-        # speed; only the label-set grouping needs a Python loop.
-        prop_dicts = [{} for _ in range(count)]
-        vertices.update(
-            zip(
-                vid_list,
-                map(
-                    Vertex,
-                    vid_list,
-                    map(labelsets.__getitem__, lsid_list),
-                    prop_dicts,
-                ),
-            )
-        )
-        props_of = dict(zip(vid_list, prop_dicts))
+        # Size the id-space to next_vid, not max live id + 1: removed
+        # tail ids must stay tombstoned holes so add_vertex's
+        # "vid == len(_v_tid)" append invariant survives the reload.
+        num_vid_slots = max(next_vid, max(vid_list, default=-1) + 1)
+        v_tid = graph._v_tid
+        v_row = graph._v_row
+        v_tid.extend([-1] * num_vid_slots)
+        v_row.extend([0] * num_vid_slots)
+        for vid, lsid in zip(vid_list, lsid_list):
+            table = tables[lsid]
+            v_tid[vid] = table.labelset_id
+            v_row[vid] = len(table.vids)
+            table.vids.append(vid)
+            table.live += 1
         out_adj.update(zip(vid_list, [{} for _ in range(count)]))
         in_adj.update(zip(vid_list, [{} for _ in range(count)]))
-        ls_members: list[list[int]] = [[] for _ in labelsets]
-        for vid, lsid in zip(vid_list, lsid_list):
-            ls_members[lsid].append(vid)
     except IndexError:
         raise CodecError("vertex references unknown label set") from None
 
     # Label buckets: vertices were decoded in ascending-vid order, so
-    # merging the per-label-set member lists by sorting restores the
-    # original per-label insertion order.
-    by_label: dict[str, list[list[int]]] = {}
-    for names, members in zip(labelset_names, ls_members):
-        if not members:
+    # each table's vid list is ascending and merging the per-table
+    # member lists by sorting restores the original per-label
+    # insertion order.
+    by_label: dict[int, list[list[int]]] = {}
+    for table in tables:
+        if not table.vids:
             continue
-        for label_name in names:
-            by_label.setdefault(label_name, []).append(members)
-    for label_name, groups in by_label.items():
+        for label_sid in table.label_sids:
+            by_label.setdefault(label_sid, []).append(table.vids)
+    for label_sid, groups in by_label.items():
         if len(groups) == 1:
-            label_index[label_name] = dict.fromkeys(groups[0])
+            label_index[label_sid] = dict.fromkeys(groups[0])
         else:
             merged = sorted(vid for group in groups for vid in group)
-            label_index[label_name] = dict.fromkeys(merged)
+            label_index[label_sid] = dict.fromkeys(merged)
 
-    # Property columns
+    # Property columns: split each section column by owning table,
+    # then bulk-adopt (dense prefix) or scatter into typed columns.
     ncols, pos = read_uvarint(data, pos)
     try:
         for _ in range(ncols):
             name_sid, pos = read_uvarint(data, pos)
-            col_name = strings[name_sid]
+            key_sid = sym_ids[name_sid]
             nentries, pos = read_uvarint(data, pos)
             if pos >= len(data):
                 raise CodecError("truncated column header")
@@ -606,11 +641,14 @@ def _decode_graph(
             col_vids, pos = _read_array(data, pos, "q", nentries)
             if ctype == COL_INT:
                 values, pos = _read_array(data, pos, "q", nentries)
+                kind = KIND_INT
             elif ctype == COL_FLOAT:
                 values, pos = _read_array(data, pos, "d", nentries)
+                kind = KIND_FLOAT
             elif ctype == COL_STR:
                 lengths, pos = _read_array(data, pos, "i", nentries)
                 values, pos = _read_str_blob(data, pos, lengths)
+                kind = KIND_OBJ
             elif ctype == COL_STR_LIST:
                 counts, pos = _read_array(data, pos, "i", nentries)
                 nitems, pos = read_uvarint(data, pos)
@@ -624,19 +662,35 @@ def _decode_graph(
                     cut = offset + count_items
                     values.append(flat[offset:cut])
                     offset = cut
+                kind = KIND_OBJ
             elif ctype == COL_MIXED:
                 values = []
                 for _ in range(nentries):
                     value, pos = read_value(data, pos)
                     values.append(value)
+                kind = KIND_OBJ
             else:
                 raise CodecError(f"unknown column type {ctype}")
+            per_table: dict[int, tuple[list, list]] = {}
             for vid, value in zip(col_vids, values):
-                props_of[vid][col_name] = value
+                tid = v_tid[vid]
+                if tid < 0:
+                    raise CodecError(
+                        "property column references unknown id"
+                    )
+                entry = per_table.get(tid)
+                if entry is None:
+                    entry = per_table[tid] = ([], [])
+                entry[0].append(v_row[vid])
+                entry[1].append(value)
+            for tid, (rows, row_values) in per_table.items():
+                graph._tables[tid].columns[key_sid] = (
+                    PropertyColumn.from_rows(rows, row_values, kind)
+                )
     except (KeyError, IndexError):
         raise CodecError("property column references unknown id") from None
 
-    # EDGE (columnar, fused rebuild of record store + adjacency)
+    # EDGE (columnar, fused rebuild of edge columns + adjacency)
     pos = sections[SECTION_EDGES][0]
     count, pos = read_uvarint(data, pos)
     if count != num_edges:
@@ -645,25 +699,22 @@ def _decode_graph(
     src_list, pos = _read_array(data, pos, "q", count)
     dst_list, pos = _read_array(data, pos, "q", count)
     lid_list, pos = _read_array(data, pos, "i", count)
-    edges = graph._edges
     try:
         label_list = list(map(strings.__getitem__, lid_list))
-        edges.update(
-            zip(
-                eid_list,
-                map(
-                    Edge,
-                    eid_list,
-                    src_list,
-                    dst_list,
-                    label_list,
-                    [{} for _ in range(count)],
-                ),
-            )
-        )
-        for eid, src, dst, label in zip(
-            eid_list, src_list, dst_list, label_list
+        # Same id-space rule as vertices: removed tail eids stay holes.
+        num_eid_slots = max(next_eid, max(eid_list, default=-1) + 1)
+        e_src = graph._e_src
+        e_dst = graph._e_dst
+        e_label = graph._e_label
+        e_src.extend([0] * num_eid_slots)
+        e_dst.extend([0] * num_eid_slots)
+        e_label.extend([-1] * num_eid_slots)
+        for eid, src, dst, lid, label in zip(
+            eid_list, src_list, dst_list, lid_list, label_list
         ):
+            e_src[eid] = src
+            e_dst[eid] = dst
+            e_label[eid] = sym_ids[lid]
             adjacency = out_adj[src]
             bucket = adjacency.get(label)
             if bucket is None:
@@ -674,6 +725,7 @@ def _decode_graph(
             if bucket is None:
                 bucket = adjacency[label] = {}
             bucket[eid] = src
+        graph._num_edges = count
     except (KeyError, IndexError) as exc:
         raise CodecError(f"edge references unknown id: {exc}") from None
     # Defer the endpoint-pair index; the graph batch-builds it on the
@@ -683,10 +735,9 @@ def _decode_graph(
     for _ in range(nprops_edges):
         eid, pos = read_uvarint(data, pos)
         props, pos = read_props(data, pos)
-        edge = edges.get(eid)
-        if edge is None:
+        if not (0 <= eid < len(e_label)) or e_label[eid] < 0:
             raise CodecError(f"properties for unknown edge {eid}")
-        edge.properties.update(props)
+        graph._e_props[eid] = props
 
     # INDEX (optional section; rebuilt from the live stores)
     if SECTION_INDEXES in sections:
@@ -707,8 +758,8 @@ def _decode_graph(
         pos = sections[SECTION_STATS][0]
         graph._stats = _decode_stats(data, pos, strings)
 
-    graph._next_vid = max(next_vid, max(vertices, default=-1) + 1)
-    graph._next_eid = max(next_eid, max(edges, default=-1) + 1)
+    graph._next_vid = num_vid_slots
+    graph._next_eid = num_eid_slots
     return graph, generation
 
 

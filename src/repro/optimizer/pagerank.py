@@ -36,47 +36,78 @@ class PageRankResult:
         return self.scores[concept]
 
 
+def pagerank_kernel(
+    n: int,
+    flat_src: list[int],
+    flat_dst: list[int],
+    damping: float = 0.85,
+    tol: float = 1e-10,
+    max_iterations: int = 500,
+) -> tuple[list[float], int]:
+    """Power-iteration PageRank over flat CSR-style edge arrays.
+
+    ``flat_src`` / ``flat_dst`` are parallel node-index lists (one
+    entry per directed edge).  Ranks live in dense lists indexed by
+    node, so each power iteration is one zip-driven pass over the edge
+    arrays plus a few list comprehensions - no dict hashing anywhere
+    on the hot path.  Dangling nodes distribute their mass uniformly,
+    the classic fix.  Returns (scores by node index, iterations).
+    """
+    if n == 0:
+        return [], 0
+    out_degree = [0] * n
+    for src in flat_src:
+        out_degree[src] += 1
+    dangling = [i for i in range(n) if out_degree[i] == 0]
+    inv_degree = [1.0 / d if d else 0.0 for d in out_degree]
+    rank = [1.0 / n] * n
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        dangling_mass = sum(rank[i] for i in dangling)
+        shares = [r * inv for r, inv in zip(rank, inv_degree)]
+        incoming = [0.0] * n
+        for src, dst in zip(flat_src, flat_dst):
+            incoming[dst] += shares[src]
+        base = (1.0 - damping) / n + damping * dangling_mass / n
+        new_rank = [base + damping * mass for mass in incoming]
+        delta = sum(
+            abs(new - old) for new, old in zip(new_rank, rank)
+        )
+        rank = new_rank
+        if delta < tol:
+            break
+    return rank, iterations
+
+
 def pagerank(
     adjacency: dict[str, list[str]],
     damping: float = 0.85,
     tol: float = 1e-10,
     max_iterations: int = 500,
 ) -> tuple[dict[str, float], int]:
-    """Plain power-iteration PageRank over an adjacency mapping.
+    """Power-iteration PageRank over an adjacency mapping.
 
-    Dangling nodes distribute their mass uniformly, the classic fix.
-    Returns (scores, iterations).
+    Thin wrapper over :func:`pagerank_kernel`: nodes are indexed once
+    (sorted order), the adjacency lists are flattened into parallel
+    source/target index arrays, and the kernel iterates those flat
+    arrays.  Returns (scores, iterations).
     """
     nodes = sorted(adjacency)
     n = len(nodes)
     if n == 0:
         return {}, 0
-    rank = {node: 1.0 / n for node in nodes}
-    out_degree = {node: len(adjacency[node]) for node in nodes}
-    # Dangling nodes and the emitting node list never change across
-    # iterations - computing them once keeps each power iteration to a
-    # single pass over the edges.
-    dangling = [node for node in nodes if out_degree[node] == 0]
-    emitting = [
-        (node, adjacency[node]) for node in nodes if out_degree[node]
-    ]
-    iterations = 0
-    for iterations in range(1, max_iterations + 1):
-        dangling_mass = sum(rank[node] for node in dangling)
-        incoming = dict.fromkeys(nodes, 0.0)
-        for node, neighbors in emitting:
-            share = rank[node] / len(neighbors)
-            for neighbor in neighbors:
-                incoming[neighbor] += share
-        base = (1.0 - damping) / n + damping * dangling_mass / n
-        new_rank = {
-            node: base + damping * incoming[node] for node in nodes
-        }
-        delta = sum(abs(new_rank[node] - rank[node]) for node in nodes)
-        rank = new_rank
-        if delta < tol:
-            break
-    return rank, iterations
+    index = {node: i for i, node in enumerate(nodes)}
+    flat_src: list[int] = []
+    flat_dst: list[int] = []
+    for node in nodes:
+        i = index[node]
+        for neighbor in adjacency[node]:
+            flat_src.append(i)
+            flat_dst.append(index[neighbor])
+    rank, iterations = pagerank_kernel(
+        n, flat_src, flat_dst, damping, tol, max_iterations
+    )
+    return dict(zip(nodes, rank)), iterations
 
 
 def ontology_pagerank(

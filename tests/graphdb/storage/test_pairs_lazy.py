@@ -1,0 +1,85 @@
+"""Endpoint-pair index lazy materialization under post-load mutation.
+
+A snapshot load defers the endpoint-pair index (``_pairs = None``);
+the first probe batch-builds it from the edge columns.  The invariant
+pinned here: mutations that arrive *while the index is deferred* must
+not cause a partial build - the eventual batch build has to reflect
+every mutation, and the probe answers must match a graph that was
+never deferred at all.
+"""
+
+import pytest
+
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.storage.snapshot import read_snapshot, write_snapshot
+
+
+@pytest.fixture()
+def loaded(tmp_path):
+    g = PropertyGraph("pairs")
+    a = g.add_vertex("N", {"i": 0})
+    b = g.add_vertex("N", {"i": 1})
+    c = g.add_vertex("N", {"i": 2})
+    g.add_edge(a, b, "e")
+    g.add_edge(b, c, "e")
+    g.add_edge(a, c, "f")
+    path = tmp_path / "g.rpgs"
+    write_snapshot(g, path)
+    loaded = read_snapshot(path)
+    assert loaded._pairs is None  # deferred by the loader
+    return loaded
+
+
+def test_add_edge_while_deferred_is_visible(loaded):
+    eid = loaded.add_edge(1, 0, "g")
+    assert loaded._pairs is None  # mutation must not trigger a build
+    assert loaded.first_edge_between(1, 0, "g") == eid
+    assert loaded._pairs is not None
+    # ... and the pre-existing edges are all present too (no partial
+    # index built from only the post-load mutations).
+    assert loaded.has_edge_between(0, 1, "e")
+    assert loaded.has_edge_between(1, 2, "e")
+    assert loaded.has_edge_between(0, 2, "f")
+
+
+def test_remove_edge_while_deferred_is_visible(loaded):
+    eid = next(iter(loaded._edges))
+    edge = loaded.edge(eid)
+    src, dst, label = edge.src, edge.dst, edge.label
+    loaded.remove_edge(eid)
+    assert loaded._pairs is None
+    assert not loaded.has_edge_between(src, dst, label)
+    assert loaded.has_edge_between(1, 2, "e")  # untouched edge intact
+
+
+def test_remove_vertex_while_deferred(loaded):
+    loaded.remove_vertex(1)
+    assert loaded._pairs is None
+    assert not loaded.has_edge_between(0, 1, "e")
+    assert not loaded.has_edge_between(1, 2, "e")
+    assert loaded.has_edge_between(0, 2, "f")
+
+
+def test_deferred_build_matches_incremental(loaded, tmp_path):
+    # Interleave mutations, then compare the batch-built index against
+    # a graph that maintained its pair index incrementally all along.
+    loaded.add_edge(2, 0, "e")
+    loaded.remove_edge(1)
+    probe = loaded._build_pairs()
+
+    fresh = PropertyGraph("pairs")
+    for _ in range(3):
+        fresh.add_vertex("N", {})
+    fresh.add_edge(0, 1, "e")
+    fresh.add_edge(1, 2, "e")
+    fresh.add_edge(0, 2, "f")
+    fresh.add_edge(2, 0, "e")
+    fresh.remove_edge(1)
+    assert probe == fresh._pairs
+
+
+def test_direction_any_after_deferred_mutation(loaded):
+    loaded.add_edge(2, 0, "h")
+    assert loaded.has_edge_between(0, 2, "h", direction="in")
+    assert loaded.has_edge_between(0, 2, "h", direction="any")
+    assert not loaded.has_edge_between(0, 2, "h", direction="out")

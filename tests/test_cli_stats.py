@@ -1,0 +1,67 @@
+"""The ``repro stats`` subcommand: JSON shape dump of a data directory."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.storage import GraphStore
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    g = PropertyGraph("stats-demo")
+    a = g.add_vertex("Drug", {"name": "aspirin", "doses": 3})
+    b = g.add_vertex("Drug", {"name": "ibuprofen", "doses": 2})
+    c = g.add_vertex(["Drug", "Generic"], {"name": "gx", "price": 1.5})
+    i = g.add_vertex("Indication", {"desc": "pain"})
+    g.add_edge(a, i, "treat")
+    g.add_edge(b, i, "treat")
+    g.add_edge(c, a, "sameAs")
+    target = tmp_path / "store"
+    GraphStore.create(target, g).close()
+    return target
+
+
+def test_stats_dumps_cardinalities_and_dtypes(store_dir, capsys):
+    assert main(["stats", str(store_dir)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["name"] == "stats-demo"
+    assert report["vertices"] == 4
+    assert report["edges"] == 3
+    assert report["labels"] == {"Drug": 3, "Generic": 1, "Indication": 1}
+    assert report["edge_types"] == {"sameAs": 1, "treat": 2}
+    tables = {
+        frozenset(table["labels"]): table for table in report["tables"]
+    }
+    drug = tables[frozenset({"Drug"})]
+    assert drug["rows"] == 2
+    assert drug["columns"] == {"name": "object", "doses": "int64"}
+    merged = tables[frozenset({"Drug", "Generic"})]
+    assert merged["columns"]["price"] == "float64"
+
+
+def test_stats_reflects_wal_tail(store_dir):
+    with GraphStore.open(store_dir) as store:
+        store.graph.add_vertex("Indication", {"desc": "fever"})
+    import io
+    from contextlib import redirect_stdout
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        assert main(["stats", str(store_dir)]) == 0
+    report = json.loads(buffer.getvalue())
+    assert report["labels"]["Indication"] == 2
+
+
+def test_stats_missing_store_exits_1(tmp_path, capsys):
+    assert main(["stats", str(tmp_path / "nope")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_stats_empty_dir_exits_1(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["stats", str(empty)]) == 1
+    assert "error:" in capsys.readouterr().err
