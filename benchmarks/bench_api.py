@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Driver API benchmark: parameterized reuse vs literal re-parse.
+
+The acceptance target of the driver redesign: a hot point-lookup
+executed 1000 times through ``session.run(text, id=...)`` must reuse
+its cached plan (zero re-plans after the warmup execution, verified
+with the plan cache's own counters) and beat the literal-interpolated
+equivalent - which re-parses and re-plans on every call because each
+distinct value produces a distinct query text - by >= 2x wall time.
+
+The workload is a single-vertex index lookup on a 5000-vertex graph:
+small enough that *execution* is a few microseconds, which is exactly
+the regime where parse + plan overhead dominates and parameterization
+pays.  Distinct ids cycle past the plan cache's capacity, so the
+literal loop cannot win by accidental text repetition - matching real
+application traffic, where bind values are effectively unbounded.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_api.py [--out PATH]
+
+``benchmarks/run_bench.sh`` invokes it after the graph-core benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.graphdb import connect
+from repro.graphdb.graph import PropertyGraph
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Acceptance target: parameterized >= 2x faster than literal re-parse.
+TARGET_SPEEDUP = 2.0
+
+NUM_VERTICES = 5000
+
+
+def build_graph() -> PropertyGraph:
+    g = PropertyGraph("bench-api")
+    for i in range(NUM_VERTICES):
+        g.add_vertex(
+            "Drug", {"id": i, "name": f"drug{i}", "tier": i % 16}
+        )
+    g.create_property_index("Drug", "id")
+    g.statistics()  # build outside the timed loops
+    return g
+
+
+def run_point_lookup(iterations: int) -> dict:
+    graph = build_graph()
+    stats = graph.statistics()
+    db = connect(graph)
+    ids = [(i * 37) % NUM_VERTICES for i in range(iterations)]
+
+    with db.session() as session:
+        # Warmup: parse + plan + cache the parameterized shape.
+        session.run(
+            "MATCH (d:Drug {id: $id}) RETURN d.name", id=0
+        ).consume()
+        misses_before = stats.plan_cache.misses
+        hits_before = stats.plan_cache.hits
+        started = time.perf_counter()
+        for i in ids:
+            session.run(
+                "MATCH (d:Drug {id: $id}) RETURN d.name", id=i
+            ).consume()
+        parameterized_s = time.perf_counter() - started
+        replans = stats.plan_cache.misses - misses_before
+        hits = stats.plan_cache.hits - hits_before
+
+    with db.session() as session:
+        # Literal warmup for symmetry (its text never repeats, so this
+        # only warms ancillary caches).
+        session.run('MATCH (d:Drug {id: 0}) RETURN d.name').consume()
+        started = time.perf_counter()
+        for i in ids:
+            session.run(
+                f"MATCH (d:Drug {{id: {i}}}) RETURN d.name"
+            ).consume()
+        literal_s = time.perf_counter() - started
+
+    speedup = literal_s / parameterized_s
+    return {
+        "iterations": iterations,
+        "parameterized_ms": round(parameterized_s * 1000.0, 2),
+        "literal_ms": round(literal_s * 1000.0, 2),
+        "speedup": round(speedup, 2),
+        "replans_after_warmup": replans,
+        "plan_cache_hits": hits,
+        "target_speedup": TARGET_SPEEDUP,
+        "pass": replans == 0 and speedup >= TARGET_SPEEDUP,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_api.json")
+    )
+    parser.add_argument("--iterations", type=int, default=1000)
+    args = parser.parse_args(argv)
+
+    result = run_point_lookup(args.iterations)
+    report = {"point_lookup": result}
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"Wrote {args.out}:")
+    print(
+        f"  point lookup x{result['iterations']}: "
+        f"parameterized {result['parameterized_ms']:.0f} ms, "
+        f"literal {result['literal_ms']:.0f} ms "
+        f"-> {result['speedup']:.2f}x "
+        f"(re-plans after warmup: {result['replans_after_warmup']})"
+    )
+    if not result["pass"]:
+        print(
+            f"  FAIL: target is >= {TARGET_SPEEDUP}x with 0 re-plans",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Run the engine micro-benchmarks, the storage benchmarks, the
-# planner benchmarks, and the graph-core benchmarks, recording results
-# at the repo root as BENCH_engine.json, BENCH_storage.json,
-# BENCH_planner.json, and BENCH_core.json (the perf trajectory
+# planner benchmarks, the graph-core benchmarks, and the driver-API
+# benchmarks, recording results at the repo root as
+# BENCH_engine.json, BENCH_storage.json, BENCH_planner.json,
+# BENCH_core.json, and BENCH_api.json (the perf trajectory
 # artifacts).
 #
 # Usage: benchmarks/run_bench.sh [extra pytest args...]
@@ -43,3 +44,5 @@ python benchmarks/bench_storage.py --out "$REPO_ROOT/BENCH_storage.json"
 python benchmarks/bench_planner.py --out "$REPO_ROOT/BENCH_planner.json"
 
 python benchmarks/bench_core.py --out "$REPO_ROOT/BENCH_core.json"
+
+python benchmarks/bench_api.py --out "$REPO_ROOT/BENCH_api.json"

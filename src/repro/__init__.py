@@ -15,17 +15,31 @@ Domain-Specific Knowledge Graphs"* (Lei et al., ICDE 2021), including:
 * experiment drivers regenerating every table and figure of the
   evaluation section (:mod:`repro.bench`).
 
-Quickstart::
+Quickstart (schema optimization)::
 
     from repro.ontology.samples import figure2_medical_ontology
     from repro.schema import optimize_schema_nsc, to_cypher_ddl
 
     schema, mapping = optimize_schema_nsc(figure2_medical_ontology())
     print(to_cypher_ddl(schema))
+
+Quickstart (graph database driver, see :mod:`repro.graphdb.api`)::
+
+    from repro import connect
+
+    with connect("./data") as db, db.session() as session:
+        with session.begin_tx() as tx:
+            vid = tx.add_vertex("Drug", {"name": "aspirin"})
+            tx.commit()
+        record = session.run(
+            "MATCH (d:Drug {name: $name}) RETURN d.name AS name",
+            name="aspirin",
+        ).single()
 """
 
 __version__ = "1.0.0"
 
+from repro.graphdb.api import connect
 from repro.ontology.builder import OntologyBuilder
 from repro.ontology.model import Ontology, RelationshipType
 from repro.optimizer.pgsg import optimize
@@ -37,6 +51,7 @@ __all__ = [
     "OntologyBuilder",
     "RelationshipType",
     "Thresholds",
+    "connect",
     "direct_schema",
     "optimize",
     "optimize_schema_nsc",

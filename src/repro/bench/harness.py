@@ -18,6 +18,7 @@ from repro.data.loader import load_direct, load_optimized
 from repro.data.logical import LogicalDataset
 from repro.datasets.base import Dataset
 from repro.datasets.cache import graph_cache_key, memoized_graph
+from repro.graphdb.api import Database
 from repro.graphdb.backends import JANUSGRAPH_LIKE, NEO4J_LIKE
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.query.ast import Query
@@ -72,6 +73,15 @@ class Pipeline:
     opt_graph: PropertyGraph
     rewriter: QueryRewriter
     rewritten: dict[str, Query]
+
+    def database(self, which: str = "dir", profile=NEO4J_LIKE) -> Database:
+        """A driver :class:`~repro.graphdb.api.Database` over one of
+        the pipeline's graphs (``"dir"`` or ``"opt"``) - the handle
+        demo code and benchmarks session queries through."""
+        if which not in ("dir", "opt"):
+            raise ValueError(f"unknown pipeline graph {which!r}")
+        graph = self.dir_graph if which == "dir" else self.opt_graph
+        return Database(graph, profile=profile)
 
 
 def build_pipeline(

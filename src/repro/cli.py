@@ -48,9 +48,21 @@ Commands
 
         python -m repro stats ./med-data
 
-Exit codes: 0 on success, 1 for invalid inputs or corrupt/missing
-data (:class:`~repro.exceptions.ReproError`, I/O and JSON errors),
-2 for command-line usage errors (argparse).
+``query``
+    Run one Cypher-subset query against a data directory (recovered
+    read-only) through the driver API, with ``$name`` parameters bound
+    from ``--param`` flags::
+
+        python -m repro query ./med-data \\
+            'MATCH (d:Drug {name: $name}) RETURN d.name' \\
+            --param name=aspirin --format json
+
+    (Single-quote the query in a shell: ``$name`` inside double
+    quotes would be expanded by the shell, not bound by the engine.)
+
+Exit codes: 0 on success, 1 for invalid inputs, query errors, or
+corrupt/missing data (:class:`~repro.exceptions.ReproError`, I/O and
+JSON errors), 2 for command-line usage errors (argparse).
 """
 
 from __future__ import annotations
@@ -163,18 +175,19 @@ def cmd_demo(args) -> int:
     print(pipeline.dir_graph.summary())
     print(pipeline.opt_graph.summary())
     if args.explain:
-        from repro.graphdb.query.executor import Executor
-        from repro.graphdb.session import GraphSession
-
-        dir_executor = Executor(GraphSession(pipeline.dir_graph))
-        opt_executor = Executor(GraphSession(pipeline.opt_graph))
-        for qid in sorted(dataset.queries, key=lambda q: int(q[1:])):
-            print(f"\n{qid} on DIR:")
-            print(dir_executor.explain(dataset.queries[qid], analyze=True))
-            print(f"{qid} on OPT (rewritten):")
-            print(
-                opt_executor.explain(pipeline.rewritten[qid], analyze=True)
-            )
+        with pipeline.database("dir").session() as dir_session, \
+                pipeline.database("opt").session() as opt_session:
+            for qid in sorted(dataset.queries, key=lambda q: int(q[1:])):
+                print(f"\n{qid} on DIR:")
+                print(
+                    dir_session.explain(dataset.queries[qid], analyze=True)
+                )
+                print(f"{qid} on OPT (rewritten):")
+                print(
+                    opt_session.explain(
+                        pipeline.rewritten[qid], analyze=True
+                    )
+                )
     table = ExperimentTable(
         f"{dataset.name} microbenchmark (neo4j-like, ms simulated)",
         ["query", "DIR", "OPT", "speedup"],
@@ -221,24 +234,83 @@ def cmd_save(args) -> int:
 
 
 def cmd_load(args) -> int:
-    from repro.graphdb.storage import GraphStore
+    from repro.exceptions import StorageError
+    from repro.graphdb.api import connect
 
-    with GraphStore.open(args.data_dir, create=False) as store:
-        assert store.recovery is not None
-        print(f"recovered: {store.recovery.summary()}")
-        print(store.graph.summary())
+    with connect(args.data_dir, create=False) as db:
+        if db.store is None or db.store.recovery is None:
+            # connect() also accepts bare snapshot files; load is
+            # about recovering a *directory* (WAL replay, checkpoint).
+            raise StorageError(
+                f"{args.data_dir} is not a data directory "
+                "(use 'repro query' for snapshot files)"
+            )
+        print(f"recovered: {db.store.recovery.summary()}")
+        print(db.graph.summary())
         if args.query:
-            from repro.graphdb.query.executor import Executor
-            from repro.graphdb.session import GraphSession
-
-            result = Executor(GraphSession(store.graph)).run(args.query)
-            for row in result.rows:
-                print("  " + "\t".join(str(v) for v in row))
-            print(f"({len(result.rows)} row(s), "
-                  f"{result.latency_ms:.2f} ms simulated)")
+            with db.session() as session:
+                result = session.run(args.query)
+                for record in result:
+                    print(
+                        "  " + "\t".join(str(v) for v in record)
+                    )
+                summary = result.consume()
+            print(f"({summary.rows} row(s), "
+                  f"{summary.latency_ms:.2f} ms simulated)")
         if args.checkpoint:
-            snapshot_path = store.checkpoint()
+            snapshot_path = db.checkpoint()
             print(f"checkpointed -> {snapshot_path.name}")
+    return 0
+
+
+def _jsonable(value):
+    """Result values as JSON-encodable structures.
+
+    Vertex/edge bindings become ``{"vertex": id}`` / ``{"edge": id}``
+    markers; lists recurse; everything else is a JSON scalar already.
+    """
+    from repro.graphdb.query.executor import EdgeBinding, VertexBinding
+
+    if isinstance(value, VertexBinding):
+        return {"vertex": value.vid}
+    if isinstance(value, EdgeBinding):
+        return {"edge": value.eid}
+    if isinstance(value, list):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def cmd_query(args) -> int:
+    from repro.graphdb.api import connect
+
+    params = dict(args.params or [])
+    with connect(args.data_dir, readonly=True) as db:
+        with db.session() as session:
+            result = session.run(args.query, params)
+            records = [record.values() for record in result]
+            summary = result.consume()
+    if args.format == "json":
+        payload = {
+            "columns": summary.columns,
+            "rows": [
+                [_jsonable(v) for v in row] for row in records
+            ],
+            "latency_ms": round(summary.latency_ms, 3),
+        }
+        if args.explain:
+            payload["plan"] = summary.plan.splitlines()
+        print(json.dumps(payload, indent=2))
+        return 0
+    table = ExperimentTable(
+        f"{len(records)} row(s), {summary.latency_ms:.2f} ms simulated",
+        summary.columns,
+    )
+    for row in records:
+        table.add_row(*[str(v) for v in row])
+    print(table.render())
+    if args.explain:
+        print("\nplan:")
+        print(summary.plan)
     return 0
 
 
@@ -285,6 +357,20 @@ def cmd_stats(args) -> int:
     }
     print(json.dumps(report, indent=2))
     return 0
+
+
+def _param_kv(text: str) -> tuple[str, object]:
+    """``--param NAME=VALUE``; VALUE parses as JSON, else raw string."""
+    name, sep, raw = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=VALUE, got {text!r}"
+        )
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return name, value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -377,6 +463,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stats.add_argument("data_dir", help="data directory to inspect")
     p_stats.set_defaults(fn=cmd_stats)
+
+    p_query = sub.add_parser(
+        "query",
+        help="run one Cypher query against a data directory (read-only)",
+    )
+    p_query.add_argument(
+        "data_dir", help="data directory (or .rpgs snapshot) to query"
+    )
+    p_query.add_argument("query", help="Cypher-subset query text")
+    p_query.add_argument(
+        "--param", dest="params", action="append", type=_param_kv,
+        metavar="NAME=VALUE",
+        help="bind a $NAME query parameter; VALUE parses as JSON, "
+             "falling back to a plain string (repeatable)",
+    )
+    p_query.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)",
+    )
+    p_query.add_argument(
+        "--explain", action="store_true",
+        help="also print the executed plan (est vs actual rows)",
+    )
+    p_query.set_defaults(fn=cmd_query)
     return parser
 
 

@@ -33,11 +33,11 @@ from pathlib import Path
 from typing import Callable
 
 from repro import __version__
+from repro.graphdb.api import connect
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.storage.snapshot import (
     FORMAT_VERSION,
     SnapshotError,
-    read_snapshot,
     write_snapshot,
 )
 
@@ -97,7 +97,9 @@ def memoized_graph(
     path = directory / f"{key}.rpgs"
     if path.exists():
         try:
-            return read_snapshot(path)
+            # connect() recognizes a .rpgs file and loads it as an
+            # in-memory database; the bare graph is the cache value.
+            return connect(path).graph
         except SnapshotError:
             pass  # stale/corrupt entry: rebuild below
     graph = build()

@@ -28,14 +28,23 @@ class OptimizationError(ReproError):
 
 
 class GraphError(ReproError):
-    """Raised by the property-graph storage engine."""
+    """Raised by the property-graph storage engine.
+
+    Also the base of the public driver API's error hierarchy: callers
+    of :mod:`repro.graphdb.api` can catch :class:`GraphError` to cover
+    query, parameter, and transaction failures alike.
+    """
 
 
 class StorageError(ReproError):
     """Raised by the durable storage subsystem (snapshots, WAL, recovery)."""
 
 
-class QueryError(ReproError):
+class TransactionError(GraphError):
+    """Raised for invalid transaction usage (nesting, closed handles)."""
+
+
+class QueryError(GraphError):
     """Raised for malformed queries (lexing, parsing, or binding errors)."""
 
 
@@ -47,6 +56,10 @@ class QuerySyntaxError(QueryError):
         if position is not None:
             message = f"{message} (at position {position})"
         super().__init__(message)
+
+
+class ParameterError(QueryError):
+    """Raised when query parameters are missing or unusable."""
 
 
 class RewriteError(ReproError):

@@ -1,5 +1,37 @@
-"""Instrumented in-memory property graph engine with a Cypher subset."""
+"""Instrumented in-memory property graph engine with a Cypher subset.
 
+Two API levels live here:
+
+* the **driver API** (:mod:`repro.graphdb.api`) - the supported
+  application surface: :func:`connect` → :class:`Database` →
+  :class:`Session` → :class:`Result`, with ``$name`` query parameters
+  and explicit :class:`Transaction` handles.  Start there;
+* the **engine API** - :class:`PropertyGraph`, the instrumented
+  :class:`GraphSession`, and the :class:`Executor`, for
+  instrumentation-level work (benchmarks, planner experiments) and
+  backward compatibility.
+
+The structured exception hierarchy roots at :class:`GraphError`:
+:class:`QueryError` (with :class:`QuerySyntaxError` and
+:class:`ParameterError` beneath it) and :class:`TransactionError`.
+"""
+
+from repro.exceptions import (
+    GraphError,
+    ParameterError,
+    QueryError,
+    QuerySyntaxError,
+    TransactionError,
+)
+from repro.graphdb.api import (
+    Database,
+    Record,
+    Result,
+    ResultSummary,
+    Session,
+    Transaction,
+    connect,
+)
 from repro.graphdb.backends import (
     JANUSGRAPH_LIKE,
     NEO4J_LIKE,
@@ -14,6 +46,21 @@ from repro.graphdb.session import GraphSession
 from repro.graphdb.view import GraphView, graph_pagerank
 
 __all__ = [
+    # Driver API (the supported application surface)
+    "Database",
+    "Record",
+    "Result",
+    "ResultSummary",
+    "Session",
+    "Transaction",
+    "connect",
+    # Exceptions
+    "GraphError",
+    "ParameterError",
+    "QueryError",
+    "QuerySyntaxError",
+    "TransactionError",
+    # Engine API (instrumentation-level)
     "BackendProfile",
     "Edge",
     "ExecutionMetrics",

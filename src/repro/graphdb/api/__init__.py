@@ -1,0 +1,48 @@
+"""Driver-style public API: connect, parameterize, stream, commit.
+
+The package mirrors the driver/session/result model real graph
+databases expose (Neo4j's Python driver being the closest reference,
+fitting the simulated backend profiles):
+
+* :func:`connect` opens a graph, a durable data directory, or a
+  snapshot file as a :class:`Database`;
+* :meth:`Database.session` hands out :class:`Session` units of work;
+* :meth:`Session.run` executes a Cypher-subset query with ``$name``
+  parameters and returns a lazy :class:`Result` cursor of
+  :class:`Record` rows - ``consume()`` yields a
+  :class:`ResultSummary` with metrics and the executed plan;
+* :meth:`Session.begin_tx` opens an explicit :class:`Transaction`
+  (undo-log rollback in memory, BEGIN/COMMIT framing in the WAL).
+
+The lower layers (:class:`~repro.graphdb.session.GraphSession`,
+:class:`~repro.graphdb.query.executor.Executor`) remain public for
+instrumentation-level work; this package is the supported surface for
+applications.
+"""
+
+from repro.exceptions import (
+    GraphError,
+    ParameterError,
+    QueryError,
+    QuerySyntaxError,
+    TransactionError,
+)
+from repro.graphdb.api.database import Database, connect
+from repro.graphdb.api.result import Record, Result, ResultSummary
+from repro.graphdb.api.session import Session
+from repro.graphdb.api.transaction import Transaction
+
+__all__ = [
+    "Database",
+    "GraphError",
+    "ParameterError",
+    "QueryError",
+    "QuerySyntaxError",
+    "Record",
+    "Result",
+    "ResultSummary",
+    "Session",
+    "Transaction",
+    "TransactionError",
+    "connect",
+]

@@ -1,0 +1,156 @@
+""":func:`connect` and :class:`Database`: the driver's entry point.
+
+``connect`` accepts anything the stack can serve queries from and
+normalizes it into a :class:`Database`:
+
+* a live :class:`~repro.graphdb.graph.PropertyGraph` - an in-memory
+  database (no durability);
+* a **data directory** - recovered through the storage subsystem
+  (latest snapshot + WAL replay) and opened for writing: every
+  mutation is write-ahead logged, transactions get BEGIN/COMMIT
+  framing, :meth:`Database.checkpoint` compacts.  ``readonly=True``
+  recovers a point-in-time graph without touching the directory;
+* a **snapshot file** (``.rpgs``) - loaded as an in-memory graph.
+
+A :class:`Database` is a session factory::
+
+    from repro.graphdb import connect
+
+    with connect("./med-data") as db:
+        with db.session() as session:
+            record = session.run(
+                "MATCH (d:Drug {id: $id}) RETURN d.name AS name", id=7
+            ).single()
+            print(record["name"])
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.exceptions import GraphError
+from repro.graphdb.api.session import Session
+from repro.graphdb.backends import BackendProfile, NEO4J_LIKE
+from repro.graphdb.graph import PropertyGraph
+
+
+def connect(
+    target: PropertyGraph | str | Path,
+    profile: BackendProfile = NEO4J_LIKE,
+    *,
+    create: bool = True,
+    sync: str = "batch",
+    readonly: bool = False,
+) -> "Database":
+    """Open ``target`` (graph, data directory, or snapshot file).
+
+    ``profile`` sets the default simulated backend for sessions;
+    ``create``/``sync`` apply to writable data directories (see
+    :class:`~repro.graphdb.storage.GraphStore`); ``readonly=True``
+    recovers a directory without creating, truncating, or logging.
+    """
+    if isinstance(target, PropertyGraph):
+        return Database(target, store=None, profile=profile)
+    path = Path(target)
+    if path.is_file() or (
+        not path.exists() and path.suffix == ".rpgs"
+    ):
+        from repro.graphdb.storage import read_snapshot
+
+        return Database(read_snapshot(path), store=None, profile=profile)
+    if readonly:
+        from repro.graphdb.storage import recover_graph
+        from repro.graphdb.storage.recovery import RecoveryManager
+
+        manager = RecoveryManager(path)
+        if not path.is_dir() or not (
+            manager.snapshot_generations() or manager.wal_generations()
+        ):
+            raise GraphError(f"no graph store at {path}")
+        return Database(recover_graph(path), store=None, profile=profile)
+    from repro.graphdb.storage import GraphStore
+
+    store = GraphStore.open(path, create=create, sync=sync)
+    return Database(store.graph, store=store, profile=profile)
+
+
+class Database:
+    """A queryable graph plus (optionally) its durable store."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        store=None,
+        profile: BackendProfile = NEO4J_LIKE,
+    ):
+        self.graph = graph
+        #: The durable :class:`~repro.graphdb.storage.GraphStore`, or
+        #: ``None`` for in-memory / read-only databases.
+        self.store = store
+        #: Default backend profile for sessions.
+        self.profile = profile
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        profile: BackendProfile | None = None,
+        cache=None,
+        cost_based: bool = True,
+    ) -> Session:
+        """A new unit-of-work session (use as a context manager)."""
+        self._require_open()
+        return Session(
+            self, profile=profile, cache=cache, cost_based=cost_based
+        )
+
+    # ------------------------------------------------------------------
+    # Durability passthrough
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> bool:
+        return self.store is not None
+
+    def checkpoint(self) -> Path:
+        """Compact the WAL into a fresh snapshot (durable stores only)."""
+        self._require_open()
+        if self.store is None:
+            raise GraphError("database has no backing store")
+        return self.store.checkpoint()
+
+    def sync(self) -> None:
+        """Force buffered WAL records to disk (no-op when in-memory)."""
+        self._require_open()
+        if self.store is not None:
+            self.store.sync()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush and detach the backing store, if any."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.store is not None:
+            self.store.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise GraphError("database is closed")
+
+    def __enter__(self) -> Database:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "durable" if self.store is not None else "in-memory"
+        return f"<Database {kind} {self.graph.summary()}>"

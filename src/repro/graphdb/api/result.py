@@ -1,0 +1,279 @@
+"""Driver result surface: :class:`Record`, :class:`Result`,
+:class:`ResultSummary`.
+
+A :class:`Result` is a *lazy* cursor over one query execution: rows
+are pulled from the executor's generator pipeline on demand, so
+consuming only the first record of an un-aggregated query never
+materializes the full match (``LIMIT``-free point lookups stay cheap).
+Each row arrives as a :class:`Record` - an ordered, field-addressable
+view (`record["name"]`, ``record[0]``, ``record.data()``).
+
+``consume()`` drains whatever the caller did not read and returns a
+:class:`ResultSummary` carrying the work counters, the simulated
+backend latency, and the executed plan rendered with estimated *and*
+actual rows per step (the driver always runs with step counting on).
+Exhausting the cursor computes the same summary, so iterating to the
+end then calling ``consume()`` costs nothing extra.
+
+A session keeps at most one result open: starting a new query first
+detaches the previous result by buffering its remaining records, which
+also settles its metrics (the underlying
+:class:`~repro.graphdb.session.GraphSession` counts work globally, so
+attribution requires draining before the next query starts).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.exceptions import QueryError
+from repro.graphdb.metrics import ExecutionMetrics
+
+
+class Record:
+    """One result row: ordered values addressable by column name."""
+
+    __slots__ = ("_keys", "_values")
+
+    def __init__(self, keys: list[str], values: tuple):
+        self._keys = keys
+        self._values = values
+
+    def keys(self) -> list[str]:
+        return list(self._keys)
+
+    def values(self) -> list:
+        return list(self._values)
+
+    def items(self) -> list[tuple[str, object]]:
+        return list(zip(self._keys, self._values))
+
+    def data(self) -> dict[str, object]:
+        """The record as a plain ``{column: value}`` dict."""
+        return dict(zip(self._keys, self._values))
+
+    def get(self, key: str, default: object = None) -> object:
+        try:
+            return self._values[self._keys.index(key)]
+        except ValueError:
+            return default
+
+    def __getitem__(self, key: str | int) -> object:
+        if isinstance(key, str):
+            try:
+                return self._values[self._keys.index(key)]
+            except ValueError:
+                raise KeyError(key) from None
+        return self._values[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Record):
+            return (
+                other._keys == self._keys
+                and other._values == self._values
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{k}={v!r}" for k, v in zip(self._keys, self._values)
+        )
+        return f"<Record {inner}>"
+
+
+class ResultSummary:
+    """What one consumed query execution did."""
+
+    __slots__ = (
+        "query", "parameters", "columns", "rows", "metrics",
+        "latency_ms", "_plan", "_plan_actual", "_plan_text",
+    )
+
+    def __init__(
+        self,
+        query: str,
+        parameters: dict[str, object],
+        columns: list[str],
+        rows: int,
+        metrics: ExecutionMetrics,
+        latency_ms: float,
+        plan,
+        plan_actual: list[int],
+    ):
+        self.query = query
+        self.parameters = parameters
+        #: Output column names, in RETURN order.
+        self.columns = columns
+        #: Records produced (and pulled) by this execution.
+        self.rows = rows
+        #: Work counters (vertex/property reads, traversals, pages).
+        self.metrics = metrics
+        #: Simulated backend latency for those counters.
+        self.latency_ms = latency_ms
+        self._plan = plan
+        self._plan_actual = plan_actual
+        self._plan_text: str | None = None
+
+    @property
+    def plan(self) -> str:
+        """The executed plan, one step per line, with estimated vs
+        actual row counts (``EXPLAIN ANALYZE`` rendering).
+
+        Rendered lazily on first access: hot loops that ``consume()``
+        every execution (the workload runner, the API benchmark) never
+        pay for the string formatting.
+        """
+        if self._plan_text is None:
+            self._plan_text = self._plan.describe(
+                actual=self._plan_actual
+            )
+        return self._plan_text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResultSummary rows={self.rows} "
+            f"latency_ms={self.latency_ms:.3f}>"
+        )
+
+
+class Result:
+    """Lazy cursor over one query execution (iterate to stream)."""
+
+    def __init__(
+        self,
+        owner,
+        query: str,
+        parameters: dict[str, object],
+        columns: list[str],
+        rows: Iterator[tuple],
+        plan,
+        step_counts: list[int],
+    ):
+        self._owner = owner
+        self._query = query
+        self._parameters = parameters
+        self._columns = columns
+        self._rows = rows
+        self._plan = plan
+        self._step_counts = step_counts
+        #: Records pulled but not yet handed to the caller (filled
+        #: when the session detaches this result to run a new query).
+        #: A deque: draining a large detached result pops from the
+        #: left once per record, which must stay O(1).
+        self._buffer: deque[Record] = deque()
+        self._yielded = 0
+        self._exhausted = False
+        self._summary: ResultSummary | None = None
+
+    # ------------------------------------------------------------------
+    # Cursor
+    # ------------------------------------------------------------------
+    def keys(self) -> list[str]:
+        """Output column names, in RETURN order."""
+        return list(self._columns)
+
+    def __iter__(self) -> Iterator[Record]:
+        while True:
+            record = self._next_record()
+            if record is None:
+                return
+            yield record
+
+    def _next_record(self) -> Record | None:
+        if self._buffer:
+            return self._buffer.popleft()
+        if self._exhausted:
+            return None
+        try:
+            values = next(self._rows)
+        except StopIteration:
+            self._settle()
+            return None
+        self._yielded += 1
+        return Record(self._columns, values)
+
+    def single(self) -> Record:
+        """Exactly one record; raises :class:`QueryError` otherwise."""
+        first = self._next_record()
+        if first is None:
+            raise QueryError("expected a single record, got none")
+        second = self._next_record()
+        if second is not None:
+            # Put them back so the cursor stays usable for debugging.
+            self._buffer.extendleft([second, first])
+            raise QueryError(
+                "expected a single record, got more than one"
+            )
+        return first
+
+    def values(self) -> list[list]:
+        """Remaining records as plain value lists (drains the cursor)."""
+        return [record.values() for record in self]
+
+    def records(self) -> list[Record]:
+        """Remaining records, materialized (drains the cursor)."""
+        return list(self)
+
+    def consume(self) -> ResultSummary:
+        """Discard any unread records and return the run's summary."""
+        self._drain(keep=False)
+        self._buffer.clear()
+        assert self._summary is not None
+        return self._summary
+
+    # ------------------------------------------------------------------
+    # Session plumbing
+    # ------------------------------------------------------------------
+    def _detach(self) -> None:
+        """Buffer everything left so a new query can start.
+
+        Called by the owning session before it runs the next query:
+        the shared metrics counter must be settled for this execution
+        before another one starts adding to it.
+        """
+        self._drain(keep=True)
+
+    def _drain(self, keep: bool) -> None:
+        """Pull the pipeline dry, optionally keeping the records.
+
+        ``keep=False`` (the consume path) counts rows without
+        constructing Record objects that would be thrown away.
+        """
+        while not self._exhausted:
+            try:
+                values = next(self._rows)
+            except StopIteration:
+                self._settle()
+                break
+            self._yielded += 1
+            if keep:
+                self._buffer.append(Record(self._columns, values))
+
+    def _settle(self) -> None:
+        """The pipeline is exhausted: collect metrics into a summary."""
+        self._exhausted = True
+        graph_session = self._owner._graph_session
+        metrics = graph_session.reset_metrics()
+        metrics.rows = self._yielded
+        metrics.queries = 1
+        self._summary = ResultSummary(
+            query=self._query,
+            parameters=dict(self._parameters),
+            columns=list(self._columns),
+            rows=self._yielded,
+            metrics=metrics,
+            latency_ms=graph_session.profile.latency_ms(metrics),
+            plan=self._plan,
+            plan_actual=self._step_counts,
+        )
+        self._owner._result_settled(self)

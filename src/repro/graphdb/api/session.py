@@ -1,0 +1,157 @@
+"""The driver :class:`Session`: parameterized queries and transactions.
+
+A session owns one instrumented
+:class:`~repro.graphdb.session.GraphSession` (page cache, work
+counters) and one :class:`~repro.graphdb.query.executor.Executor`
+(plan cache via the graph's statistics), and exposes the surface real
+graph drivers do:
+
+* :meth:`Session.run` - execute a Cypher-subset query with ``$name``
+  parameters bound per call.  Plans are cached per query *shape*, so a
+  hot parameterized query parses and plans once and then only binds;
+* :meth:`Session.begin_tx` - open an explicit
+  :class:`~repro.graphdb.api.transaction.Transaction`;
+* a lazy :class:`~repro.graphdb.api.result.Result` cursor per query,
+  with ``consume()`` returning the run's metrics and executed plan.
+
+Sessions are cheap; create one per unit of work and close it (or use
+``with``).  A session keeps at most one result streaming at a time:
+starting a new query buffers the previous result's remaining records
+first, settling its metrics.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TransactionError
+from repro.graphdb.api.result import Result
+from repro.graphdb.api.transaction import Transaction
+from repro.graphdb.query.ast import Query, query_text
+from repro.graphdb.query.executor import Executor
+from repro.graphdb.session import GraphSession
+
+
+class Session:
+    """One unit-of-work handle on a :class:`~repro.graphdb.api.
+    database.Database`."""
+
+    def __init__(
+        self,
+        database,
+        profile=None,
+        cache=None,
+        cost_based: bool = True,
+    ):
+        self._database = database
+        self._graph_session = GraphSession(
+            database.graph, profile or database.profile, cache
+        )
+        self._executor = Executor(
+            self._graph_session, cost_based=cost_based
+        )
+        self._open_result: Result | None = None
+        self._transaction: Transaction | None = None
+        self._last_summary = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: str | Query,
+        parameters: dict[str, object] | None = None,
+        **params: object,
+    ) -> Result:
+        """Execute a query; parameters come from ``parameters`` and/or
+        keyword arguments (keywords win on collision)::
+
+            session.run("MATCH (d:Drug {id: $id}) RETURN d.name", id=7)
+        """
+        self._require_open()
+        bound = {**(parameters or {}), **params}
+        self._finish_open_result()
+        step_counts: list[int] = []
+        parsed, plan, columns, rows = self._executor.stream(
+            query, bound, step_counts=step_counts
+        )
+        text = query if isinstance(query, str) else query_text(parsed)
+        result = Result(
+            self, text, bound, columns, rows, plan, step_counts
+        )
+        self._open_result = result
+        return result
+
+    def explain(
+        self,
+        query: str | Query,
+        analyze: bool = False,
+        parameters: dict[str, object] | None = None,
+        **params: object,
+    ) -> str:
+        """The plan for ``query`` (``analyze=True`` also executes it)."""
+        self._require_open()
+        self._finish_open_result()
+        bound = {**(parameters or {}), **params}
+        return self._executor.explain(
+            query, analyze=analyze, parameters=bound or None
+        )
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin_tx(self) -> Transaction:
+        """Open an explicit transaction (one at a time per graph)."""
+        self._require_open()
+        if self._transaction is not None and not self._transaction.closed:
+            raise TransactionError(
+                "this session already has an open transaction"
+            )
+        # Settle any streaming result first: its remaining records
+        # must capture pre-transaction state, not rows the transaction
+        # later mutates (or rolls back).
+        self._finish_open_result()
+        self._transaction = Transaction(self)
+        return self._transaction
+
+    # ------------------------------------------------------------------
+    # Lifecycle / plumbing
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Settle the open result and roll back any open transaction."""
+        if self._closed:
+            return
+        self._finish_open_result()
+        if self._transaction is not None and not self._transaction.closed:
+            self._transaction.rollback()
+        self._transaction = None
+        self._closed = True
+
+    def last_summary(self):
+        """The most recently settled result's summary (or ``None``)."""
+        return self._last_summary
+
+    def _store(self):
+        return self._database.store
+
+    def _finish_open_result(self) -> None:
+        if self._open_result is not None:
+            self._open_result._detach()
+
+    def _result_settled(self, result: Result) -> None:
+        if self._open_result is result:
+            self._open_result = None
+        self._last_summary = result._summary
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise TransactionError("session is closed")
+
+    def __enter__(self) -> Session:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

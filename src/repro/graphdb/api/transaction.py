@@ -1,0 +1,142 @@
+"""Explicit transactions for the driver API.
+
+A :class:`Transaction` wraps the graph's in-memory undo log
+(:meth:`~repro.graphdb.graph.PropertyGraph.begin_transaction`) and the
+WAL's BEGIN/COMMIT framing: mutations made through the handle are
+revocable until :meth:`Transaction.commit`, and - on a durable
+database - only become recoverable once the COMMIT record is on disk
+(commit fsyncs).  A crash before the COMMIT recovers to the exact
+pre-transaction state; :meth:`Transaction.rollback` restores it in
+memory, statistics and indexes included.
+
+Queries run inside the transaction (``tx.run(...)``) see its
+uncommitted writes, like any same-connection read in a real driver.
+Leaving a ``with`` block without committing rolls back - commit is
+always explicit::
+
+    with session.begin_tx() as tx:
+        vid = tx.add_vertex("Drug", {"name": "aspirin"})
+        tx.run("MATCH (d:Drug) RETURN count(*)").single()
+        tx.commit()
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TransactionError
+from repro.graphdb.api.result import Result
+
+
+class Transaction:
+    """A revocable unit of work on one session's graph."""
+
+    def __init__(self, session):
+        self._session = session
+        self._graph = session._graph_session.graph
+        self._closed = False
+        self._graph.begin_transaction()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query,
+        parameters: dict[str, object] | None = None,
+        **params: object,
+    ) -> Result:
+        """Run a query inside the transaction (sees uncommitted writes)."""
+        self._require_open()
+        return self._session.run(query, parameters, **params)
+
+    # ------------------------------------------------------------------
+    # Mutations (delegate to the graph so indexes/statistics/WAL and
+    # the undo log all see them)
+    # ------------------------------------------------------------------
+    def add_vertex(self, labels, properties=None) -> int:
+        self._before_mutation()
+        return self._graph.add_vertex(labels, properties)
+
+    def add_edge(self, src: int, dst: int, label: str,
+                 properties=None) -> int:
+        self._before_mutation()
+        return self._graph.add_edge(src, dst, label, properties)
+
+    def set_property(self, vid: int, name: str, value) -> None:
+        self._before_mutation()
+        self._graph.set_property(vid, name, value)
+
+    def remove_property(self, vid: int, name: str) -> None:
+        self._before_mutation()
+        self._graph.remove_property(vid, name)
+
+    def remove_edge(self, eid: int) -> None:
+        self._before_mutation()
+        self._graph.remove_edge(eid)
+
+    def remove_vertex(self, vid: int) -> None:
+        self._before_mutation()
+        self._graph.remove_vertex(vid)
+
+    def create_property_index(self, label: str, prop: str) -> None:
+        self._before_mutation()
+        self._graph.create_property_index(label, prop)
+
+    def _before_mutation(self) -> None:
+        """Guard + cursor isolation for one mutation.
+
+        Any result still streaming (even one opened inside this
+        transaction) is settled first, so its remaining records
+        capture the pre-mutation state instead of rows this mutation
+        is about to change.
+        """
+        self._require_open()
+        self._session._finish_open_result()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def commit(self) -> None:
+        """Make the transaction permanent (and durable, when backed).
+
+        Writes the WAL COMMIT framing record and forces it to disk, so
+        a crash after ``commit()`` returns replays the transaction.
+        """
+        self._require_open()
+        store = self._session._store()
+        if store is not None and self._session._database.closed:
+            # Refuse *before* committing in memory: the WAL can no
+            # longer record the COMMIT, so the caller must get a
+            # catchable driver error while the transaction is still
+            # open (and retryable), not a raw file error afterwards.
+            # (In-memory databases have nothing durable at stake and
+            # commit fine.)
+            raise TransactionError(
+                "database is closed; cannot commit durably"
+            )
+        self._session._finish_open_result()
+        self._closed = True
+        self._graph.commit_transaction()
+        if store is not None:
+            store.sync()
+
+    def rollback(self) -> None:
+        """Revert every mutation made through this transaction."""
+        self._require_open()
+        self._session._finish_open_result()
+        self._closed = True
+        self._graph.rollback_transaction()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise TransactionError("transaction is closed")
+
+    def __enter__(self) -> Transaction:
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if not self._closed:
+            self.rollback()

@@ -43,7 +43,7 @@ from __future__ import annotations
 from collections.abc import MutableMapping
 from typing import Iterable, Iterator
 
-from repro.exceptions import GraphError
+from repro.exceptions import GraphError, TransactionError
 from repro.graphdb.columnar import (
     KIND_FLOAT,
     KIND_INT,
@@ -363,6 +363,15 @@ class PropertyGraph:
         #: been applied; ``op`` is the method name, ``args`` its
         #: essential arguments including assigned ids.
         self._listeners: list = []
+        #: In-memory undo log of the active transaction (``None`` when
+        #: no transaction is open).  Every mutation appends the inverse
+        #: operation; :meth:`rollback_transaction` replays it in
+        #: reverse.  See the Transactions section below.
+        self._undo: list[tuple] | None = None
+        #: While True, listener callbacks are suppressed (rollback
+        #: replays inverses that recovery must never see - the WAL
+        #: frame is discarded wholesale instead).
+        self._muted = False
         #: Planner statistics, materialized lazily by
         #: :meth:`statistics` (or attached by the snapshot loader) and
         #: kept current by per-mutation hooks in the methods below.
@@ -396,8 +405,144 @@ class PropertyGraph:
             self._listeners.remove(listener)
 
     def _emit(self, op: str, *args) -> None:
+        if self._muted:
+            return
         for listener in self._listeners:
             listener(op, args)
+
+    # ------------------------------------------------------------------
+    # Transactions (in-memory undo log + WAL framing events)
+    # ------------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self._undo is not None
+
+    def begin_transaction(self) -> None:
+        """Open a transaction: mutations become revocable until commit.
+
+        Emits a ``tx_begin`` listener event, which the durable store
+        writes as a WAL BEGIN framing record - recovery discards any
+        frame that never reached its COMMIT, so a crash mid-transaction
+        recovers to the pre-transaction state.  Transactions do not
+        nest.
+        """
+        if self._undo is not None:
+            raise TransactionError("a transaction is already active")
+        # First entry (applied last on rollback): restore the id
+        # counters, so ids allocated by rolled-back mutations are
+        # reused - keeping the live graph identical to what replaying
+        # the WAL (which drops the frame wholesale) reconstructs.
+        self._undo = [("counters", self._next_vid, self._next_eid)]
+        self._emit("tx_begin")
+
+    def commit_transaction(self) -> None:
+        """Make the open transaction's mutations permanent."""
+        if self._undo is None:
+            raise TransactionError("no active transaction")
+        self._undo = None
+        self._emit("tx_commit")
+
+    def rollback_transaction(self) -> None:
+        """Revert every mutation of the open transaction.
+
+        The undo log replays in reverse through the ordinary mutation
+        machinery (indexes and statistics stay consistent) with
+        listeners muted - the WAL instead gets one ``tx_rollback``
+        framing record closing the frame, so recovery skips the
+        rolled-back mutations wholesale.
+        """
+        if self._undo is None:
+            raise TransactionError("no active transaction")
+        undo = self._undo
+        self._undo = None
+        self._muted = True
+        try:
+            for entry in reversed(undo):
+                self._apply_undo(entry)
+        finally:
+            self._muted = False
+        self._emit("tx_rollback")
+
+    def _record_undo(self, entry: tuple) -> None:
+        if self._undo is not None:
+            self._undo.append(entry)
+
+    def _apply_undo(self, entry: tuple) -> None:
+        op = entry[0]
+        if op == "unadd_vertex":
+            self.remove_vertex(entry[1])
+        elif op == "unadd_edge":
+            self.remove_edge(entry[1])
+        elif op == "unset_property":
+            _op, vid, name, old = entry
+            if old is None:
+                self.remove_property(vid, name)
+            else:
+                self.set_property(vid, name, old)
+        elif op == "reset_property":
+            _op, vid, name, old = entry
+            self.set_property(vid, name, old)
+        elif op == "restore_edge":
+            _op, eid, src, dst, label, props = entry
+            self._restore_edge(eid, src, dst, label, props)
+        elif op == "restore_vertex":
+            _op, vid, labels, props = entry
+            self._restore_vertex(vid, labels, props)
+        elif op == "counters":
+            # Applied last (it is the frame's first entry): every id
+            # at or past the saved counters belonged to a rolled-back
+            # add and is tombstoned by now - drop the tombstone tails
+            # so the ids are reallocated, exactly as a WAL recovery
+            # (which never sees the frame) would allocate them.
+            _op, next_vid, next_eid = entry
+            del self._v_tid[next_vid:]
+            del self._v_row[next_vid:]
+            del self._e_src[next_eid:]
+            del self._e_dst[next_eid:]
+            del self._e_label[next_eid:]
+            self._next_vid = next_vid
+            self._next_eid = next_eid
+        else:  # drop_index
+            _op, label, prop = entry
+            self._drop_property_index(label, prop)
+
+    def _restore_vertex(
+        self, vid: int, labels: frozenset[str], props: dict
+    ) -> None:
+        """Re-materialize a removed vertex under its original vid.
+
+        Mirrors :meth:`add_vertex` (indexes, statistics, epoch) but
+        reuses ``vid`` instead of allocating: the id maps still have
+        the slot (tombstoned), and ``vid < _next_vid`` always holds.
+        """
+        intern = self._symbols.intern
+        table = self._table_for(frozenset(intern(l) for l in labels))
+        row = table.new_row(vid)
+        self._v_tid[vid] = table.labelset_id
+        self._v_row[vid] = row
+        for name, value in props.items():
+            table.set_prop(row, intern(name), value)
+        self._attach_vertex(table, vid, props)
+
+    def _restore_edge(
+        self, eid: int, src: int, dst: int, label: str, props: dict
+    ) -> None:
+        """Re-materialize a removed edge under its original eid."""
+        self._e_src[eid] = src
+        self._e_dst[eid] = dst
+        self._e_label[eid] = self._symbols.intern(label)
+        if props:
+            self._e_props[eid] = dict(props)
+        self._attach_edge(eid, src, dst, label)
+
+    def _drop_property_index(self, label: str, prop: str) -> None:
+        """Undo of :meth:`create_property_index` (rollback only)."""
+        self._property_indexes.pop((label, prop), None)
+        if self._stats is not None:
+            # Cached plans may embed the dropped index as their access
+            # path: force an epoch bump so they age out.
+            self._stats.on_create_index()
+        self._touch()
 
     # ------------------------------------------------------------------
     # Epoch / frozen view
@@ -498,6 +643,23 @@ class PropertyGraph:
             intern = self._symbols.intern
             for name, value in props.items():
                 table.set_prop(row, intern(name), value)
+        self._attach_vertex(table, vid, props)
+        if self._undo is not None:
+            self._undo.append(("unadd_vertex", vid))
+        if self._listeners:
+            self._emit("add_vertex", vid, table.labels, props)
+        return vid
+
+    def _attach_vertex(
+        self, table: VertexTable, vid: int, props: dict
+    ) -> None:
+        """Secondary-structure bookkeeping for a materialized vertex.
+
+        Shared by :meth:`add_vertex` and the rollback path's
+        :meth:`_restore_vertex`, so the label index, property indexes,
+        statistics hooks, and epoch bump can never diverge between the
+        two.
+        """
         label_index = self._label_index
         for sid in table.label_sids:
             label_index.setdefault(sid, {})[vid] = None
@@ -514,9 +676,6 @@ class PropertyGraph:
             self._stats.on_add_vertex(label_set, props)
         self._epoch += 1
         self._view = None
-        if self._listeners:
-            self._emit("add_vertex", vid, label_set, props)
-        return vid
 
     def add_edge(
         self,
@@ -535,9 +694,25 @@ class PropertyGraph:
         self._e_src.append(src)
         self._e_dst.append(dst)
         self._e_label.append(self._symbols.intern(label))
-        self._num_edges += 1
         if props:
             self._e_props[eid] = props
+        self._attach_edge(eid, src, dst, label)
+        if self._undo is not None:
+            self._undo.append(("unadd_edge", eid))
+        if self._listeners:
+            self._emit("add_edge", eid, src, dst, label, props)
+        return eid
+
+    def _attach_edge(
+        self, eid: int, src: int, dst: int, label: str
+    ) -> None:
+        """Secondary-structure bookkeeping for a materialized edge.
+
+        Shared by :meth:`add_edge` and the rollback path's
+        :meth:`_restore_edge` - adjacency, the endpoint-pair index,
+        statistics, and the epoch bump stay in one place.
+        """
+        self._num_edges += 1
         self._out[src].setdefault(label, {})[eid] = dst
         self._in[dst].setdefault(label, {})[eid] = src
         if self._pairs is not None:
@@ -545,6 +720,7 @@ class PropertyGraph:
                 eid
             ] = None
         if self._stats is not None:
+            tids = self._v_tid
             self._stats.on_add_edge(
                 label,
                 self._labelset_strs[tids[src]],
@@ -552,9 +728,6 @@ class PropertyGraph:
             )
         self._epoch += 1
         self._view = None
-        if self._listeners:
-            self._emit("add_edge", eid, src, dst, label, props)
-        return eid
 
     def set_property(self, vid: int, name: str, value: object) -> None:
         table, row = self._locate(vid)
@@ -573,6 +746,8 @@ class PropertyGraph:
         if self._stats is not None:
             self._stats.on_set_property(labels, name, old, value)
         self._touch()
+        if self._undo is not None:
+            self._undo.append(("unset_property", vid, name, old))
         if self._listeners:
             self._emit("set_property", vid, name, value)
 
@@ -592,6 +767,8 @@ class PropertyGraph:
         if self._stats is not None:
             self._stats.on_remove_property(labels, name, old)
         self._touch()
+        if self._undo is not None:
+            self._undo.append(("reset_property", vid, name, old))
         if self._listeners:
             self._emit("remove_property", vid, name)
 
@@ -622,7 +799,7 @@ class PropertyGraph:
             )
         labels[eid] = -1
         self._num_edges -= 1
-        self._e_props.pop(eid, None)
+        props = self._e_props.pop(eid, None)
         self._adjacency_discard(self._out[src], label, eid)
         self._adjacency_discard(self._in[dst], label, eid)
         if self._pairs is not None:
@@ -631,6 +808,10 @@ class PropertyGraph:
             if not pair:
                 del self._pairs[(src, dst)]
         self._touch()
+        if self._undo is not None:
+            self._undo.append(
+                ("restore_edge", eid, src, dst, label, props or {})
+            )
         if self._listeners:
             self._emit("remove_edge", eid)
 
@@ -674,6 +855,11 @@ class PropertyGraph:
         if self._stats is not None:
             self._stats.on_remove_vertex(labels, props)
         self._touch()
+        if self._undo is not None:
+            # Cascaded remove_edge calls above recorded their own
+            # entries; reverse replay restores the vertex first, then
+            # its edges.
+            self._undo.append(("restore_vertex", vid, labels, props))
         if self._listeners:
             self._emit("remove_vertex", vid)
 
@@ -872,6 +1058,8 @@ class PropertyGraph:
         if self._stats is not None:
             self._stats.on_create_index()
         self._touch()
+        if self._undo is not None:
+            self._undo.append(("drop_index", label, prop))
         if self._listeners:
             self._emit("create_property_index", label, prop)
 

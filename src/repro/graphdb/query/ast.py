@@ -33,6 +33,19 @@ class Variable:
 
 
 @dataclass(frozen=True)
+class Parameter:
+    """A ``$name`` placeholder, bound to a value at execution time.
+
+    Parameters keep the query *shape* constant across executions, so
+    plans built for ``MATCH (d:Drug {id: $id}) ...`` are cached once
+    and re-bound per run instead of re-parsed and re-planned for every
+    literal value.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
 class PropertyRef:
     var: str
     prop: str
@@ -79,8 +92,8 @@ class NotOp:
 
 
 Expr = Union[
-    Literal, Variable, PropertyRef, Star, FuncCall, Comparison,
-    NullCheck, BoolOp, NotOp,
+    Literal, Variable, Parameter, PropertyRef, Star, FuncCall,
+    Comparison, NullCheck, BoolOp, NotOp,
 ]
 
 
@@ -91,7 +104,8 @@ Expr = Union[
 class NodePattern:
     var: str | None
     labels: tuple[str, ...] = ()
-    props: tuple[tuple[str, Literal], ...] = ()
+    #: Property-map entries; values are literals or ``$parameters``.
+    props: tuple[tuple[str, Literal | Parameter], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -158,7 +172,12 @@ class Query:
 # Tree utilities
 # ----------------------------------------------------------------------
 def walk(expr: Expr):
-    """Yield every node of an expression tree (pre-order)."""
+    """Yield every node of an expression tree (pre-order).
+
+    Leaf nodes (:class:`Literal`, :class:`Variable`,
+    :class:`Parameter`, :class:`PropertyRef`, :class:`Star`) yield
+    themselves; composite nodes recurse into their operands.
+    """
     yield expr
     if isinstance(expr, FuncCall):
         for arg in expr.args:
@@ -190,6 +209,29 @@ def variables_used(expr: Expr) -> set[str]:
         elif isinstance(node, PropertyRef):
             used.add(node.var)
     return used
+
+
+def parameters_used(query: "Query") -> set[str]:
+    """Every ``$name`` the query references, in patterns and clauses."""
+    names: set[str] = set()
+
+    def scan(expr: Expr) -> None:
+        for node in walk(expr):
+            if isinstance(node, Parameter):
+                names.add(node.name)
+
+    for pattern in query.patterns:
+        for node in pattern.nodes:
+            for _name, value in node.props:
+                if isinstance(value, Parameter):
+                    names.add(value.name)
+    if query.where is not None:
+        scan(query.where)
+    for item in query.return_items:
+        scan(item.expr)
+    for order in query.order_by:
+        scan(order.expr)
+    return names
 
 
 def substitute_variable(expr: Expr, old: str, new: str) -> Expr:
@@ -231,6 +273,8 @@ def expr_text(expr: Expr) -> str:
         return repr(expr.value)
     if isinstance(expr, Variable):
         return expr.name
+    if isinstance(expr, Parameter):
+        return f"${expr.name}"
     if isinstance(expr, PropertyRef):
         prop = f"`{expr.prop}`" if "." in expr.prop else expr.prop
         return f"{expr.var}.{prop}"
@@ -295,7 +339,12 @@ def _node_text(node: NodePattern) -> str:
         inner += f":{label}"
     if node.props:
         pairs = ", ".join(
-            f"{name}: {repr(lit.value)}" for name, lit in node.props
+            f"{name}: "
+            + (
+                f"${value.name}" if isinstance(value, Parameter)
+                else repr(value.value)
+            )
+            for name, value in node.props
         )
         inner += f" {{{pairs}}}"
     return f"({inner})"

@@ -38,9 +38,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Iterable, Iterator
 
-from repro.exceptions import QueryError
+from repro.exceptions import ParameterError, QueryError
 from repro.graphdb.metrics import ExecutionMetrics
 from repro.graphdb.query.ast import (
     AGGREGATE_FUNCTIONS,
@@ -51,12 +52,14 @@ from repro.graphdb.query.ast import (
     Literal,
     NotOp,
     NullCheck,
+    Parameter,
     PropertyRef,
     Query,
     ReturnItem,
     Star,
     Variable,
     contains_aggregate,
+    parameters_used,
 )
 from repro.graphdb.query.functions import (
     apply_aggregate,
@@ -123,14 +126,25 @@ class _Evaluator:
     values without any per-row type dispatch.
     """
 
-    def __init__(self, session: GraphSession, plan: Plan):
+    def __init__(
+        self,
+        session: GraphSession,
+        plan: Plan,
+        params: dict[str, object] | None = None,
+    ):
         self.session = session
         self.slots = plan.slots
         self.kinds = plan.slot_kinds
+        self.params = params or {}
 
     def compile(self, expr: Expr) -> RowFn:
         if isinstance(expr, Literal):
             value = expr.value
+            return lambda b: value
+        if isinstance(expr, Parameter):
+            # Parameters are fixed for one execution: capture the
+            # bound value, not a per-row dict probe.
+            value = _resolve_value(expr, self.params)
             return lambda b: value
         if isinstance(expr, Star):
             return lambda b: 1
@@ -218,6 +232,65 @@ def _unbound(name: str) -> RowFn:
     return fn
 
 
+def _resolve_value(value: object, params: dict[str, object]) -> object:
+    """A plan-time value with any ``$parameter`` bound for this run."""
+    if isinstance(value, Parameter):
+        try:
+            return params[value.name]
+        except KeyError:
+            raise ParameterError(
+                f"missing query parameter ${value.name}"
+            ) from None
+    return value
+
+
+def _resolve_props(
+    props: tuple[tuple[str, object], ...], params: dict[str, object]
+) -> tuple[tuple[str, object], ...] | None:
+    """Bind folded property constraints; ``None`` = unsatisfiable.
+
+    A ``$parameter`` bound to ``None`` makes the equality behave like
+    ``= null`` - which matches nothing - so the whole constraint set
+    becomes unsatisfiable rather than "property is absent".  A
+    *literal* ``null`` in a node property map keeps its historical
+    matches-absent semantics and passes through untouched.
+    """
+    if not props:
+        return props
+    resolved = []
+    for name, value in props:
+        if isinstance(value, Parameter):
+            value = _resolve_value(value, params)
+            if value is None:
+                return None
+        resolved.append((name, value))
+    return tuple(resolved)
+
+
+@lru_cache(maxsize=256)
+def _parameters_of(query: Query) -> frozenset[str]:
+    return frozenset(parameters_used(query))
+
+
+def _validate_params(
+    query: Query, parameters: dict[str, object] | None
+) -> dict[str, object]:
+    """The bound-parameter dict; every ``$name`` used must be present."""
+    params = dict(parameters) if parameters else {}
+    try:
+        # Memoized per AST: the hot parameterized path re-executes the
+        # same (cached) query thousands of times and must not re-walk
+        # its tree per run.
+        required = _parameters_of(query)
+    except TypeError:  # AST embeds an unhashable (list) literal
+        required = parameters_used(query)
+    missing = required - params.keys()
+    if missing:
+        names = ", ".join(f"${name}" for name in sorted(missing))
+        raise ParameterError(f"missing query parameter(s): {names}")
+    return params
+
+
 def _passes(filters: list[RowFn], binding: Binding) -> bool:
     for fn in filters:
         if not fn(binding):
@@ -246,9 +319,37 @@ class Executor:
         self.session = session
         self.cost_based = cost_based
 
-    def run(self, query: Query | str) -> QueryResult:
+    def run(
+        self,
+        query: Query | str,
+        parameters: dict[str, object] | None = None,
+    ) -> QueryResult:
         query, plan = self._prepare(query)
-        return self._execute(query, plan)
+        return self._execute(query, plan, parameters)
+
+    def stream(
+        self,
+        query: Query | str,
+        parameters: dict[str, object] | None = None,
+        step_counts: list[int] | None = None,
+    ) -> tuple[Query, "Plan", list[str], Iterator[tuple]]:
+        """Lazily execute; returns ``(query, plan, columns, rows)``.
+
+        The row iterator pulls the match pipeline on demand, so a
+        consumer that stops early (``LIMIT``-free point lookups, a
+        driver cursor's ``single()``) never materializes the full
+        result.  Session metrics accumulate until the caller collects
+        them (see :meth:`~repro.graphdb.session.GraphSession.
+        reset_metrics`); the driver's ``Result.consume()`` does this.
+        ``step_counts`` (a zeroed list, one slot per plan step) makes
+        the pipeline count each step's produced bindings, which
+        ``EXPLAIN ANALYZE``-style summaries render as actual rows.
+        """
+        query, plan = self._prepare(query)
+        if step_counts is not None and not step_counts:
+            step_counts.extend([0] * len(plan.steps))
+        columns, rows = self._start(query, plan, parameters, step_counts)
+        return query, plan, columns, rows
 
     def _prepare(self, query: Query | str) -> tuple[Query, Plan]:
         """Parse and plan, consulting the per-graph plan cache.
@@ -283,13 +384,16 @@ class Executor:
             stats.plan_cache.put(key, stats.epoch, (parsed, plan))
         return parsed, plan
 
-    def _execute(
+    def _start(
         self,
         query: Query,
         plan: Plan,
+        parameters: dict[str, object] | None,
         step_counts: list[int] | None = None,
-    ) -> QueryResult:
-        evaluator = _Evaluator(self.session, plan)
+    ) -> tuple[list[str], Iterator[tuple]]:
+        """Compile one execution: ``(columns, lazy row iterator)``."""
+        params = _validate_params(query, parameters)
+        evaluator = _Evaluator(self.session, plan, params)
         stream = self._match_stream(plan, evaluator, step_counts)
         columns, rows = self._project(query, stream, evaluator)
         if query.distinct:
@@ -298,27 +402,46 @@ class Executor:
             rows = self._order(query, columns, rows)
         elif query.limit is not None:
             rows = itertools.islice(rows, query.limit)
-        rows = rows if isinstance(rows, list) else list(rows)
+        return columns, iter(rows)
+
+    def _execute(
+        self,
+        query: Query,
+        plan: Plan,
+        parameters: dict[str, object] | None = None,
+        step_counts: list[int] | None = None,
+    ) -> QueryResult:
+        columns, row_iter = self._start(
+            query, plan, parameters, step_counts
+        )
+        rows = list(row_iter)
         metrics = self.session.reset_metrics()
         metrics.rows = len(rows)
         metrics.queries = 1
         latency = self.session.profile.latency_ms(metrics)
         return QueryResult(columns, rows, metrics, latency)
 
-    def explain(self, query: Query | str, analyze: bool = False) -> str:
+    def explain(
+        self,
+        query: Query | str,
+        analyze: bool = False,
+        parameters: dict[str, object] | None = None,
+    ) -> str:
         """Render the plan (steps, access paths, pushed predicates).
 
         ``analyze=True`` additionally *executes* the query, counting
         the bindings each step produced, and renders estimated vs
         actual rows per step (``EXPLAIN ANALYZE``).  Short-circuiting
         still applies: under ``LIMIT``, actual counts reflect the rows
-        the pipeline really pulled, not the full match.
+        the pipeline really pulled, not the full match.  Parameterized
+        queries EXPLAIN without bindings; ANALYZE needs ``parameters``
+        because it runs the query.
         """
         query, plan = self._prepare(query)
         if not analyze:
             return plan.describe()
         counts = [0] * len(plan.steps)
-        self._execute(query, plan, step_counts=counts)
+        self._execute(query, plan, parameters, step_counts=counts)
         return plan.describe(actual=counts)
 
     # ------------------------------------------------------------------
@@ -330,26 +453,31 @@ class Executor:
         evaluator: _Evaluator,
         step_counts: list[int] | None = None,
     ) -> Iterator[Binding]:
+        params = evaluator.params
         stream: Iterable[Binding] = ((),)
         for i, step in enumerate(plan.steps):
             filters = [evaluator.compile(f) for f in step.filters]
             if isinstance(step, ScanStep):
-                stream = self._scan_stream(step, filters, stream)
+                stream = self._scan_stream(step, filters, stream, params)
             elif isinstance(step, ExpandStep):
                 spec = plan.node_specs[step.to_var]
-                stream = self._expand_stream(step, spec, filters, stream)
+                stream = self._expand_stream(
+                    step, spec, filters, stream, params
+                )
             else:
                 stream = self._join_stream(step, filters, stream)
             if step_counts is not None:
                 stream = _counted(stream, step_counts, i)
         return iter(stream)
 
-    def _candidates(self, step: ScanStep) -> list[int]:
-        if step.access == "index":
+    def _candidates(
+        self, step: ScanStep, access: str, access_value: object
+    ) -> list[int]:
+        if access == "index":
             return self.session.index_lookup(
-                step.access_label, step.access_prop, step.access_value
+                step.access_label, step.access_prop, access_value
             )
-        if step.access == "label":
+        if access == "label":
             return self.session.label_scan(step.access_label)
         return self.session.graph.vertex_ids()
 
@@ -358,16 +486,35 @@ class Executor:
         step: ScanStep,
         filters: list[RowFn],
         source: Iterable[Binding],
+        params: dict[str, object],
     ) -> Iterator[Binding]:
         labels = frozenset(step.check_labels) if step.check_labels else None
-        props = step.check_props
+        props = _resolve_props(step.check_props, params)
+        if props is None:
+            return  # a $param bound to null: nothing can match
+        access = step.access
+        access_value = step.access_value
+        if access == "index":
+            access_value = _resolve_value(access_value, params)
+            if access_value is None:
+                return  # `= null` matches nothing
+            try:
+                hash(access_value)
+            except TypeError:
+                # An unhashable binding (a list) cannot key the index
+                # buckets, but equality against stored values is still
+                # well-defined: degrade to the label scan with the
+                # lookup as a residual check - plan choice must never
+                # change query semantics.
+                access = "label"
+                props = props + ((step.access_prop, access_value),)
         needs_check = labels is not None or bool(props)
         # Label/all scans with residual checks stream through the
         # session's columnar fast path: per-table label subsetting and
         # a zip over the checked property's column, instead of a
         # per-vertex accept probe.  Index scans keep the classic path
         # (their candidate set is already tiny).
-        columnar = needs_check and step.access in ("label", "all")
+        columnar = needs_check and access in ("label", "all")
         accept = self.session.accept_vertex
         matched: list[int] | None = None
         for binding in source:
@@ -385,7 +532,7 @@ class Executor:
                         if not filters or _passes(filters, extended):
                             yield extended
                     continue
-                for vid in self._candidates(step):
+                for vid in self._candidates(step, access, access_value):
                     if needs_check and not accept(vid, labels, props):
                         continue
                     matched.append(vid)
@@ -404,9 +551,12 @@ class Executor:
         spec: NodeSpec,
         filters: list[RowFn],
         source: Iterable[Binding],
+        params: dict[str, object],
     ) -> Iterator[Binding]:
         labels = frozenset(spec.labels) if spec.labels else None
-        props = tuple(spec.props.items())
+        props = _resolve_props(tuple(spec.props.items()), params)
+        if props is None:
+            return  # a $param bound to null: nothing can match
         needs_check = labels is not None or bool(props)
         from_slot = step.from_slot
         bind_rel = step.rel_slot is not None

@@ -14,7 +14,7 @@ KEYWORDS = frozenset(
     }
 )
 
-#: token kinds: KEYWORD IDENT STRING NUMBER OP EOF
+#: token kinds: KEYWORD IDENT STRING NUMBER PARAM OP EOF
 TWO_CHAR_OPS = ("<>", "<=", ">=", "->", "<-")
 SINGLE_CHAR_OPS = "()[]{}:,.=<>-+|*/"
 
@@ -72,6 +72,19 @@ def tokenize(text: str) -> list[Token]:
             value = "".join(chunks)
             tokens.append(Token("STRING", value, value, i))
             i = end + 1
+            continue
+        if ch == "$":
+            # ``$name`` parameter placeholder (value bound at run time).
+            start = i
+            i += 1
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            name = text[start + 1:i]
+            if not name or name[0].isdigit():
+                raise QuerySyntaxError(
+                    "expected parameter name after '$'", start
+                )
+            tokens.append(Token("PARAM", name, name, start))
             continue
         if ch.isdigit():
             start = i

@@ -6,11 +6,14 @@ Supported grammar (case-insensitive keywords)::
                   RETURN [DISTINCT] items [ORDER BY orders] [LIMIT n]
     patterns   := pattern (',' pattern)*
     pattern    := [ident '='] node (rel node)*
-    node       := '(' [ident] (':' ident)* ['{' ident ':' literal ... '}'] ')'
+    node       := '(' [ident] (':' ident)*
+                  ['{' ident ':' (literal | '$' ident) ... '}'] ')'
     rel        := '-' '[' body ']' ('->' | '-')  |  '<-' '[' body ']' '-'
     body       := [ident] [':' ident ('|' ident)*]
     expr       := or-expression over comparisons, IS [NOT] NULL,
-                  CONTAINS, IN, NOT, parentheses
+                  CONTAINS, IN, NOT, parentheses; operands are
+                  literals, '$' parameters, variables, property refs
+                  and function calls
     items      := item (',' item)*;  item := expr [AS ident]
 
 Functions are identifiers followed by '(' and may take DISTINCT:
@@ -30,6 +33,7 @@ from repro.graphdb.query.ast import (
     NotOp,
     NullCheck,
     OrderItem,
+    Parameter,
     PathPattern,
     PropertyRef,
     Query,
@@ -203,12 +207,15 @@ class _Parser:
         labels: list[str] = []
         while self._accept_op(":"):
             labels.append(self._expect_name())
-        props: list[tuple[str, Literal]] = []
+        props: list[tuple[str, Literal | Parameter]] = []
         if self._accept_op("{"):
             while not self._current.is_op("}"):
                 name = self._expect_name()
                 self._expect_op(":")
-                props.append((name, self._literal()))
+                if self._current.kind == "PARAM":
+                    props.append((name, Parameter(self._advance().text)))
+                else:
+                    props.append((name, self._literal()))
                 if not self._accept_op(","):
                     break
             self._expect_op("}")
@@ -361,6 +368,9 @@ class _Parser:
         if token.kind == "NUMBER" or token.kind == "STRING":
             self._advance()
             return Literal(token.value)
+        if token.kind == "PARAM":
+            self._advance()
+            return Parameter(token.text)
         if token.is_keyword("true"):
             self._advance()
             return Literal(True)

@@ -74,6 +74,7 @@ from repro.graphdb.query.ast import (
     Expr,
     Literal,
     NodePattern,
+    Parameter,
     PropertyRef,
     Query,
     contains_aggregate,
@@ -91,10 +92,20 @@ _MIN_ROWS = 0.01
 #: Cap for variable-length fan-out estimates.
 _MAX_ROWS = 1e15
 
+#: Missing-key sentinel distinct from a stored ``None`` constraint
+#: (a ``{p: null}`` node-map entry means "property absent").
+_ABSENT = object()
+
 
 @dataclass
 class NodeSpec:
-    """Merged constraints for one pattern variable."""
+    """Merged constraints for one pattern variable.
+
+    ``props`` values may be plain literals or
+    :class:`~repro.graphdb.query.ast.Parameter` placeholders; the
+    latter keep the plan value-agnostic (cacheable per query *shape*)
+    and are resolved against the bound parameters at execution time.
+    """
 
     var: str
     labels: set[str] = field(default_factory=set)
@@ -188,7 +199,8 @@ class Plan:
                 if step.access == "index":
                     how = (
                         f"index lookup ({step.access_label}."
-                        f"{step.access_prop} = {step.access_value!r})"
+                        f"{step.access_prop} = "
+                        f"{_value_text(step.access_value)})"
                     )
                 elif step.access == "label":
                     how = f"label scan (:{step.access_label})"
@@ -197,7 +209,8 @@ class Plan:
                 text = f"Scan {step.var} via {how}"
                 residual = [f":{label}" for label in step.check_labels]
                 residual += [
-                    f"{name}={value!r}" for name, value in step.check_props
+                    f"{name}={_value_text(value)}"
+                    for name, value in step.check_props
                 ]
                 if residual:
                     text += f" check[{', '.join(residual)}]"
@@ -225,6 +238,13 @@ class Plan:
             )
             lines.append(f"{i + 1}. {text}")
         return "\n".join(lines)
+
+
+def _value_text(value: object) -> str:
+    """Render a plan-time value: ``$name`` for parameters, repr else."""
+    if isinstance(value, Parameter):
+        return f"${value.name}"
+    return repr(value)
 
 
 def _rows_text(est: float | None, actual: int | None) -> str:
@@ -293,12 +313,14 @@ def build_plan(
     on first use).  ``cost_based=False`` reproduces the legacy
     syntactic ordering and leaves estimates unset.
     """
-    specs, edges = _collect(query)
+    specs, edges, deferred = _collect(query)
     if not specs:
         raise QueryError("query has no node patterns")
 
     conjuncts = _decompose_where(query)
-    residual = [c for c in conjuncts if not _try_fold(c, specs)]
+    residual = deferred + [
+        c for c in conjuncts if not _try_fold(c, specs)
+    ]
 
     if cost_based:
         if statistics is None:
@@ -637,7 +659,7 @@ def _scan_estimate(
             if name == skip_prop:
                 continue
             if anchor_label is not None:
-                sel *= stats.eq_selectivity(anchor_label, name, value)
+                sel *= _eq_selectivity(stats, anchor_label, name, value)
             else:
                 sel *= _DEFAULT_EQ_SELECTIVITY
         for label in spec.labels:
@@ -655,7 +677,7 @@ def _scan_estimate(
             continue  # index buckets are keyed by value
         for label in spec.labels:
             if graph.has_property_index(label, prop):
-                bucket = stats.eq_estimate(label, prop, value)
+                bucket = _eq_estimate(stats, label, prop, value)
                 out = bucket * residual_selectivity(label, prop)
                 # rank 0: with equal cost an index lookup still wins
                 # (it reads only matches; a scan touches everything).
@@ -737,11 +759,28 @@ def _expand_estimate(
         selectivity *= min(fractions)
         anchor = min(to_spec.labels, key=stats.label_count)
         for name, value in to_spec.props.items():
-            selectivity *= stats.eq_selectivity(anchor, name, value)
+            selectivity *= _eq_selectivity(stats, anchor, name, value)
     else:
         for _ in to_spec.props:
             selectivity *= _DEFAULT_EQ_SELECTIVITY
     return examined, max(examined * selectivity, _MIN_ROWS)
+
+
+def _eq_estimate(
+    stats: GraphStatistics, label: str, prop: str, value: object
+) -> float:
+    """Histogram estimate, value-agnostic for ``$parameter`` values."""
+    if isinstance(value, Parameter):
+        return stats.avg_eq_estimate(label, prop)
+    return stats.eq_estimate(label, prop, value)
+
+
+def _eq_selectivity(
+    stats: GraphStatistics, label: str, prop: str, value: object
+) -> float:
+    if isinstance(value, Parameter):
+        return stats.avg_eq_selectivity(label, prop)
+    return stats.eq_selectivity(label, prop, value)
 
 
 def _join_selectivity(
@@ -794,13 +833,16 @@ def _conjuncts(expr: Expr) -> list[Expr]:
 
 
 def _try_fold(conjunct: Expr, specs: dict[str, NodeSpec]) -> bool:
-    """Fold ``x.p = literal`` into x's NodeSpec props when equivalent.
+    """Fold ``x.p = literal`` / ``x.p = $param`` into x's NodeSpec.
 
     Folding is skipped (conjunct stays a runtime filter) when the
     literal is null (``= null`` is always false in our semantics, while
     a prop constraint would invert that) or when it conflicts with an
     existing constraint (the query then just matches nothing, which the
-    residual filter preserves without raising).
+    residual filter preserves without raising).  A folded
+    :class:`Parameter` keeps the plan value-agnostic: the executor
+    resolves it per run, treating a ``None`` binding as unsatisfiable
+    so the ``= null`` semantics above still hold.
     """
     if not isinstance(conjunct, Comparison) or conjunct.op != "=":
         return False
@@ -810,17 +852,25 @@ def _try_fold(conjunct: Expr, specs: dict[str, NodeSpec]) -> bool:
     ):
         if not isinstance(prop_ref, PropertyRef):
             continue
-        if not isinstance(literal, Literal) or literal.value is None:
+        if isinstance(literal, Parameter):
+            folded: object = literal
+        elif isinstance(literal, Literal) and literal.value is not None:
+            if not is_hashable(literal.value):
+                continue  # property indexes can't look this up
+            folded = literal.value
+        else:
             continue
-        if not is_hashable(literal.value):
-            continue  # property indexes can't look this up
         spec = specs.get(prop_ref.var)
         if spec is None:
             continue
-        existing = spec.props.get(prop_ref.prop)
-        if existing is not None:
-            return existing == literal.value  # conflicting: keep residual
-        spec.props[prop_ref.prop] = literal.value
+        existing = spec.props.get(prop_ref.prop, _ABSENT)
+        if existing is not _ABSENT:
+            # An existing constraint - including a stored ``None``
+            # from a ``{p: null}`` node map (matches-absent), which
+            # must not be silently overwritten by an equality that
+            # requires the property present.
+            return existing == folded  # conflicting: keep residual
+        spec.props[prop_ref.prop] = folded
         return True
     return False
 
@@ -849,10 +899,17 @@ def _attach_filters(
 
 def _collect(
     query: Query,
-) -> tuple[dict[str, NodeSpec], list[EdgeSpec]]:
-    """Merge node patterns by variable and list relationship patterns."""
+) -> tuple[dict[str, NodeSpec], list[EdgeSpec], list[Expr]]:
+    """Merge node patterns by variable and list relationship patterns.
+
+    The third return value holds property constraints that could not
+    be merged into a spec because they conflict with an existing one
+    *undecidably* (a ``$parameter`` is involved, so equality is only
+    known at bind time); they become runtime filters.
+    """
     specs: dict[str, NodeSpec] = {}
     edges: list[EdgeSpec] = []
+    deferred: list[Expr] = []
     fresh = (f"_anon{i}" for i in itertools.count())
 
     def intern(node: NodePattern) -> str:
@@ -860,7 +917,9 @@ def _collect(
         spec = specs.setdefault(var, NodeSpec(var))
         spec.labels.update(node.labels)
         for name, literal in node.props:
-            _merge_prop(spec, name, literal)
+            residual = _merge_prop(spec, name, literal)
+            if residual is not None:
+                deferred.append(residual)
         return var
 
     for pattern in query.patterns:
@@ -877,12 +936,28 @@ def _collect(
                     max_hops=rel.max_hops,
                 )
             )
-    return specs, edges
+    return specs, edges, deferred
 
 
-def _merge_prop(spec: NodeSpec, name: str, literal: Literal) -> None:
-    if name in spec.props and spec.props[name] != literal.value:
+def _merge_prop(
+    spec: NodeSpec, name: str, literal: Literal | Parameter
+) -> Expr | None:
+    """Merge one node-map property constraint into ``spec``.
+
+    Returns a residual equality expression instead of merging when the
+    constraint conflicts with an existing one but a ``$parameter`` is
+    involved - whether the two agree is only known at bind time, so
+    the existing constraint stays in the spec and this one is checked
+    per binding.  A literal-vs-literal conflict is still rejected at
+    plan time (the query can never match).
+    """
+    value = literal if isinstance(literal, Parameter) else literal.value
+    existing = spec.props.get(name)
+    if name in spec.props and existing != value:
+        if isinstance(value, Parameter) or isinstance(existing, Parameter):
+            return Comparison(PropertyRef(spec.var, name), "=", literal)
         raise QueryError(
             f"conflicting property filters on {spec.var}.{name}"
         )
-    spec.props[name] = literal.value
+    spec.props[name] = value
+    return None

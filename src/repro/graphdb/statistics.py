@@ -552,6 +552,28 @@ class GraphStatistics:
             return 1.0
         return min(1.0, self.eq_estimate(label, prop, value) / base)
 
+    def avg_eq_estimate(self, label: str, prop: str) -> float:
+        """Estimated rows matching ``prop = ?`` for an unknown value.
+
+        Prices ``$parameter`` equality predicates, whose value is only
+        bound at execution time: the average histogram bucket
+        (count / NDV), i.e. the uniform-spread assumption.
+        """
+        stat = self.props.get((label, prop))
+        if stat is None:
+            return 0.0
+        distinct = stat.ndv
+        if distinct <= 0:
+            return float(stat.unhashable)
+        return (stat.count - stat.unhashable) / distinct
+
+    def avg_eq_selectivity(self, label: str, prop: str) -> float:
+        """``avg_eq_estimate`` as a fraction of the label cardinality."""
+        base = self.label_counts.get(label, 0)
+        if base <= 0:
+            return 1.0
+        return min(1.0, self.avg_eq_estimate(label, prop) / base)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

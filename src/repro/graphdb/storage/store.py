@@ -165,6 +165,12 @@ class GraphStore:
         complete.
         """
         self._require_open()
+        if getattr(self.graph, "in_transaction", False):
+            # A snapshot taken mid-transaction would make uncommitted
+            # state durable with no frame to discard it.
+            raise StorageError(
+                "cannot checkpoint while a transaction is open"
+            )
         self._wal.flush(fsync=True)
         new_generation = self.generation + 1
         snapshot_path = self.data_dir / snapshot_name(new_generation)

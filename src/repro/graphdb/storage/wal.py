@@ -17,6 +17,14 @@ record whose header is short, whose payload is short, or whose CRC
 fails, and reports the byte offset of the last good record so the
 caller can truncate the file there.
 
+Transactions add BEGIN / COMMIT / ROLLBACK *framing records* (emitted
+by :meth:`PropertyGraph.begin_transaction` and friends through the
+same listener hook).  :func:`read_wal` resolves frames during the
+scan: a frame's mutations only count once its COMMIT is on disk, a
+ROLLBACK drops them, and a frame still open at end-of-log is an
+uncommitted tail - reported (and truncated) exactly like a torn
+record, so crash recovery lands on the pre-transaction state.
+
 Appends are buffered and flushed in batches (``sync="batch"``, the
 default: every ``batch_ops`` records or ``batch_bytes`` bytes, and on
 :meth:`WriteAheadLog.flush` / :meth:`WriteAheadLog.close`).  ``"always"``
@@ -63,6 +71,15 @@ OP_REMOVE_PROPERTY = 4
 OP_REMOVE_EDGE = 5
 OP_REMOVE_VERTEX = 6
 OP_CREATE_INDEX = 7
+#: Transaction framing records (payload is the bare opcode).  The
+#: mutations between a BEGIN and its COMMIT form one atomic frame:
+#: :func:`read_wal` only surfaces a frame's mutations once the COMMIT
+#: record is seen, drops frames closed by a ROLLBACK, and treats a
+#: frame still open at end-of-log as crash debris (truncated like a
+#: torn record, so recovery lands on the pre-transaction state).
+OP_TX_BEGIN = 8
+OP_TX_COMMIT = 9
+OP_TX_ROLLBACK = 10
 
 #: Mutation name (the :class:`PropertyGraph` listener vocabulary)
 #: to opcode and back.
@@ -74,8 +91,14 @@ OPCODE_OF = {
     "remove_edge": OP_REMOVE_EDGE,
     "remove_vertex": OP_REMOVE_VERTEX,
     "create_property_index": OP_CREATE_INDEX,
+    "tx_begin": OP_TX_BEGIN,
+    "tx_commit": OP_TX_COMMIT,
+    "tx_rollback": OP_TX_ROLLBACK,
 }
 OP_NAME = {code: name for name, code in OPCODE_OF.items()}
+
+#: Framing records: no payload beyond the opcode, never replayed.
+TX_OPS = frozenset({"tx_begin", "tx_commit", "tx_rollback"})
 
 
 class WalError(StorageError):
@@ -138,10 +161,11 @@ def encode_mutation(op: str, args: tuple) -> bytes:
         write_str(buf, name)
     elif opcode in (OP_REMOVE_EDGE, OP_REMOVE_VERTEX):
         write_uvarint(buf, args[0])
-    else:  # OP_CREATE_INDEX
+    elif opcode == OP_CREATE_INDEX:
         label, prop = args
         write_str(buf, label)
         write_str(buf, prop)
+    # else: transaction framing - the opcode byte is the whole payload
     return bytes(buf)
 
 
@@ -186,6 +210,8 @@ def decode_mutation(payload: bytes) -> tuple[str, tuple]:
         label, pos = read_str(payload, pos)
         prop, pos = read_str(payload, pos)
         return "create_property_index", (label, prop)
+    if opcode in (OP_TX_BEGIN, OP_TX_COMMIT, OP_TX_ROLLBACK):
+        return OP_NAME[opcode], ()
     raise CodecError(f"unknown WAL opcode {opcode}")
 
 
@@ -224,6 +250,10 @@ def apply_mutation(graph: PropertyGraph, op: str, args: tuple) -> None:
         graph.remove_vertex(args[0])
     elif op == "create_property_index":
         graph.create_property_index(*args)
+    elif op in TX_OPS:
+        # Framing records are resolved by read_wal (frames are applied
+        # or dropped wholesale); one reaching replay is a logic error.
+        raise WalError(f"framing record {op!r} cannot be replayed")
     else:
         raise WalError(f"unsupported mutation {op!r}")
 
@@ -316,12 +346,20 @@ class WriteAheadLog:
 # ----------------------------------------------------------------------
 @dataclass
 class WalScan:
-    """Result of scanning a log file up to its last valid record."""
+    """Result of scanning a log file up to its last durable record.
+
+    ``records`` holds only *applicable* mutations: transaction frames
+    are resolved during the scan - a committed frame's mutations
+    appear inline (framing records themselves never do), a rolled-back
+    frame's are dropped, and a frame left open at end-of-log is
+    treated as an uncommitted tail that never became durable.
+    """
 
     generation: int
     records: list[tuple[str, tuple]]
-    #: Byte offset just past the last valid record; anything beyond it
-    #: is a torn tail that recovery truncates.
+    #: Byte offset just past the last durable record; anything beyond
+    #: it (torn records, an uncommitted transaction frame) is a tail
+    #: that recovery truncates.
     valid_end: int
     file_size: int
 
@@ -357,6 +395,11 @@ def read_wal(path: str | Path) -> WalScan:
     pos = _HEADER.size
     valid_end = pos
     size = len(data)
+    #: Mutations of the currently-open transaction frame (None when
+    #: outside a frame).  valid_end deliberately stays put while a
+    #: frame is open: only its COMMIT/ROLLBACK record makes the frame
+    #: durable, so a crash inside the frame truncates it wholesale.
+    frame: list[tuple[str, tuple]] | None = None
     while pos + _RECORD.size <= size:
         length, crc = _RECORD.unpack_from(data, pos)
         body_start = pos + _RECORD.size
@@ -367,10 +410,30 @@ def read_wal(path: str | Path) -> WalScan:
         if zlib.crc32(payload) != crc:
             break
         try:
-            records.append(decode_mutation(payload))
+            op, args = decode_mutation(payload)
         except CodecError:
             break
-        pos = valid_end = body_end
+        pos = body_end
+        if op == "tx_begin":
+            if frame is not None:
+                break  # nested BEGIN: corrupt framing
+            frame = []
+        elif op == "tx_commit":
+            if frame is None:
+                break  # COMMIT without BEGIN: corrupt framing
+            records.extend(frame)
+            frame = None
+            valid_end = pos
+        elif op == "tx_rollback":
+            if frame is None:
+                break
+            frame = None
+            valid_end = pos
+        elif frame is not None:
+            frame.append((op, args))
+        else:
+            records.append((op, args))
+            valid_end = pos
     return WalScan(
         generation=generation,
         records=records,

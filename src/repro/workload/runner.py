@@ -2,11 +2,13 @@
 
 Latency here is the *simulated* backend latency (deterministic, see
 :mod:`repro.graphdb.backends`); wall-clock execution time is also
-recorded for completeness.  One :class:`GraphSession` (and hence one
-page cache) and one :class:`Executor` are shared across a workload run,
-as a real backend would.  Pass ``collect_rows=True`` to keep each
-query's result rows on its :class:`QueryRun` - the equivalence checks
-use this to compare result multisets without re-running the workload.
+recorded for completeness.  Execution goes through the driver API
+(:mod:`repro.graphdb.api`): one :class:`~repro.graphdb.api.Session` -
+and hence one page cache and one plan cache - is shared across a
+workload run, as a real backend connection would be.  Pass
+``collect_rows=True`` to keep each query's result rows on its
+:class:`QueryRun` - the equivalence checks use this to compare result
+multisets without re-running the workload.
 """
 
 from __future__ import annotations
@@ -15,12 +17,11 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.graphdb.api import Database
 from repro.graphdb.backends import BackendProfile
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.metrics import ExecutionMetrics
 from repro.graphdb.query.ast import Query
-from repro.graphdb.query.executor import Executor
-from repro.graphdb.session import GraphSession
 
 
 @dataclass
@@ -108,23 +109,28 @@ def run_queries(
         # O(V+E) batch build must not inflate the first query's
         # wall_ms.
         graph.statistics()
-    session = GraphSession(graph, profile)
-    executor = Executor(session, cost_based=cost_based)
+    database = Database(graph, profile=profile)
     report = WorkloadReport(backend=profile.name, graph_name=graph.name)
-    for qid, query in queries:
-        started = time.perf_counter()
-        result = executor.run(query)
-        wall_ms = (time.perf_counter() - started) * 1000.0
-        report.runs.append(
-            QueryRun(
-                qid=qid,
-                rows=len(result.rows),
-                latency_ms=result.latency_ms,
-                wall_ms=wall_ms,
-                metrics=result.metrics,
-                result_rows=result.rows if collect_rows else None,
+    with database.session(cost_based=cost_based) as session:
+        for qid, query in queries:
+            started = time.perf_counter()
+            result = session.run(query)
+            rows = (
+                [tuple(record) for record in result]
+                if collect_rows else None
             )
-        )
+            summary = result.consume()
+            wall_ms = (time.perf_counter() - started) * 1000.0
+            report.runs.append(
+                QueryRun(
+                    qid=qid,
+                    rows=summary.rows,
+                    latency_ms=summary.latency_ms,
+                    wall_ms=wall_ms,
+                    metrics=summary.metrics,
+                    result_rows=rows,
+                )
+            )
     return report
 
 

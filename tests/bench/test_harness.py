@@ -105,3 +105,16 @@ class TestKnapsackAblation:
             table.column("FPTAS BR"), table.column("greedy BR")
         ):
             assert fptas >= greedy - 0.1
+
+
+class TestPipelineDatabase:
+    def test_unknown_graph_name_rejected(self):
+        from repro.bench.harness import Pipeline
+
+        pipeline = Pipeline.__new__(Pipeline)
+        try:
+            pipeline.database("dri")
+        except ValueError as exc:
+            assert "dri" in str(exc)
+        else:  # pragma: no cover - guard must fire
+            raise AssertionError("typo'd graph name was accepted")

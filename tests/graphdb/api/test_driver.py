@@ -1,0 +1,341 @@
+"""Driver API: connect / Database / Session / Result / Transaction."""
+
+import pytest
+
+from repro.exceptions import (
+    GraphError,
+    ParameterError,
+    QueryError,
+    QuerySyntaxError,
+    TransactionError,
+)
+from repro.graphdb import (
+    Database,
+    PropertyGraph,
+    Record,
+    connect,
+)
+from repro.graphdb.storage import GraphStore
+
+
+def small_graph() -> PropertyGraph:
+    g = PropertyGraph("drv")
+    for i in range(20):
+        g.add_vertex("Drug", {"id": i, "name": f"d{i}"})
+    g.create_property_index("Drug", "id")
+    return g
+
+
+@pytest.fixture
+def db():
+    return connect(small_graph())
+
+
+class TestConnect:
+    def test_graph_connect_is_in_memory(self, db):
+        assert isinstance(db, Database)
+        assert db.store is None and not db.durable
+
+    def test_directory_connect_is_durable(self, tmp_path):
+        with connect(tmp_path / "d") as db:
+            assert db.durable
+            with db.session() as s, s.begin_tx() as tx:
+                tx.add_vertex("A", {"x": 1})
+                tx.commit()
+        with connect(tmp_path / "d", create=False) as db:
+            with db.session() as s:
+                n = s.run("MATCH (a:A) RETURN count(*)").single()[0]
+                assert n == 1
+
+    def test_readonly_connect(self, tmp_path):
+        store = GraphStore.create(tmp_path / "d", small_graph())
+        store.close()
+        with connect(tmp_path / "d", readonly=True) as db:
+            assert db.store is None
+            with db.session() as s:
+                assert (
+                    s.run("MATCH (d:Drug) RETURN count(*)").single()[0]
+                    == 20
+                )
+
+    def test_readonly_missing_dir_raises(self, tmp_path):
+        with pytest.raises(GraphError):
+            connect(tmp_path / "nope", readonly=True)
+
+    def test_snapshot_file_connect(self, tmp_path):
+        from repro.graphdb.storage import write_snapshot
+
+        path = tmp_path / "g.rpgs"
+        write_snapshot(small_graph(), path)
+        with connect(path) as db:
+            assert db.store is None
+            with db.session() as s:
+                assert (
+                    s.run("MATCH (d:Drug) RETURN count(*)").single()[0]
+                    == 20
+                )
+
+    def test_closed_database_rejects_sessions(self, db):
+        db.close()
+        with pytest.raises(GraphError):
+            db.session()
+
+
+class TestResultCursor:
+    def test_keys_and_records(self, db):
+        with db.session() as s:
+            result = s.run(
+                "MATCH (d:Drug {id: $id}) RETURN d.id AS id, "
+                "d.name AS name",
+                id=4,
+            )
+            assert result.keys() == ["id", "name"]
+            records = result.records()
+            assert records == [Record(["id", "name"], (4, "d4"))]
+
+    def test_record_accessors(self, db):
+        with db.session() as s:
+            record = s.run(
+                "MATCH (d:Drug {id: $id}) RETURN d.id AS id", id=1
+            ).single()
+            assert record["id"] == 1
+            assert record[0] == 1
+            assert record.get("id") == 1
+            assert record.get("missing", "x") == "x"
+            assert record.data() == {"id": 1}
+            assert list(record) == [1]
+            assert "id" in record
+            with pytest.raises(KeyError):
+                record["nope"]
+
+    def test_single_zero_rows(self, db):
+        with db.session() as s:
+            with pytest.raises(QueryError, match="none"):
+                s.run(
+                    "MATCH (d:Drug {id: $id}) RETURN d", id=999
+                ).single()
+
+    def test_single_many_rows(self, db):
+        with db.session() as s:
+            with pytest.raises(QueryError, match="more than one"):
+                s.run("MATCH (d:Drug) RETURN d").single()
+
+    def test_values_drains(self, db):
+        with db.session() as s:
+            values = s.run(
+                "MATCH (d:Drug) RETURN d.id ORDER BY d.id LIMIT 3"
+            ).values()
+            assert values == [[0], [1], [2]]
+
+    def test_lazy_streaming(self, db):
+        """Pulling one record must not execute the full match."""
+        with db.session() as s:
+            result = s.run("MATCH (d:Drug) RETURN d.id")
+            iterator = iter(result)
+            next(iterator)
+            # Work done so far is bounded: well below a full scan.
+            assert s._graph_session.metrics.vertex_reads < 20
+
+    def test_detach_on_next_query(self, db):
+        with db.session() as s:
+            first = s.run("MATCH (d:Drug) RETURN d.id")
+            second = s.run("MATCH (d:Drug) RETURN count(*)")
+            assert second.single()[0] == 20
+            # The first result was buffered, not lost.
+            assert len(first.records()) == 20
+
+    def test_consume_summary(self, db):
+        with db.session() as s:
+            result = s.run(
+                "MATCH (d:Drug {id: $id}) RETURN d.name", id=2
+            )
+            summary = result.consume()
+            assert summary.rows == 1
+            assert summary.metrics.queries == 1
+            assert summary.latency_ms > 0
+            assert "index lookup (Drug.id = $id)" in summary.plan
+            assert "actual=1" in summary.plan
+            assert summary.parameters == {"id": 2}
+
+    def test_summary_after_iteration_costs_nothing(self, db):
+        with db.session() as s:
+            result = s.run("MATCH (d:Drug) RETURN d.id")
+            rows = result.values()
+            summary = result.consume()
+            assert summary.rows == len(rows) == 20
+
+    def test_parameters_dict_and_kwargs_merge(self, db):
+        with db.session() as s:
+            record = s.run(
+                "MATCH (d:Drug {id: $id}) RETURN d.name, $tag",
+                {"id": 9, "tag": "a"},
+                tag="b",  # kwargs win
+            ).single()
+            assert record.values() == ["d9", "b"]
+
+    def test_missing_parameter_is_parameter_error(self, db):
+        with db.session() as s:
+            with pytest.raises(ParameterError):
+                s.run("MATCH (d:Drug {id: $id}) RETURN d")
+
+    def test_syntax_error_hierarchy(self, db):
+        with db.session() as s:
+            with pytest.raises(QuerySyntaxError) as exc_info:
+                s.run("MATCH (d:Drug RETURN d")
+            # The documented catch-all for driver users.
+            assert isinstance(exc_info.value, GraphError)
+
+
+class TestSessionLifecycle:
+    def test_closed_session_rejects_run(self, db):
+        s = db.session()
+        s.close()
+        with pytest.raises(TransactionError):
+            s.run("MATCH (d:Drug) RETURN d")
+
+    def test_explain(self, db):
+        with db.session() as s:
+            plan = s.explain("MATCH (d:Drug {id: $id}) RETURN d")
+            assert "$id" in plan
+
+    def test_last_summary(self, db):
+        with db.session() as s:
+            s.run("MATCH (d:Drug) RETURN count(*)").consume()
+            assert s.last_summary().rows == 1
+
+
+class TestTransactions:
+    def test_commit_visible_and_durable(self, tmp_path):
+        with connect(tmp_path / "d", sync="always") as db:
+            with db.session() as s:
+                with s.begin_tx() as tx:
+                    vid = tx.add_vertex("Drug", {"id": 1})
+                    tx.set_property(vid, "name", "aspirin")
+                    tx.commit()
+        with connect(tmp_path / "d", readonly=True) as db:
+            with db.session() as s:
+                record = s.run(
+                    "MATCH (d:Drug) RETURN d.name"
+                ).single()
+                assert record[0] == "aspirin"
+
+    def test_rollback_in_context_manager(self, db):
+        with db.session() as s:
+            with s.begin_tx() as tx:
+                tx.add_vertex("Drug", {"id": 999})
+                # no commit: __exit__ rolls back
+            n = s.run("MATCH (d:Drug) RETURN count(*)").single()[0]
+            assert n == 20
+
+    def test_tx_reads_see_uncommitted_writes(self, db):
+        with db.session() as s:
+            with s.begin_tx() as tx:
+                tx.add_vertex("Drug", {"id": 777})
+                n = tx.run(
+                    "MATCH (d:Drug) RETURN count(*)"
+                ).single()[0]
+                assert n == 21
+                tx.rollback()
+            assert (
+                s.run("MATCH (d:Drug) RETURN count(*)").single()[0]
+                == 20
+            )
+
+    def test_closed_tx_rejects_use(self, db):
+        with db.session() as s:
+            tx = s.begin_tx()
+            tx.commit()
+            with pytest.raises(TransactionError):
+                tx.add_vertex("Drug", {})
+            with pytest.raises(TransactionError):
+                tx.commit()
+
+    def test_one_tx_per_session(self, db):
+        with db.session() as s:
+            s.begin_tx()
+            with pytest.raises(TransactionError):
+                s.begin_tx()
+
+    def test_session_close_rolls_back_open_tx(self, db):
+        s = db.session()
+        tx = s.begin_tx()
+        tx.add_vertex("Drug", {"id": 555})
+        s.close()
+        with db.session() as s2:
+            assert (
+                s2.run("MATCH (d:Drug) RETURN count(*)").single()[0]
+                == 20
+            )
+
+    def test_open_result_isolated_from_rollback(self, db):
+        """A cursor opened before a transaction must never surface
+        rows the transaction later rolled back."""
+        with db.session() as s:
+            result = s.run("MATCH (d:Drug) RETURN d.id")
+            with s.begin_tx() as tx:
+                tx.add_vertex("Drug", {"id": 777})
+                tx.rollback()
+            ids = [record[0] for record in result]
+            assert 777 not in ids and len(ids) == 20
+
+    def test_open_result_isolated_from_tx_mutation(self, db):
+        """A cursor streaming inside a transaction settles before
+        each mutation, so it reflects pre-mutation state."""
+        with db.session() as s:
+            with s.begin_tx() as tx:
+                result = tx.run("MATCH (d:Drug) RETURN d.id")
+                next(iter(result))
+                tx.add_vertex("Drug", {"id": 888})
+                ids = [record[0] for record in result]
+                assert 888 not in ids
+                tx.rollback()
+
+    def test_commit_after_database_close_is_driver_error(self, tmp_path):
+        """A closed store must surface as TransactionError *before*
+        the in-memory commit, leaving the transaction open and
+        retryable - not as a raw file error afterwards."""
+        db = connect(tmp_path / "d")
+        s = db.session()
+        tx = s.begin_tx()
+        tx.add_vertex("Drug", {"id": 1})
+        db.close()
+        with pytest.raises(TransactionError, match="closed"):
+            tx.commit()
+        assert not tx.closed  # still open: nothing half-committed
+        assert db.graph.in_transaction
+
+    def test_commit_after_close_in_memory_still_commits(self, db):
+        """An in-memory database has nothing durable at stake:
+        closing it must not turn explicit commits into rollbacks."""
+        s = db.session()
+        tx = s.begin_tx()
+        tx.add_vertex("Drug", {"id": 999})
+        db.close()
+        tx.commit()
+        assert db.graph.get_property(20, "id") == 999
+
+    def test_sync_on_closed_database_is_driver_error(self, tmp_path):
+        db = connect(tmp_path / "d")
+        db.close()
+        with pytest.raises(GraphError):
+            db.sync()
+
+    def test_tx_rollback_keeps_plan_cache_usable(self, db):
+        """Rollback leaves statistics/plan-cache epochs consistent:
+        the same parameterized query stays cached across a tx."""
+        stats = db.graph.statistics()
+        with db.session() as s:
+            q = "MATCH (d:Drug {id: $id}) RETURN d.name"
+            s.run(q, id=1).consume()
+            with s.begin_tx() as tx:
+                tx.add_vertex("Drug", {"id": 888})
+                tx.rollback()
+            misses = stats.plan_cache.misses
+            s.run(q, id=2).consume()
+            s.run(q, id=3).consume()
+            # At most one replan (epoch may have advanced); never one
+            # per execution.
+            assert stats.plan_cache.misses <= misses + 1
+            before = stats.plan_cache.misses
+            s.run(q, id=4).consume()
+            assert stats.plan_cache.misses == before

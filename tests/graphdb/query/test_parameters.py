@@ -1,0 +1,262 @@
+"""$name query parameters: lexing, parsing, planning, execution.
+
+The central property: a parameterized query has one *shape* - it
+parses and plans once, and repeated executions with different bindings
+hit the plan cache (verified with the cache's own hit/miss counters)
+while producing exactly the rows the literal-interpolated equivalents
+produce.
+"""
+
+import pytest
+
+from repro.exceptions import ParameterError, QuerySyntaxError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.query.ast import (
+    Comparison,
+    Parameter,
+    PropertyRef,
+    expr_text,
+    parameters_used,
+    walk,
+)
+from repro.graphdb.query.executor import Executor
+from repro.graphdb.query.lexer import tokenize
+from repro.graphdb.query.parser import parse_expression, parse_query
+from repro.graphdb.session import GraphSession
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph("params")
+    for i in range(40):
+        g.add_vertex(
+            "Drug", {"id": i, "name": f"drug{i}", "tier": i % 4}
+        )
+    conds = [
+        g.add_vertex("Condition", {"cid": i}) for i in range(10)
+    ]
+    for i in range(40):
+        g.add_edge(i, conds[i % 10], "treats")
+    g.create_property_index("Drug", "id")
+    return g
+
+
+@pytest.fixture
+def executor(graph):
+    return Executor(GraphSession(graph))
+
+
+class TestLexerParser:
+    def test_param_token(self):
+        tokens = tokenize("$id")
+        assert tokens[0].kind == "PARAM"
+        assert tokens[0].value == "id"
+
+    def test_bare_dollar_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("$ x")
+
+    def test_numeric_param_name_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("$1abc")
+
+    def test_param_in_expression(self):
+        expr = parse_expression("d.id = $id")
+        assert expr == Comparison(
+            PropertyRef("d", "id"), "=", Parameter("id")
+        )
+
+    def test_param_in_node_map(self):
+        query = parse_query("MATCH (d:Drug {id: $id}) RETURN d")
+        assert query.patterns[0].nodes[0].props == (
+            ("id", Parameter("id")),
+        )
+
+    def test_parameters_used(self):
+        query = parse_query(
+            "MATCH (d:Drug {id: $a}) WHERE d.tier = $b "
+            "RETURN d.name, $c ORDER BY d.id"
+        )
+        assert parameters_used(query) == {"a", "b", "c"}
+
+    def test_expr_text_and_walk(self):
+        expr = parse_expression("d.id = $id")
+        assert expr_text(expr) == "d.id = $id"
+        assert Parameter("id") in list(walk(expr))
+
+
+class TestExecution:
+    def test_node_map_param(self, executor):
+        q = "MATCH (d:Drug {id: $id}) RETURN d.name"
+        assert executor.run(q, {"id": 3}).rows == [("drug3",)]
+        assert executor.run(q, {"id": 11}).rows == [("drug11",)]
+
+    def test_where_param(self, executor):
+        q = "MATCH (d:Drug) WHERE d.tier = $t RETURN count(*)"
+        assert executor.run(q, {"t": 1}).single_value() == 10
+
+    def test_param_in_return(self, executor):
+        q = "MATCH (d:Drug {id: $id}) RETURN $label, d.id"
+        assert executor.run(
+            q, {"id": 2, "label": "x"}
+        ).rows == [("x", 2)]
+
+    def test_param_in_comparison_list(self, executor):
+        q = "MATCH (d:Drug) WHERE d.id IN $ids RETURN count(*)"
+        assert executor.run(q, {"ids": [1, 2, 3]}).single_value() == 3
+
+    def test_matches_literal_equivalent(self, executor):
+        for tier in range(4):
+            literal = executor.run(
+                f"MATCH (d:Drug) WHERE d.tier = {tier} "
+                "RETURN d.id ORDER BY d.id"
+            )
+            bound = executor.run(
+                "MATCH (d:Drug) WHERE d.tier = $t "
+                "RETURN d.id ORDER BY d.id",
+                {"t": tier},
+            )
+            assert bound.rows == literal.rows
+
+    def test_missing_parameter(self, executor):
+        with pytest.raises(ParameterError, match=r"\$id"):
+            executor.run("MATCH (d:Drug {id: $id}) RETURN d")
+
+    def test_missing_parameter_names_all(self, executor):
+        with pytest.raises(ParameterError, match=r"\$a.*\$b"):
+            executor.run(
+                "MATCH (d:Drug {id: $a}) WHERE d.tier = $b RETURN d"
+            )
+
+    def test_null_parameter_matches_nothing(self, executor):
+        # `x.p = null` is always false; a $param bound to None must
+        # behave the same, not "property is absent".
+        q = "MATCH (d:Drug {id: $id}) RETURN count(*)"
+        assert executor.run(q, {"id": None}).single_value() == 0
+
+    def test_null_parameter_in_where(self, executor):
+        q = "MATCH (d:Drug) WHERE d.tier = $t RETURN count(*)"
+        assert executor.run(q, {"t": None}).single_value() == 0
+
+    def test_unhashable_param_on_index_degrades_to_scan(self, executor):
+        """An unhashable binding cannot key the index buckets; the
+        scan degrades to label + residual equality instead of raising
+        - plan choice must never change query semantics."""
+        result = executor.run(
+            "MATCH (d:Drug {id: $id}) RETURN count(*)", {"id": [1, 2]}
+        )
+        assert result.single_value() == 0
+
+    def test_param_vs_literal_conflict_defers_to_runtime(
+        self, executor
+    ):
+        """Repeating a variable with a $param and a literal constraint
+        on the same property is satisfiable - decided per binding, not
+        rejected at plan time."""
+        q = (
+            "MATCH (d:Drug {id: $a}), (d:Drug {id: 3}) "
+            "RETURN d.name"
+        )
+        assert executor.run(q, {"a": 3}).rows == [("drug3",)]
+        assert executor.run(q, {"a": 4}).rows == []
+
+    def test_param_vs_param_conflict_defers_to_runtime(self, executor):
+        q = (
+            "MATCH (d:Drug {id: $a}) WHERE d.id = $b "
+            "RETURN count(*)"
+        )
+        assert executor.run(q, {"a": 2, "b": 2}).single_value() == 1
+        assert executor.run(q, {"a": 2, "b": 5}).single_value() == 0
+
+    def test_null_map_constraint_not_overwritten_by_fold(self, graph):
+        """`{p: null}` (matches-absent) plus `WHERE x.p = ...` is
+        unsatisfiable - the fold must not replace the null
+        constraint."""
+        graph.add_vertex("Doc", {"tier": 1})
+        graph.add_vertex("Doc", {})
+        executor = Executor(GraphSession(graph))
+        literal = executor.run(
+            "MATCH (d:Doc {tier: null}) WHERE d.tier = 1 "
+            "RETURN count(*)"
+        )
+        assert literal.single_value() == 0
+        bound = executor.run(
+            "MATCH (d:Doc {tier: null}) WHERE d.tier = $t "
+            "RETURN count(*)",
+            {"t": 1},
+        )
+        assert bound.single_value() == 0
+
+    def test_literal_conflict_still_rejected(self, executor):
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError, match="conflicting"):
+            executor.run(
+                "MATCH (d:Drug {id: 1}), (d:Drug {id: 2}) RETURN d"
+            )
+
+    def test_unhashable_param_without_index_compares(self, graph):
+        vid = graph.add_vertex("Doc", {"tags": ["a", "b"]})
+        graph.add_vertex("Doc", {"tags": ["c"]})
+        executor = Executor(GraphSession(graph))
+        result = executor.run(
+            "MATCH (d:Doc) WHERE d.tags = $tags RETURN count(*)",
+            {"tags": ["a", "b"]},
+        )
+        assert result.single_value() == 1
+        del vid
+
+
+class TestPlanCacheReuse:
+    def test_zero_replans_after_warmup(self, graph, executor):
+        """The acceptance criterion: parameterized re-execution replans
+        zero times after the first (warmup) run."""
+        stats = graph.statistics()
+        q = "MATCH (d:Drug {id: $id}) RETURN d.name"
+        executor.run(q, {"id": 0})  # warmup: parse + plan + cache
+        misses_before = stats.plan_cache.misses
+        hits_before = stats.plan_cache.hits
+        for i in range(50):
+            executor.run(q, {"id": i % 40})
+        assert stats.plan_cache.misses == misses_before
+        assert stats.plan_cache.hits == hits_before + 50
+
+    def test_literal_interpolation_replans_every_time(
+        self, graph, executor
+    ):
+        stats = graph.statistics()
+        misses_before = stats.plan_cache.misses
+        for i in range(10):
+            executor.run(f"MATCH (d:Drug {{id: {i}}}) RETURN d.name")
+        assert stats.plan_cache.misses == misses_before + 10
+
+
+class TestExplain:
+    def test_describe_renders_placeholder(self, executor):
+        plan = executor.explain("MATCH (d:Drug {id: $id}) RETURN d")
+        assert "index lookup (Drug.id = $id)" in plan
+        assert "None" not in plan
+
+    def test_check_props_render_placeholder(self, executor):
+        plan = executor.explain(
+            "MATCH (d:Drug {name: $n}) RETURN d"
+        )
+        assert "name=$n" in plan
+
+    def test_analyze_with_parameters(self, executor):
+        plan = executor.explain(
+            "MATCH (d:Drug {id: $id}) RETURN d",
+            analyze=True,
+            parameters={"id": 5},
+        )
+        assert "actual=1" in plan
+
+
+class TestPlannerPricing:
+    def test_param_index_priced_by_average_bucket(self, graph):
+        """A parameterized unique-key lookup still picks the index."""
+        stats = graph.statistics()
+        assert stats.avg_eq_estimate("Drug", "id") == pytest.approx(1.0)
+        executor = Executor(GraphSession(graph))
+        plan = executor.explain("MATCH (d:Drug {id: $id}) RETURN d")
+        assert "index lookup" in plan

@@ -1,0 +1,229 @@
+"""WAL transaction framing: BEGIN/COMMIT frames and crash recovery.
+
+Extends the per-byte truncation property to transactions: a WAL
+containing committed frames, a rolled-back frame, and a frame cut off
+by a crash is sliced at *every* byte offset, and recovery must land on
+exactly the durable prefix - plain records plus fully-committed
+frames.  In particular, any cut between a BEGIN and its COMMIT
+recovers the pre-transaction state.
+
+The expected state for each cut is computed by an independent
+simulation of the framing rules (raw record walk + frame buffer), not
+by the code under test.
+"""
+
+import shutil
+import struct
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.storage import (
+    GraphStore,
+    graph_state,
+    read_snapshot,
+    read_wal,
+    recover_graph,
+)
+from repro.graphdb.storage.recovery import snapshot_name, wal_name
+from repro.graphdb.storage.wal import (
+    _HEADER,
+    _RECORD,
+    WriteAheadLog,
+    apply_mutation,
+    decode_mutation,
+)
+
+
+def seed_tx_store(data_dir):
+    """A store whose WAL mixes plain records and transaction frames.
+
+    Layout (after the snapshot): plain add, committed frame (2 ops),
+    plain add, rolled-back frame (1 op), then a frame left open by a
+    simulated crash.
+    """
+    base = PropertyGraph("txwal")
+    a = base.add_vertex("A", {"x": 0})
+    store = GraphStore.create(data_dir, base, sync="always")
+    g = store.graph
+    g.add_vertex("A", {"x": 1})                   # plain
+    g.begin_transaction()                          # committed frame
+    v = g.add_vertex("B", {"y": 2})
+    g.add_edge(a, v, "link")
+    g.commit_transaction()
+    g.add_vertex("A", {"x": 3})                   # plain
+    g.begin_transaction()                          # rolled-back frame
+    g.add_vertex("B", {"y": 4})
+    g.rollback_transaction()
+    durable = graph_state(g)                       # what recovery owes
+    g.begin_transaction()                          # crashed frame
+    g.add_vertex("B", {"y": 5})
+    g.set_property(a, "x", 99)
+    store._wal.flush(fsync=True)
+    # Simulated crash: no rollback, no close - the frame never ends.
+    return store, durable
+
+
+def raw_records(wal_path):
+    """[(offset_end, (op, args))] for every complete record."""
+    data = wal_path.read_bytes()
+    out = []
+    pos = _HEADER.size
+    while pos + _RECORD.size <= len(data):
+        length, _crc = _RECORD.unpack_from(data, pos)
+        start = pos + _RECORD.size
+        end = start + length
+        if end > len(data):
+            break
+        out.append((end, decode_mutation(data[start:end])))
+        pos = end
+    return out
+
+
+def durable_prefixes(ops):
+    """Durable mutation list after each record count (the oracle).
+
+    Independent re-statement of the framing rules: a frame's ops only
+    become durable at its COMMIT; ROLLBACK and end-of-log discard.
+    """
+    states = [[]]
+    applied = []
+    frame = None
+    for op, args in ops:
+        if op == "tx_begin":
+            frame = []
+        elif op == "tx_commit":
+            applied.extend(frame)
+            frame = None
+        elif op == "tx_rollback":
+            frame = None
+        elif frame is not None:
+            frame.append((op, args))
+        else:
+            applied.append((op, args))
+        states.append(list(applied))
+    return states
+
+
+class TestCrashRecoveryProperty:
+    def test_every_byte_cut_recovers_durable_prefix(self, tmp_path):
+        origin = tmp_path / "origin"
+        store, expected_final = seed_tx_store(origin)
+        wal_path = origin / wal_name(1)
+        records = raw_records(wal_path)
+        boundaries = [_HEADER.size] + [end for end, _ in records]
+        mutation_states = durable_prefixes([r for _, r in records])
+        full = wal_path.read_bytes()
+        assert boundaries[-1] == len(full), "must end on a boundary"
+
+        work = tmp_path / "work"
+        for cut in range(_HEADER.size, len(full) + 1):
+            complete = max(
+                i for i, off in enumerate(boundaries) if off <= cut
+            )
+            expected = read_snapshot(origin / snapshot_name(1))
+            for op, args in mutation_states[complete]:
+                apply_mutation(expected, op, args)
+            if work.exists():
+                shutil.rmtree(work)
+            shutil.copytree(origin, work)
+            (work / wal_name(1)).write_bytes(full[:cut])
+            recovered = recover_graph(work)
+            assert graph_state(recovered) == graph_state(expected), (
+                f"cut at byte {cut} ({complete} complete records)"
+            )
+
+    def test_crash_between_begin_and_commit(self, tmp_path):
+        """The acceptance criterion, stated directly: a crash with an
+        open frame recovers the exact pre-transaction state."""
+        origin = tmp_path / "origin"
+        store, expected_final = seed_tx_store(origin)
+        recovered = recover_graph(origin)
+        assert graph_state(recovered) == expected_final
+
+    def test_reopen_truncates_open_frame_and_resumes(self, tmp_path):
+        origin = tmp_path / "origin"
+        store, expected_final = seed_tx_store(origin)
+        with GraphStore.open(origin) as reopened:
+            assert reopened.recovery.truncated_bytes > 0
+            assert graph_state(reopened.graph) == expected_final
+            reopened.graph.add_vertex("C", {"z": 1})
+            after = graph_state(reopened.graph)
+        assert graph_state(recover_graph(origin)) == after
+
+
+class TestFramingScan:
+    def write_wal(self, path, ops):
+        wal = WriteAheadLog(path, generation=1, sync="always")
+        for op, args in ops:
+            wal.append(op, args)
+        wal.close()
+        return wal
+
+    def test_committed_frame_resolves_inline(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        mutation = ("add_vertex", (0, frozenset({"A"}), {}))
+        self.write_wal(
+            path,
+            [("tx_begin", ()), mutation, ("tx_commit", ())],
+        )
+        scan = read_wal(path)
+        assert scan.records == [mutation]
+        assert scan.torn_bytes == 0
+
+    def test_rolled_back_frame_dropped(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        mutation = ("add_vertex", (0, frozenset({"A"}), {}))
+        self.write_wal(
+            path,
+            [("tx_begin", ()), mutation, ("tx_rollback", ())],
+        )
+        scan = read_wal(path)
+        assert scan.records == []
+        assert scan.torn_bytes == 0
+
+    def test_open_frame_is_torn_tail(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        before = ("add_vertex", (0, frozenset({"A"}), {}))
+        inside = ("add_vertex", (1, frozenset({"B"}), {}))
+        self.write_wal(path, [before, ("tx_begin", ()), inside])
+        scan = read_wal(path)
+        assert scan.records == [before]
+        assert scan.torn_bytes > 0
+
+    def test_commit_without_begin_stops_scan(self, tmp_path):
+        path = tmp_path / "w.rpgw"
+        before = ("add_vertex", (0, frozenset({"A"}), {}))
+        after = ("add_vertex", (1, frozenset({"B"}), {}))
+        self.write_wal(path, [before, ("tx_commit", ()), after])
+        scan = read_wal(path)
+        assert scan.records == [before]
+        assert scan.torn_bytes > 0
+
+
+class TestStoreGuards:
+    def test_checkpoint_rejected_mid_transaction(self, tmp_path):
+        base = PropertyGraph("g")
+        base.add_vertex("A", {})
+        store = GraphStore.create(tmp_path / "d", base)
+        store.graph.begin_transaction()
+        store.graph.add_vertex("A", {})
+        with pytest.raises(StorageError, match="transaction"):
+            store.checkpoint()
+        store.graph.rollback_transaction()
+        store.checkpoint()  # fine once closed
+        store.close()
+
+    def test_commit_then_checkpoint_then_recover(self, tmp_path):
+        base = PropertyGraph("g")
+        base.add_vertex("A", {})
+        store = GraphStore.create(tmp_path / "d", base, sync="always")
+        g = store.graph
+        g.begin_transaction()
+        g.add_vertex("B", {"y": 1})
+        g.commit_transaction()
+        store.checkpoint()
+        expected = graph_state(g)
+        store.close()
+        assert graph_state(recover_graph(tmp_path / "d")) == expected

@@ -1,0 +1,164 @@
+"""Graph-level transaction semantics: undo-log rollback.
+
+The invariant under test: after ``rollback_transaction()`` the graph
+is *exactly* the pre-transaction graph - vertices, edges, properties,
+property indexes, id counters (so WAL recovery and the live graph
+agree on future id assignment), and incrementally-maintained
+statistics all match.
+"""
+
+import pytest
+
+from repro.exceptions import TransactionError
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.statistics import GraphStatistics
+from repro.graphdb.storage import graph_state
+
+
+def seed_graph() -> PropertyGraph:
+    g = PropertyGraph("tx")
+    drugs = [
+        g.add_vertex("Drug", {"name": f"d{i}", "id": i})
+        for i in range(6)
+    ]
+    conds = [
+        g.add_vertex("Condition", {"cname": f"c{i}"}) for i in range(4)
+    ]
+    for i, d in enumerate(drugs):
+        g.add_edge(d, conds[i % 4], "treats", {"w": i})
+    g.create_property_index("Drug", "id")
+    return g
+
+
+def churn(g: PropertyGraph) -> None:
+    """One of every mutation kind, deletes and cascades included."""
+    v = g.add_vertex(("Drug", "Generic"), {"name": "new", "id": 99})
+    g.add_edge(v, 6, "treats")
+    g.set_property(0, "name", "renamed")
+    g.set_property(0, "fresh", True)
+    g.remove_property(1, "name")
+    g.remove_edge(0)
+    g.remove_vertex(7)  # cascades into remove_edge
+    g.create_property_index("Condition", "cname")
+
+
+def assert_stats_consistent(g: PropertyGraph) -> None:
+    """Incremental statistics equal a from-scratch batch build."""
+    live = g.statistics()
+    fresh = GraphStatistics.build(g)
+    assert live.num_vertices == fresh.num_vertices
+    assert live.num_edges == fresh.num_edges
+    assert live.label_counts == fresh.label_counts
+    assert live.edge_label_counts == fresh.edge_label_counts
+    for key, stat in fresh.props.items():
+        assert live.props[key].count == stat.count, key
+        assert live.props[key].hist == stat.hist, key
+
+
+class TestRollback:
+    def test_rollback_restores_exact_state(self):
+        g = seed_graph()
+        before = graph_state(g)
+        g.begin_transaction()
+        churn(g)
+        g.rollback_transaction()
+        assert graph_state(g) == before
+
+    def test_rollback_restores_statistics(self):
+        g = seed_graph()
+        g.statistics()  # materialize before the tx so hooks run live
+        g.begin_transaction()
+        churn(g)
+        g.rollback_transaction()
+        assert_stats_consistent(g)
+
+    def test_rollback_restores_property_indexes(self):
+        g = seed_graph()
+        g.begin_transaction()
+        churn(g)
+        g.rollback_transaction()
+        assert g.lookup_property("Drug", "id", 0) == [0]
+        assert g.lookup_property("Drug", "id", 99) == []
+        assert not g.has_property_index("Condition", "cname")
+
+    def test_rollback_reuses_ids(self):
+        """Ids allocated in a rolled-back tx are reallocated - the
+        live graph must agree with a WAL recovery that never saw the
+        frame."""
+        g = seed_graph()
+        next_vid = g._next_vid
+        next_eid = g._next_eid
+        g.begin_transaction()
+        g.add_vertex("Drug", {"id": 50})
+        g.add_edge(0, 1, "treats")
+        g.rollback_transaction()
+        assert g.add_vertex("Drug", {"id": 51}) == next_vid
+        assert g.add_edge(0, 1, "zz") == next_eid
+
+    def test_rollback_of_interleaved_add_then_remove(self):
+        g = seed_graph()
+        before = graph_state(g)
+        g.begin_transaction()
+        v = g.add_vertex("Drug", {"id": 77})
+        e = g.add_edge(v, 6, "treats")
+        g.remove_edge(e)
+        g.remove_vertex(v)
+        g.rollback_transaction()
+        assert graph_state(g) == before
+
+    def test_rollback_restores_edge_properties(self):
+        g = seed_graph()
+        g.begin_transaction()
+        g.remove_edge(2)
+        g.rollback_transaction()
+        assert g.edge(2).properties["w"] == 2
+
+    def test_queries_after_rollback(self):
+        """The plan cache and statistics epochs stay coherent: queries
+        planned before, during, and after a rolled-back tx all see
+        their own graph state."""
+        from repro.graphdb.query.executor import Executor
+        from repro.graphdb.session import GraphSession
+
+        g = seed_graph()
+        executor = Executor(GraphSession(g))
+        q = "MATCH (d:Drug) RETURN count(*)"
+        assert executor.run(q).single_value() == 6
+        g.begin_transaction()
+        g.add_vertex("Drug", {"id": 100})
+        assert executor.run(q).single_value() == 7
+        g.rollback_transaction()
+        assert executor.run(q).single_value() == 6
+
+    def test_commit_keeps_changes(self):
+        g = seed_graph()
+        g.begin_transaction()
+        v = g.add_vertex("Drug", {"id": 88})
+        g.commit_transaction()
+        assert g.get_property(v, "id") == 88
+        assert not g.in_transaction
+
+
+class TestStateMachine:
+    def test_no_nesting(self):
+        g = seed_graph()
+        g.begin_transaction()
+        with pytest.raises(TransactionError):
+            g.begin_transaction()
+        g.rollback_transaction()
+
+    def test_commit_without_begin(self):
+        with pytest.raises(TransactionError):
+            seed_graph().commit_transaction()
+
+    def test_rollback_without_begin(self):
+        with pytest.raises(TransactionError):
+            seed_graph().rollback_transaction()
+
+    def test_in_transaction_flag(self):
+        g = seed_graph()
+        assert not g.in_transaction
+        g.begin_transaction()
+        assert g.in_transaction
+        g.commit_transaction()
+        assert not g.in_transaction

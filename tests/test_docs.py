@@ -29,9 +29,36 @@ def test_documentation_links_resolve(capsys):
 def test_documentation_surface_exists():
     for relative in (
         "README.md",
+        "docs/API.md",
         "docs/ARCHITECTURE.md",
         "docs/QUERY_LANGUAGE.md",
         "benchmarks/EXPERIMENTS.md",
         "src/repro/graphdb/storage/README.md",
     ):
         assert (REPO_ROOT / relative).is_file(), relative
+
+
+def test_readme_quickstart_executes(tmp_path, capsys):
+    """The README's driver quickstart must run against the live API
+    (the CI api-smoke job runs the same tool on the installed
+    package)."""
+    spec = importlib.util.spec_from_file_location(
+        "run_readme_quickstart",
+        REPO_ROOT / "tools" / "run_readme_quickstart.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("run_readme_quickstart", module)
+    spec.loader.exec_module(module)
+    import os
+
+    cwd = os.getcwd()
+    try:
+        exit_code = module.main(
+            [str(REPO_ROOT / "README.md"), "--cwd", str(tmp_path)]
+        )
+    finally:
+        os.chdir(cwd)
+    output = capsys.readouterr()
+    assert exit_code == 0, (
+        f"README quickstart failed:\n{output.out}\n{output.err}"
+    )

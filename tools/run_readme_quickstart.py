@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Execute every ```python block of a markdown file (stdlib only).
+
+The CI public-API smoke job installs the package (``pip install -e .``)
+and runs this against README.md from a scratch directory, so the
+documented driver quickstart cannot drift from the real entry points:
+if `connect` / `Session.run` / `Transaction.commit` change shape, the
+job fails.
+
+Blocks run top-to-bottom in one shared namespace (like a doctest
+session).  Exit codes: 0 all blocks ran, 1 a block raised, 2 usage /
+no blocks found.
+
+Usage::
+
+    python tools/run_readme_quickstart.py README.md [--cwd DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+FENCE = re.compile(
+    r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL
+)
+
+
+def python_blocks(markdown: str) -> list[str]:
+    return [match.group(1) for match in FENCE.finditer(markdown)]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("markdown", help="markdown file to execute")
+    parser.add_argument(
+        "--cwd", default=None,
+        help="directory to run in (default: a fresh temp directory)",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.markdown).resolve()
+    blocks = python_blocks(path.read_text())
+    if not blocks:
+        print(f"no ```python blocks in {path}", file=sys.stderr)
+        return 2
+
+    import os
+
+    workdir = args.cwd or tempfile.mkdtemp(prefix="readme-quickstart-")
+    os.makedirs(workdir, exist_ok=True)
+    os.chdir(workdir)
+    namespace: dict = {"__name__": "__quickstart__"}
+    for i, block in enumerate(blocks, 1):
+        print(f"-- block {i}/{len(blocks)} ({len(block)} chars)")
+        try:
+            exec(compile(block, f"{path.name}#block{i}", "exec"),
+                 namespace)
+        except Exception as exc:  # noqa: BLE001 - report and fail
+            print(
+                f"block {i} of {path} raised "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    print(f"OK: {len(blocks)} block(s) executed in {workdir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
