@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Run the engine micro-benchmarks, the storage benchmarks, the
-# planner benchmarks, the graph-core benchmarks, and the driver-API
-# benchmarks, recording results at the repo root as
-# BENCH_engine.json, BENCH_storage.json, BENCH_planner.json,
-# BENCH_core.json, and BENCH_api.json (the perf trajectory
-# artifacts).
+# planner benchmarks, the graph-core benchmarks, the driver-API
+# benchmarks, and the fault-injection benchmarks, recording results
+# at the repo root as BENCH_engine.json, BENCH_storage.json,
+# BENCH_planner.json, BENCH_core.json, BENCH_api.json, and
+# BENCH_faults.json (the perf trajectory artifacts).
 #
 # Usage: benchmarks/run_bench.sh [extra pytest args...]
 set -euo pipefail
@@ -46,3 +46,5 @@ python benchmarks/bench_planner.py --out "$REPO_ROOT/BENCH_planner.json"
 python benchmarks/bench_core.py --out "$REPO_ROOT/BENCH_core.json"
 
 python benchmarks/bench_api.py --out "$REPO_ROOT/BENCH_api.json"
+
+python benchmarks/bench_faults.py --out "$REPO_ROOT/BENCH_faults.json"

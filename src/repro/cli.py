@@ -59,6 +59,19 @@ Commands
 
     (Single-quote the query in a shell: ``$name`` inside double
     quotes would be expanded by the shell, not bound by the engine.)
+    ``--timeout`` and ``--max-rows`` arm the driver's query
+    guardrails.
+
+``verify``
+    Audit a data directory offline: validate every generation's
+    snapshot checksums and WAL framing without repairing anything,
+    and print a per-generation JSON report::
+
+        python -m repro verify ./med-data
+
+    Exits 0 when every artifact is intact, 1 when corruption (or a
+    torn WAL tail) was found, 2 when the path is not a data
+    directory.
 
 Exit codes: 0 on success, 1 for invalid inputs, query errors, or
 corrupt/missing data (:class:`~repro.exceptions.ReproError`, I/O and
@@ -280,13 +293,28 @@ def _jsonable(value):
     return value
 
 
+def cmd_verify(args) -> int:
+    from repro.graphdb.storage import verify_directory
+
+    try:
+        report = verify_directory(args.data_dir)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(report, indent=2))
+    return 0 if report["ok"] else 1
+
+
 def cmd_query(args) -> int:
     from repro.graphdb.api import connect
 
     params = dict(args.params or [])
     with connect(args.data_dir, readonly=True) as db:
         with db.session() as session:
-            result = session.run(args.query, params)
+            result = session.run(
+                args.query, params,
+                timeout=args.timeout, max_rows=args.max_rows,
+            )
             records = [record.values() for record in result]
             summary = result.consume()
     if args.format == "json":
@@ -486,7 +514,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain", action="store_true",
         help="also print the executed plan (est vs actual rows)",
     )
+    p_query.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="abort the query when it exceeds this wall-clock budget",
+    )
+    p_query.add_argument(
+        "--max-rows", type=int, default=None, metavar="N",
+        help="fail (don't truncate) if the query produces more rows",
+    )
     p_query.set_defaults(fn=cmd_query)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="audit a data directory's snapshots and WAL (read-only)",
+    )
+    p_verify.add_argument("data_dir", help="data directory to audit")
+    p_verify.set_defaults(fn=cmd_verify)
     return parser
 
 

@@ -62,6 +62,20 @@ class ParameterError(QueryError):
     """Raised when query parameters are missing or unusable."""
 
 
+class ResourceLimitError(GraphError):
+    """Raised when a query exceeds a caller-imposed resource budget.
+
+    The base of the guardrail hierarchy: ``session.run(..., max_rows=)``
+    raises this directly when the row budget is exhausted, and
+    :class:`QueryTimeoutError` specializes it for deadlines.  Catching
+    ``ResourceLimitError`` covers both.
+    """
+
+
+class QueryTimeoutError(ResourceLimitError):
+    """Raised when a query's wall-clock deadline expires mid-execution."""
+
+
 class RewriteError(ReproError):
     """Raised when a DIR query cannot be rewritten against an OPT schema."""
 

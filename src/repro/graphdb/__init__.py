@@ -13,7 +13,10 @@ Two API levels live here:
 
 The structured exception hierarchy roots at :class:`GraphError`:
 :class:`QueryError` (with :class:`QuerySyntaxError` and
-:class:`ParameterError` beneath it) and :class:`TransactionError`.
+:class:`ParameterError` beneath it), :class:`TransactionError`, and
+the guardrail pair :class:`ResourceLimitError` /
+:class:`QueryTimeoutError` raised by ``session.run(...,
+timeout=, max_rows=)``.
 """
 
 from repro.exceptions import (
@@ -21,6 +24,8 @@ from repro.exceptions import (
     ParameterError,
     QueryError,
     QuerySyntaxError,
+    QueryTimeoutError,
+    ResourceLimitError,
     TransactionError,
 )
 from repro.graphdb.api import (
@@ -59,6 +64,8 @@ __all__ = [
     "ParameterError",
     "QueryError",
     "QuerySyntaxError",
+    "QueryTimeoutError",
+    "ResourceLimitError",
     "TransactionError",
     # Engine API (instrumentation-level)
     "BackendProfile",

@@ -27,7 +27,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Iterator
 
-from repro.exceptions import QueryError
+from repro.exceptions import QueryError, ResourceLimitError
+from repro.graphdb import faults
 from repro.graphdb.metrics import ExecutionMetrics
 
 
@@ -174,6 +175,10 @@ class Result:
         self._yielded = 0
         self._exhausted = False
         self._summary: ResultSummary | None = None
+        #: Process-global fault/retry counters at creation; _settle
+        #: reports the delta, attributing storage-layer retry activity
+        #: to the execution that was the open unit of work.
+        self._fault_base = faults.REGISTRY.counters()
 
     # ------------------------------------------------------------------
     # Cursor
@@ -248,11 +253,22 @@ class Result:
 
         ``keep=False`` (the consume path) counts rows without
         constructing Record objects that would be thrown away.
+        ``keep=True`` is the detach path - the caller has moved on to
+        a new query - so a guardrail trip (deadline expiry, row cap)
+        on an *abandoned* cursor settles quietly instead of surfacing
+        from an unrelated ``session.run`` call; anyone actively
+        iterating or consuming still sees the error.
         """
         while not self._exhausted:
             try:
                 values = next(self._rows)
             except StopIteration:
+                self._settle()
+                break
+            except ResourceLimitError:
+                if not keep:
+                    self._settle()
+                    raise
                 self._settle()
                 break
             self._yielded += 1
@@ -266,6 +282,13 @@ class Result:
         metrics = graph_session.reset_metrics()
         metrics.rows = self._yielded
         metrics.queries = 1
+        counters = faults.REGISTRY.counters()
+        metrics.io_retries = (
+            counters["retries"] - self._fault_base["retries"]
+        )
+        metrics.faults_injected = (
+            counters["injected"] - self._fault_base["injected"]
+        )
         self._summary = ResultSummary(
             query=self._query,
             parameters=dict(self._parameters),

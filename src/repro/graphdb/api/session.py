@@ -26,7 +26,7 @@ from repro.exceptions import TransactionError
 from repro.graphdb.api.result import Result
 from repro.graphdb.api.transaction import Transaction
 from repro.graphdb.query.ast import Query, query_text
-from repro.graphdb.query.executor import Executor
+from repro.graphdb.query.executor import ExecutionGuard, Executor
 from repro.graphdb.session import GraphSession
 
 
@@ -60,19 +60,34 @@ class Session:
         self,
         query: str | Query,
         parameters: dict[str, object] | None = None,
+        timeout: float | None = None,
+        max_rows: int | None = None,
         **params: object,
     ) -> Result:
         """Execute a query; parameters come from ``parameters`` and/or
         keyword arguments (keywords win on collision)::
 
             session.run("MATCH (d:Drug {id: $id}) RETURN d.name", id=7)
+
+        ``timeout`` (seconds) arms a wall-clock deadline checked inside
+        the executor's streaming loop - expiry raises
+        :class:`~repro.exceptions.QueryTimeoutError` from whichever
+        call is pulling the cursor.  ``max_rows`` caps the number of
+        records the query may *produce*; exceeding it raises
+        :class:`~repro.exceptions.ResourceLimitError` (unlike
+        ``LIMIT``, which silently stops).
         """
         self._require_open()
         bound = {**(parameters or {}), **params}
         self._finish_open_result()
+        guard = (
+            ExecutionGuard(timeout=timeout, max_rows=max_rows)
+            if timeout is not None or max_rows is not None
+            else None
+        )
         step_counts: list[int] = []
         parsed, plan, columns, rows = self._executor.stream(
-            query, bound, step_counts=step_counts
+            query, bound, step_counts=step_counts, guard=guard
         )
         text = query if isinstance(query, str) else query_text(parsed)
         result = Result(

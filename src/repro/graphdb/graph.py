@@ -825,13 +825,28 @@ class PropertyGraph:
             del adjacency[label]
 
     def remove_vertex(self, vid: int) -> None:
-        """Remove a vertex and every incident edge."""
+        """Remove a vertex and every incident edge.
+
+        When the cascade spans multiple listener events (incident
+        edges plus the vertex itself) outside an explicit transaction,
+        it is wrapped in ``tx_begin``/``tx_commit`` framing so the WAL
+        records land as one atomic frame: a crash mid-cascade recovers
+        to the pre-removal state, never to a vertex with some edges
+        gone.
+        """
         table, row = self._locate(vid)
         incident: list[int] = []
         for adjacency in (self._out.get(vid, {}), self._in.get(vid, {})):
             for bucket in adjacency.values():
                 incident.extend(bucket)
         e_labels = self._e_label
+        frame = bool(
+            self._listeners
+            and self._undo is None
+            and any(e_labels[eid] >= 0 for eid in incident)
+        )
+        if frame:
+            self._emit("tx_begin")
         for eid in incident:
             if e_labels[eid] >= 0:  # self-loops appear on both sides
                 self.remove_edge(eid)
@@ -862,6 +877,8 @@ class PropertyGraph:
             self._undo.append(("restore_vertex", vid, labels, props))
         if self._listeners:
             self._emit("remove_vertex", vid)
+        if frame:
+            self._emit("tx_commit")
 
     # ------------------------------------------------------------------
     # Access

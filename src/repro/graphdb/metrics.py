@@ -26,6 +26,12 @@ class ExecutionMetrics:
     page_misses: int = 0
     rows: int = 0
     queries: int = 0
+    #: Transient I/O errors absorbed by bounded retry (WAL/snapshot
+    #: fsync paths) while this execution was the open unit of work.
+    io_retries: int = 0
+    #: Faults the failpoint harness injected in the same window (zero
+    #: outside fault-injection tests unless ``REPRO_FAULTS`` is set).
+    faults_injected: int = 0
 
     def merge(self, other: "ExecutionMetrics") -> None:
         self.edge_traversals += other.edge_traversals
@@ -36,6 +42,8 @@ class ExecutionMetrics:
         self.page_misses += other.page_misses
         self.rows += other.rows
         self.queries += other.queries
+        self.io_retries += other.io_retries
+        self.faults_injected += other.faults_injected
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -47,6 +55,8 @@ class ExecutionMetrics:
             "page_misses": self.page_misses,
             "rows": self.rows,
             "queries": self.queries,
+            "io_retries": self.io_retries,
+            "faults_injected": self.faults_injected,
         }
 
 

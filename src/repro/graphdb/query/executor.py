@@ -37,11 +37,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Callable, Iterable, Iterator
 
-from repro.exceptions import ParameterError, QueryError
+from repro.exceptions import (
+    ParameterError,
+    QueryError,
+    QueryTimeoutError,
+    ResourceLimitError,
+)
 from repro.graphdb.metrics import ExecutionMetrics
 from repro.graphdb.query.ast import (
     AGGREGATE_FUNCTIONS,
@@ -291,6 +297,75 @@ def _validate_params(
     return params
 
 
+class ExecutionGuard:
+    """Per-execution resource budget: wall-clock deadline + row cap.
+
+    The deadline is checked inside the streaming pipeline (once per
+    binding pulled through the match stream), so a runaway traversal or
+    an aggregation draining millions of bindings is interrupted, not
+    just a slow consumer.  The row cap counts *emitted* result rows and
+    raises when exceeded - it is a guardrail, not a silent ``LIMIT``:
+    crossing it is an error the caller must see.
+    """
+
+    __slots__ = ("deadline", "timeout", "max_rows")
+
+    def __init__(
+        self,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+    ):
+        if timeout is not None and timeout < 0:
+            raise QueryError(f"timeout must be >= 0, got {timeout!r}")
+        if max_rows is not None and max_rows < 0:
+            raise QueryError(f"max_rows must be >= 0, got {max_rows!r}")
+        self.timeout = timeout
+        self.deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        self.max_rows = max_rows
+
+    @property
+    def armed(self) -> bool:
+        return self.deadline is not None or self.max_rows is not None
+
+    def check_deadline(self) -> None:
+        if (
+            self.deadline is not None
+            and time.monotonic() > self.deadline
+        ):
+            raise QueryTimeoutError(
+                f"query exceeded its {self.timeout}s timeout"
+            )
+
+
+def _guarded_bindings(
+    stream: Iterable[Binding], guard: ExecutionGuard
+) -> Iterator[Binding]:
+    check = guard.check_deadline
+    for binding in stream:
+        check()
+        yield binding
+
+
+def _guarded_rows(
+    rows: Iterable[tuple], guard: ExecutionGuard
+) -> Iterator[tuple]:
+    check = guard.check_deadline
+    max_rows = guard.max_rows
+    emitted = 0
+    for row in rows:
+        check()
+        if max_rows is not None:
+            emitted += 1
+            if emitted > max_rows:
+                raise ResourceLimitError(
+                    f"query produced more than max_rows={max_rows} "
+                    "row(s)"
+                )
+        yield row
+
+
 def _passes(filters: list[RowFn], binding: Binding) -> bool:
     for fn in filters:
         if not fn(binding):
@@ -332,6 +407,7 @@ class Executor:
         query: Query | str,
         parameters: dict[str, object] | None = None,
         step_counts: list[int] | None = None,
+        guard: ExecutionGuard | None = None,
     ) -> tuple[Query, "Plan", list[str], Iterator[tuple]]:
         """Lazily execute; returns ``(query, plan, columns, rows)``.
 
@@ -344,11 +420,16 @@ class Executor:
         ``step_counts`` (a zeroed list, one slot per plan step) makes
         the pipeline count each step's produced bindings, which
         ``EXPLAIN ANALYZE``-style summaries render as actual rows.
+        ``guard`` imposes a deadline checked per binding inside the
+        pipeline and a cap on emitted rows (see
+        :class:`ExecutionGuard`).
         """
         query, plan = self._prepare(query)
         if step_counts is not None and not step_counts:
             step_counts.extend([0] * len(plan.steps))
-        columns, rows = self._start(query, plan, parameters, step_counts)
+        columns, rows = self._start(
+            query, plan, parameters, step_counts, guard
+        )
         return query, plan, columns, rows
 
     def _prepare(self, query: Query | str) -> tuple[Query, Plan]:
@@ -390,11 +471,17 @@ class Executor:
         plan: Plan,
         parameters: dict[str, object] | None,
         step_counts: list[int] | None = None,
+        guard: ExecutionGuard | None = None,
     ) -> tuple[list[str], Iterator[tuple]]:
         """Compile one execution: ``(columns, lazy row iterator)``."""
         params = _validate_params(query, parameters)
         evaluator = _Evaluator(self.session, plan, params)
         stream = self._match_stream(plan, evaluator, step_counts)
+        if guard is not None and guard.deadline is not None:
+            # Checked per binding *before* projection, so pipeline
+            # breakers (aggregation, full-sort ORDER BY) that drain the
+            # match stream eagerly still honor the deadline.
+            stream = _guarded_bindings(stream, guard)
         columns, rows = self._project(query, stream, evaluator)
         if query.distinct:
             rows = _dedupe(rows)
@@ -402,6 +489,8 @@ class Executor:
             rows = self._order(query, columns, rows)
         elif query.limit is not None:
             rows = itertools.islice(rows, query.limit)
+        if guard is not None and guard.armed:
+            rows = _guarded_rows(rows, guard)
         return columns, iter(rows)
 
     def _execute(

@@ -11,7 +11,13 @@ compaction policy).  Public surface:
 * :class:`RecoveryManager` / :func:`recover_graph` - open a data
   directory and reconstruct the latest consistent state;
 * :class:`GraphStore` - the live handle tying all three together
-  (open / mutate-with-logging / checkpoint / close).
+  (open / mutate-with-logging / checkpoint / close);
+* :func:`verify_directory` - offline integrity audit of every
+  generation's snapshot and WAL (the ``repro verify`` command).
+
+Fault injection for all of the above lives in
+:mod:`repro.graphdb.faults`; the failpoint names this package
+registers are catalogued in ``docs/RELIABILITY.md``.
 """
 
 from repro.exceptions import StorageError
@@ -20,6 +26,7 @@ from repro.graphdb.storage.recovery import (
     RecoveryError,
     RecoveryManager,
     RecoveryReport,
+    is_store_artifact,
     recover_graph,
 )
 from repro.graphdb.storage.snapshot import (
@@ -29,8 +36,10 @@ from repro.graphdb.storage.snapshot import (
     write_snapshot,
 )
 from repro.graphdb.storage.store import GraphStore
+from repro.graphdb.storage.verify import verify_directory
 from repro.graphdb.storage.wal import (
     WalError,
+    WalPoisonedError,
     WalScan,
     WriteAheadLog,
     read_wal,
@@ -46,12 +55,15 @@ __all__ = [
     "SnapshotError",
     "StorageError",
     "WalError",
+    "WalPoisonedError",
     "WalScan",
     "WriteAheadLog",
     "graph_state",
+    "is_store_artifact",
     "read_snapshot",
     "read_wal",
     "recover_graph",
     "replay",
+    "verify_directory",
     "write_snapshot",
 ]

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.exceptions import StorageError
+from repro.graphdb import faults
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.storage.snapshot import (
     SnapshotError,
@@ -46,6 +47,18 @@ from repro.graphdb.storage.wal import (
 SNAPSHOT_PATTERN = re.compile(r"^snapshot-(\d{8})\.rpgs$")
 WAL_PATTERN = re.compile(r"^wal-(\d{8})\.rpgw$")
 
+#: A snapshot that failed validation is renamed aside with this suffix
+#: (kept for forensics) so recovery can degrade to an older generation
+#: without re-validating the bad file on every open.
+QUARANTINE_SUFFIX = ".quarantined"
+
+#: Crash debris from a torn atomic snapshot write.
+TMP_PATTERN = re.compile(r"^snapshot-(\d{8})\.rpgs\.tmp$")
+
+FP_TRUNCATE = faults.REGISTRY.register("recovery.wal_truncate")
+FP_QUARANTINE = faults.REGISTRY.register("recovery.quarantine")
+FP_SWEEP = faults.REGISTRY.register("store.open.sweep")
+
 
 def snapshot_name(generation: int) -> str:
     return f"snapshot-{generation:08d}.rpgs"
@@ -53,6 +66,17 @@ def snapshot_name(generation: int) -> str:
 
 def wal_name(generation: int) -> str:
     return f"wal-{generation:08d}.rpgw"
+
+
+def is_store_artifact(name: str) -> bool:
+    """True when ``name`` is a file this subsystem may own and delete:
+    a snapshot or WAL of any generation, their tmp debris, or a
+    quarantined snapshot."""
+    if name.endswith(QUARANTINE_SUFFIX):
+        name = name[: -len(QUARANTINE_SUFFIX)]
+    if name.endswith(".tmp"):
+        name = name[: -len(".tmp")]
+    return bool(SNAPSHOT_PATTERN.match(name) or WAL_PATTERN.match(name))
 
 
 @dataclass
@@ -67,6 +91,10 @@ class RecoveryReport:
     truncated_bytes: int = 0
     #: Snapshot files that failed validation and were skipped.
     corrupt_snapshots: list[Path] = field(default_factory=list)
+    #: Corrupt snapshots renamed aside as ``*.quarantined``.
+    quarantined: list[Path] = field(default_factory=list)
+    #: Orphaned ``*.tmp`` files (torn atomic writes) swept on open.
+    removed_tmp: list[Path] = field(default_factory=list)
     #: WAL files ignored because their generation did not match.
     skipped_wals: list[Path] = field(default_factory=list)
 
@@ -84,6 +112,14 @@ class RecoveryReport:
         if self.corrupt_snapshots:
             parts.append(
                 f"{len(self.corrupt_snapshots)} corrupt snapshot(s) skipped"
+            )
+        if self.quarantined:
+            parts.append(
+                f"{len(self.quarantined)} quarantined"
+            )
+        if self.removed_tmp:
+            parts.append(
+                f"{len(self.removed_tmp)} orphaned tmp file(s) removed"
             )
         return ", ".join(parts)
 
@@ -125,9 +161,15 @@ class RecoveryManager:
 
         With ``truncate=False`` the torn tail is left on disk (read-only
         openers must not write); the returned graph is identical either
-        way.
+        way.  Writable recovery (``truncate=True``) additionally sweeps
+        orphaned ``*.tmp`` files (debris of a torn atomic snapshot
+        write) and renames corrupt snapshots aside as
+        ``*.quarantined`` - degrading to the newest older valid
+        generation instead of re-tripping on the bad file forever.
         """
         report = RecoveryReport(data_dir=self.data_dir)
+        if truncate:
+            self._sweep_tmp(report)
         graph: PropertyGraph | None = None
         for generation in self.snapshot_generations():
             path = self.data_dir / snapshot_name(generation)
@@ -159,6 +201,13 @@ class RecoveryManager:
                 self.graph_name or self.data_dir.name or "graph"
             )
             report.generation = 0
+        elif truncate:
+            # Quarantine only once a valid fallback exists.  Renaming
+            # eagerly would be destructive when *every* generation is
+            # corrupt: the next open would find an empty directory and
+            # silently start fresh instead of surfacing RecoveryError.
+            for path in report.corrupt_snapshots:
+                self._quarantine(path, report)
 
         self._replay_wal(graph, report, truncate)
         return graph, report
@@ -197,10 +246,50 @@ class RecoveryManager:
         report.replayed_ops = replay(graph, scan)
         report.truncated_bytes = scan.torn_bytes
         if truncate and scan.torn_bytes:
+            faults.fire(FP_TRUNCATE)
             with open(wal_path, "r+b") as fh:
                 fh.truncate(scan.valid_end)
                 fh.flush()
-                os.fsync(fh.fileno())
+                faults.retrying(
+                    lambda: os.fsync(fh.fileno()),
+                    "fsync truncated WAL",
+                )
+
+    # -- hygiene -------------------------------------------------------
+    def _sweep_tmp(self, report: RecoveryReport) -> None:
+        """Remove orphaned ``*.tmp`` debris from torn atomic writes.
+
+        A crash between ``open(tmp)`` and ``os.replace`` leaves a
+        partial file that no reader ever consults; sweeping it on the
+        next writable open keeps the directory self-describing.  An
+        unlink that fails is tolerated - the file is inert either way.
+        """
+        if not self.data_dir.is_dir():
+            return
+        for name in sorted(os.listdir(self.data_dir)):
+            if not name.endswith(".tmp") or not is_store_artifact(name):
+                continue
+            path = self.data_dir / name
+            try:
+                faults.fire(FP_SWEEP)
+                path.unlink()
+            except OSError:
+                continue
+            report.removed_tmp.append(path)
+
+    def _quarantine(self, path: Path, report: RecoveryReport) -> None:
+        """Rename a corrupt snapshot aside as ``*.quarantined``.
+
+        Keeps the bytes for forensics while guaranteeing the next open
+        does not pay to re-validate (and re-reject) the same file.  A
+        failed rename is tolerated: recovery already skipped the file.
+        """
+        try:
+            faults.fire(FP_QUARANTINE)
+            os.replace(path, path.with_name(path.name + QUARANTINE_SUFFIX))
+        except OSError:
+            return
+        report.quarantined.append(path)
 
 
 def recover_graph(data_dir: str | Path) -> PropertyGraph:

@@ -69,6 +69,7 @@ from array import array
 from pathlib import Path
 
 from repro.exceptions import StorageError
+from repro.graphdb import faults
 from repro.graphdb.columnar import KIND_FLOAT, KIND_INT, KIND_OBJ, PropertyColumn
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.statistics import MCV_CAP, GraphStatistics, PropertyStats
@@ -103,6 +104,15 @@ COL_STR_LIST = 6
 
 _HEADER = struct.Struct("<8sHHII")  # magic, version, flags, nsect, table_crc
 _TABLE_ENTRY = struct.Struct("<BQQI")  # id, offset, length, crc
+
+#: Failpoints threaded through the snapshot write/read paths.
+FP_WRITE_OPEN = faults.REGISTRY.register("snapshot.write.open")
+FP_WRITE_TABLE = faults.REGISTRY.register("snapshot.write.table")
+FP_WRITE_SECTION = faults.REGISTRY.register("snapshot.write.section")
+FP_WRITE_FSYNC = faults.REGISTRY.register("snapshot.write.fsync")
+FP_RENAME = faults.REGISTRY.register("snapshot.rename")
+FP_DIR_FSYNC = faults.REGISTRY.register("snapshot.dir_fsync")
+FP_READ = faults.REGISTRY.register("snapshot.read")
 
 _I64_MIN = -(1 << 63)
 _I64_MAX = (1 << 63) - 1
@@ -145,20 +155,37 @@ def write_snapshot(
     header = _HEADER.pack(
         MAGIC, FORMAT_VERSION, 0, len(sections), zlib.crc32(bytes(table))
     )
-    blob = header + bytes(table) + bytes(payload)
 
     tmp = path.with_name(path.name + ".tmp")
+    written = len(header) + len(table)
     try:
+        faults.fire(FP_WRITE_OPEN)
         with open(tmp, "wb") as fh:
-            fh.write(blob)
+            faults.write(FP_WRITE_TABLE, fh, header + bytes(table))
+            for _section_id, body in sections:
+                faults.write(FP_WRITE_SECTION, fh, body)
+                written += len(body)
             fh.flush()
-            os.fsync(fh.fileno())
+            faults.retrying(
+                lambda: (
+                    faults.fire(FP_WRITE_FSYNC),
+                    os.fsync(fh.fileno()),
+                ),
+                "fsync snapshot",
+            )
+        faults.fire(FP_RENAME)
         os.replace(tmp, path)
-    finally:
-        if tmp.exists():  # pragma: no cover - only on write failure
+    except Exception:
+        # Clean the partial tmp file on an *error* return - but not on
+        # SimulatedCrash (a BaseException): a killed process leaves its
+        # debris behind, and the store sweeps orphans on the next open.
+        try:
             tmp.unlink()
+        except OSError:  # pragma: no cover - nothing more to do
+            pass
+        raise
     _fsync_dir(path.parent)
-    return len(blob)
+    return written
 
 
 def _fsync_dir(directory: Path) -> None:
@@ -168,7 +195,10 @@ def _fsync_dir(directory: Path) -> None:
     except OSError:  # pragma: no cover - platform without dir fds
         return
     try:
-        os.fsync(fd)
+        faults.retrying(
+            lambda: (faults.fire(FP_DIR_FSYNC), os.fsync(fd)),
+            "fsync snapshot directory",
+        )
     finally:
         os.close(fd)
 
@@ -430,6 +460,7 @@ def read_snapshot_with_generation(
 ) -> tuple[PropertyGraph, int]:
     path = Path(path)
     try:
+        faults.fire(FP_READ)
         data = path.read_bytes()
     except FileNotFoundError as exc:
         raise SnapshotError(f"no snapshot at {path}: {exc}") from exc

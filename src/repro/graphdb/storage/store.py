@@ -29,15 +29,21 @@ import os
 from pathlib import Path
 
 from repro.exceptions import StorageError
+from repro.graphdb import faults
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.storage.recovery import (
     RecoveryManager,
     RecoveryReport,
+    is_store_artifact,
     snapshot_name,
     wal_name,
 )
 from repro.graphdb.storage.snapshot import write_snapshot
 from repro.graphdb.storage.wal import WriteAheadLog
+
+FP_CKPT_PRE = faults.REGISTRY.register("store.checkpoint.pre_snapshot")
+FP_CKPT_STALE = faults.REGISTRY.register("store.checkpoint.stale_wal")
+FP_CKPT_NEW = faults.REGISTRY.register("store.checkpoint.new_wal")
 
 
 class GraphStore:
@@ -57,6 +63,7 @@ class GraphStore:
         self.recovery = recovery
         self._wal = wal
         self._closed = False
+        self._poisoned = False
         graph.add_listener(self._on_mutation)
 
     # ------------------------------------------------------------------
@@ -106,19 +113,12 @@ class GraphStore:
                     f"data directory {data_dir} is not empty "
                     "(pass overwrite=True to replace it)"
                 )
-            # Overwrite replaces *store artifacts* only; anything else
-            # in the directory is not ours to delete.
-            from repro.graphdb.storage.recovery import (
-                SNAPSHOT_PATTERN,
-                WAL_PATTERN,
-            )
-
+            # Overwrite replaces *store artifacts* only (snapshots,
+            # WALs, tmp debris, quarantined files); anything else in
+            # the directory is not ours to delete.
             foreign = [
                 p.name for p in data_dir.iterdir()
-                if not (
-                    SNAPSHOT_PATTERN.match(p.name)
-                    or WAL_PATTERN.match(p.name)
-                )
+                if not is_store_artifact(p.name)
             ]
             if foreign:
                 raise StorageError(
@@ -143,6 +143,11 @@ class GraphStore:
     # Logging
     # ------------------------------------------------------------------
     def _on_mutation(self, op: str, args: tuple) -> None:
+        if self._poisoned:
+            raise StorageError(
+                "store is poisoned after a failed checkpoint rollback; "
+                "close and reopen to recover"
+            )
         self._wal.append(op, args)
 
     def sync(self) -> None:
@@ -163,8 +168,20 @@ class GraphStore:
         only removed after both.  Recovery at any intermediate point
         finds either generation ``g`` complete or generation ``g+1``
         complete.
+
+        If a step fails *after* the new snapshot became visible, the
+        store must not keep appending to the old generation's WAL:
+        recovery would prefer snapshot ``g+1`` and those appends would
+        be lost.  The failure path therefore rolls the snapshot back
+        (unlinks it) - and if even that fails, poisons the store so
+        further mutations raise instead of being silently droppable.
         """
         self._require_open()
+        if self._poisoned:
+            raise StorageError(
+                "store is poisoned after a failed checkpoint rollback; "
+                "close and reopen to recover"
+            )
         if getattr(self.graph, "in_transaction", False):
             # A snapshot taken mid-transaction would make uncommitted
             # state durable with no frame to discard it.
@@ -174,24 +191,55 @@ class GraphStore:
         self._wal.flush(fsync=True)
         new_generation = self.generation + 1
         snapshot_path = self.data_dir / snapshot_name(new_generation)
+        faults.fire(FP_CKPT_PRE)
         write_snapshot(self.graph, snapshot_path, new_generation)
-        # A stale log of the target generation (left behind when a
-        # past recovery fell back over a torn checkpoint) must not be
-        # appended to: its snapshot was just atomically replaced, so
-        # its records belong to an abandoned history.
-        self._unlink(self.data_dir / wal_name(new_generation))
-        old_wal = self._wal
-        self._wal = WriteAheadLog(
-            self.data_dir / wal_name(new_generation),
-            generation=new_generation,
-            sync=old_wal.sync,
-            batch_ops=old_wal.batch_ops,
-            batch_bytes=old_wal.batch_bytes,
-        )
+        try:
+            # A stale log of the target generation (left behind when a
+            # past recovery fell back over a torn checkpoint) must not
+            # be appended to: its snapshot was just atomically
+            # replaced, so its records belong to an abandoned history.
+            faults.fire(FP_CKPT_STALE)
+            self._unlink(self.data_dir / wal_name(new_generation))
+            old_wal = self._wal
+            faults.fire(FP_CKPT_NEW)
+            new_wal = WriteAheadLog(
+                self.data_dir / wal_name(new_generation),
+                generation=new_generation,
+                sync=old_wal.sync,
+                batch_ops=old_wal.batch_ops,
+                batch_bytes=old_wal.batch_bytes,
+            )
+        except Exception:
+            # Not BaseException: a SimulatedCrash models kill -9, which
+            # would not run this handler either - recovery must (and
+            # does) cope with the raw post-rename states on its own.
+            self._rollback_checkpoint(snapshot_path, new_generation)
+            raise
+        self._wal = new_wal
         old_wal.close()
         self.generation = new_generation
         self._prune(keep=new_generation)
         return snapshot_path
+
+    def _rollback_checkpoint(
+        self, snapshot_path: Path, new_generation: int
+    ) -> None:
+        """Make a half-finished checkpoint invisible again.
+
+        Called when a step failed after ``snapshot-<g+1>`` became
+        durable.  Removing the snapshot (and any partial ``wal-<g+1>``)
+        restores the pre-checkpoint directory; if the snapshot cannot
+        be removed the store is poisoned, because appends to the old
+        WAL would be invisible to a recovery that prefers ``g+1``.
+        """
+        try:
+            os.unlink(snapshot_path)
+        except FileNotFoundError:
+            pass
+        except OSError:
+            self._poisoned = True
+            return
+        self._unlink(self.data_dir / wal_name(new_generation))
 
     def _prune(self, keep: int) -> None:
         """Best-effort removal of *older* generations' files.
@@ -231,6 +279,13 @@ class GraphStore:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def poisoned(self) -> bool:
+        """True when a failed checkpoint rollback left the directory in
+        a state where further appends could be silently lost; the only
+        way forward is close + reopen (recovery re-validates)."""
+        return self._poisoned or self._wal.failed
 
     def _require_open(self) -> None:
         if self._closed:

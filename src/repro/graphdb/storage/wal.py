@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.exceptions import GraphError, StorageError
+from repro.graphdb import faults
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.storage.codec import (
     CodecError,
@@ -57,6 +58,16 @@ from repro.graphdb.storage.codec import (
 
 MAGIC = b"RPGWAL01"
 FORMAT_VERSION = 1
+
+#: Failpoints threaded through this module (see
+#: :mod:`repro.graphdb.faults`); a disarmed hook is one dict probe.
+FP_CREATE_WRITE = faults.REGISTRY.register("wal.create.write")
+FP_CREATE_FSYNC = faults.REGISTRY.register("wal.create.fsync")
+FP_DIR_FSYNC = faults.REGISTRY.register("wal.dir_fsync")
+FP_FLUSH_WRITE = faults.REGISTRY.register("wal.flush.write")
+FP_PRE_FSYNC = faults.REGISTRY.register("wal.append.pre_fsync")
+FP_FLUSH_FSYNC = faults.REGISTRY.register("wal.flush.fsync")
+FP_READ = faults.REGISTRY.register("wal.read")
 
 _HEADER = struct.Struct("<8sHHQI")
 _RECORD = struct.Struct("<II")
@@ -113,6 +124,17 @@ class WalIOError(WalError):
     """
 
 
+class WalPoisonedError(WalError):
+    """The log refused an append after an earlier uncertain write.
+
+    Once a write or fsync fails mid-record the on-disk tail is in an
+    unknown state; appending more records after it could make them
+    unreachable (replay stops at the first tear), silently losing
+    acknowledged data.  The only safe continuation is to reopen the
+    store, which re-establishes the log's valid end.
+    """
+
+
 def fsync_dir(directory: Path) -> None:
     """Make a file creation/rename durable by fsyncing its directory."""
     try:
@@ -120,7 +142,10 @@ def fsync_dir(directory: Path) -> None:
     except OSError:  # pragma: no cover - platform without dir fds
         return
     try:
-        os.fsync(fd)
+        faults.retrying(
+            lambda: (faults.fire(FP_DIR_FSYNC), os.fsync(fd)),
+            "fsync WAL directory",
+        )
     finally:
         os.close(fd)
 
@@ -282,6 +307,9 @@ class WriteAheadLog:
         self._pending: list[bytes] = []
         self._pending_bytes = 0
         self.records_appended = 0
+        #: Set after an uncertain write failure; see
+        #: :class:`WalPoisonedError`.
+        self._failed = False
         new = not self.path.exists() or self.path.stat().st_size == 0
         self._fh = open(self.path, "ab")
         if new:
@@ -289,9 +317,19 @@ class WriteAheadLog:
                 _HEADER.pack(MAGIC, FORMAT_VERSION, 0, generation, 0)
             )
             header[-4:] = struct.pack("<I", zlib.crc32(bytes(header[:-4])))
-            self._fh.write(header)
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+            try:
+                faults.write(FP_CREATE_WRITE, self._fh, bytes(header))
+                self._fh.flush()
+                faults.retrying(
+                    lambda: (
+                        faults.fire(FP_CREATE_FSYNC),
+                        os.fsync(self._fh.fileno()),
+                    ),
+                    "fsync new WAL header",
+                )
+            except BaseException:
+                self._failed = True
+                raise
             # The file itself must survive a crash, not just its
             # contents - otherwise fsynced records vanish with the
             # unflushed directory entry.
@@ -299,6 +337,11 @@ class WriteAheadLog:
 
     # -- appends -------------------------------------------------------
     def append(self, op: str, args: tuple) -> None:
+        if self._failed:
+            raise WalPoisonedError(
+                f"WAL {self.path.name} is poisoned after an earlier "
+                "I/O failure; reopen the store to resume writing"
+            )
         payload = encode_mutation(op, args)
         record = _RECORD.pack(len(payload), zlib.crc32(payload)) + payload
         self._pending.append(record)
@@ -313,16 +356,48 @@ class WriteAheadLog:
             self.flush()
 
     def flush(self, fsync: bool | None = None) -> None:
-        """Write buffered records; fsync unless the mode is ``never``."""
-        if self._pending:
-            self._fh.write(b"".join(self._pending))
-            self._pending.clear()
-            self._pending_bytes = 0
-        self._fh.flush()
-        if fsync is None:
-            fsync = self.sync != "never"
-        if fsync:
-            os.fsync(self._fh.fileno())
+        """Write buffered records; fsync unless the mode is ``never``.
+
+        Any failure past this point leaves the on-disk tail in an
+        unknown state (a record may be half-written, an fsync may or
+        may not have landed), so the log poisons itself: further
+        appends raise :class:`WalPoisonedError` until the store is
+        reopened and recovery re-establishes the valid end.  Transient
+        ``EINTR``/``EAGAIN`` fsync failures are retried with bounded
+        backoff before poisoning.
+        """
+        if self._failed:
+            raise WalPoisonedError(
+                f"WAL {self.path.name} is poisoned after an earlier "
+                "I/O failure; reopen the store to resume writing"
+            )
+        try:
+            if self._pending:
+                batch = b"".join(self._pending)
+                # Clear *before* writing: a torn write must not be
+                # re-attempted after the same bytes partially landed.
+                self._pending.clear()
+                self._pending_bytes = 0
+                faults.write(FP_FLUSH_WRITE, self._fh, batch)
+            self._fh.flush()
+            if fsync is None:
+                fsync = self.sync != "never"
+            if fsync:
+                faults.fire(FP_PRE_FSYNC)
+                faults.retrying(
+                    lambda: (
+                        faults.fire(FP_FLUSH_FSYNC),
+                        os.fsync(self._fh.fileno()),
+                    ),
+                    "fsync WAL",
+                )
+        except BaseException:
+            self._failed = True
+            raise
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
 
     def size_bytes(self) -> int:
         """Current on-disk size plus the buffered tail."""
@@ -330,6 +405,11 @@ class WriteAheadLog:
 
     def close(self) -> None:
         if self._fh.closed:
+            return
+        if self._failed:
+            # Nothing buffered can be trusted onto the torn tail; the
+            # file handle is released as-is and recovery will truncate.
+            self._fh.close()
             return
         self.flush()
         self._fh.close()
@@ -378,6 +458,7 @@ def read_wal(path: str | Path) -> WalScan:
     """
     path = Path(path)
     try:
+        faults.fire(FP_READ)
         data = path.read_bytes()
     except OSError as exc:
         raise WalIOError(f"cannot read WAL {path}: {exc}") from exc

@@ -24,7 +24,13 @@ from repro.graphdb.storage import (
     write_snapshot,
 )
 from repro.graphdb.storage.recovery import snapshot_name, wal_name
-from repro.graphdb.storage.wal import _HEADER, _RECORD, apply_mutation, read_wal
+from repro.graphdb.storage.wal import (
+    _HEADER,
+    _RECORD,
+    apply_mutation,
+    decode_mutation,
+    read_wal,
+)
 
 
 def seed_store(data_dir):
@@ -69,13 +75,36 @@ def record_boundaries(wal_path):
 
 
 def expected_states(data_dir):
-    """graph_state after each record prefix of the current WAL."""
+    """graph_state after each *physical record* prefix of the WAL.
+
+    Frame-aware: cascaded ``remove_vertex`` wraps its records in
+    ``tx_begin``/``tx_commit``, so ops inside a frame only become
+    visible at the commit record - a prefix cut mid-frame recovers the
+    pre-frame state.
+    """
     generation = RecoveryManager(data_dir).snapshot_generations()[0]
     graph = read_snapshot(data_dir / snapshot_name(generation))
-    scan = read_wal(data_dir / wal_name(generation))
+    data = (data_dir / wal_name(generation)).read_bytes()
     states = [graph_state(graph)]
-    for op, args in scan.records:
-        apply_mutation(graph, op, args)
+    frame = None
+    pos = _HEADER.size
+    while pos + _RECORD.size <= len(data):
+        length, _crc = _RECORD.unpack_from(data, pos)
+        start = pos + _RECORD.size
+        op, args = decode_mutation(data[start:start + length])
+        pos = start + length
+        if op == "tx_begin":
+            frame = []
+        elif op == "tx_commit":
+            for fop, fargs in frame:
+                apply_mutation(graph, fop, fargs)
+            frame = None
+        elif op == "tx_rollback":
+            frame = None
+        elif frame is not None:
+            frame.append((op, args))
+        else:
+            apply_mutation(graph, op, args)
         states.append(graph_state(graph))
     return states
 

@@ -177,8 +177,11 @@ class TestFallbackSafety:
         snap2 = self.corrupt_gen2(target)
         with GraphStore.open(target) as store:
             assert store.generation == 1
-        # The corrupt-but-newer snapshot is left for inspection.
-        assert snap2.exists()
+        # The corrupt-but-newer snapshot is quarantined, not deleted:
+        # the bytes stay on disk for inspection under a name recovery
+        # will not re-validate on every open.
+        assert not snap2.exists()
+        assert snap2.with_name(snap2.name + ".quarantined").exists()
 
     def test_checkpoint_replaces_stale_target_wal(self, tmp_path):
         target = tmp_path / "d"

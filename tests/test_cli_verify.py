@@ -1,0 +1,109 @@
+"""The ``repro verify`` subcommand: offline integrity audit.
+
+Exit codes are part of the contract (health checks script against
+them): 0 = every artifact intact, 1 = corruption or a torn WAL tail
+found, 2 = the path is not a data directory at all.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.storage import GraphStore
+from repro.graphdb.storage.recovery import snapshot_name, wal_name
+
+
+@pytest.fixture()
+def store_dir(tmp_path):
+    g = PropertyGraph("verify-demo")
+    a = g.add_vertex("Drug", {"name": "aspirin"})
+    b = g.add_vertex("Drug", {"name": "ibuprofen"})
+    g.add_edge(a, b, "interacts")
+    target = tmp_path / "store"
+    store = GraphStore.create(target, g)
+    store.graph.add_vertex("Drug", {"name": "late"})
+    store.close()
+    return target
+
+
+def test_clean_store_verifies_ok(store_dir, capsys):
+    assert main(["verify", str(store_dir)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True
+    (entry,) = report["generations"]
+    assert entry["generation"] == 1
+    assert entry["snapshot"]["status"] == "ok"
+    assert entry["snapshot"]["vertices"] == 2
+    assert entry["wal"]["status"] == "ok"
+    assert entry["wal"]["records"] == 1
+    assert entry["wal"]["torn_bytes"] == 0
+
+
+def test_corrupt_snapshot_exits_one(store_dir, capsys):
+    snap = store_dir / snapshot_name(1)
+    blob = bytearray(snap.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    snap.write_bytes(bytes(blob))
+    assert main(["verify", str(store_dir)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is False
+    (entry,) = report["generations"]
+    assert entry["snapshot"]["status"] == "corrupt"
+    assert "error" in entry["snapshot"]
+
+
+def test_torn_wal_exits_one(store_dir, capsys):
+    with open(store_dir / wal_name(1), "ab") as fh:
+        fh.write(b"\xff" * 10)
+    assert main(["verify", str(store_dir)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    (entry,) = report["generations"]
+    assert entry["wal"]["status"] == "torn"
+    assert entry["wal"]["torn_bytes"] == 10
+    # verify must not repair: the tail is still there afterwards.
+    assert main(["verify", str(store_dir)]) == 1
+
+
+def test_verify_is_read_only(store_dir, capsys):
+    before = {
+        p.name: p.read_bytes() for p in sorted(store_dir.iterdir())
+    }
+    assert main(["verify", str(store_dir)]) == 0
+    after = {
+        p.name: p.read_bytes() for p in sorted(store_dir.iterdir())
+    }
+    assert before == after
+
+
+def test_missing_directory_exits_two(tmp_path, capsys):
+    assert main(["verify", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_quarantined_and_tmp_debris_listed(store_dir, capsys):
+    (store_dir / (snapshot_name(9) + ".tmp")).write_bytes(b"junk")
+    (store_dir / (snapshot_name(3) + ".quarantined")).write_bytes(
+        b"old bad snapshot"
+    )
+    assert main(["verify", str(store_dir)]) == 0  # debris is inert
+    report = json.loads(capsys.readouterr().out)
+    assert report["tmp"] == [snapshot_name(9) + ".tmp"]
+    assert report["quarantined"] == [
+        snapshot_name(3) + ".quarantined"
+    ]
+
+
+def test_generation_mismatch_reported(store_dir, capsys):
+    import os
+
+    os.rename(
+        store_dir / wal_name(1), store_dir / wal_name(2)
+    )
+    assert main(["verify", str(store_dir)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    by_gen = {e["generation"]: e for e in report["generations"]}
+    assert by_gen[2]["wal"]["status"] == "generation-mismatch"
+    assert by_gen[2]["snapshot"]["status"] == "missing"
+    assert by_gen[1]["wal"]["status"] == "missing"
