@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Run the engine micro-benchmarks, the storage benchmarks, the
 # planner benchmarks, the graph-core benchmarks, the driver-API
-# benchmarks, and the fault-injection benchmarks, recording results
-# at the repo root as BENCH_engine.json, BENCH_storage.json,
-# BENCH_planner.json, BENCH_core.json, BENCH_api.json, and
-# BENCH_faults.json (the perf trajectory artifacts).
+# benchmarks, the fault-injection benchmarks, and the observability
+# benchmarks, recording results at the repo root as
+# BENCH_engine.json, BENCH_storage.json, BENCH_planner.json,
+# BENCH_core.json, BENCH_api.json, BENCH_faults.json, and
+# BENCH_observe.json (the perf trajectory artifacts).
 #
 # Usage: benchmarks/run_bench.sh [extra pytest args...]
 set -euo pipefail
@@ -48,3 +49,5 @@ python benchmarks/bench_core.py --out "$REPO_ROOT/BENCH_core.json"
 python benchmarks/bench_api.py --out "$REPO_ROOT/BENCH_api.json"
 
 python benchmarks/bench_faults.py --out "$REPO_ROOT/BENCH_faults.json"
+
+python benchmarks/bench_observe.py --out "$REPO_ROOT/BENCH_observe.json"

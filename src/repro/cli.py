@@ -60,7 +60,22 @@ Commands
     (Single-quote the query in a shell: ``$name`` inside double
     quotes would be expanded by the shell, not bound by the engine.)
     ``--timeout`` and ``--max-rows`` arm the driver's query
-    guardrails.
+    guardrails.  ``--trace`` records a per-query span tree (parse ->
+    plan -> execute with per-operator timings) and prints it after
+    the result; with ``--format json`` the payload carries the full
+    result summary (work metrics, latency, plan digest) and the
+    trace as structured data.
+
+``metrics``
+    Recover a data directory (populating the recovery, WAL, and plan
+    instruments), optionally run queries or a checkpoint against it,
+    and dump the process-global metrics registry::
+
+        python -m repro metrics ./med-data \\
+            --query 'MATCH (d:Drug) RETURN count(*)' --format prom
+
+    ``--format json`` (default) prints the registry snapshot;
+    ``prom`` prints a Prometheus text exposition.
 
 ``verify``
     Audit a data directory offline: validate every generation's
@@ -314,19 +329,33 @@ def cmd_query(args) -> int:
             result = session.run(
                 args.query, params,
                 timeout=args.timeout, max_rows=args.max_rows,
+                trace=args.trace,
             )
             records = [record.values() for record in result]
             summary = result.consume()
     if args.format == "json":
+        # The full ResultSummary, not just rows: work counters, real
+        # and simulated latency, and the executed plan's digest, so a
+        # scripted caller gets everything the driver knows.
         payload = {
             "columns": summary.columns,
             "rows": [
                 [_jsonable(v) for v in row] for row in records
             ],
+            "row_count": summary.rows,
             "latency_ms": round(summary.latency_ms, 3),
+            "elapsed_ms": round(summary.elapsed_ms, 3),
+            "plan_digest": summary.plan_digest,
+            "parameters": {
+                name: _jsonable(value)
+                for name, value in summary.parameters.items()
+            },
+            "metrics": summary.metrics.as_dict(),
         }
         if args.explain:
             payload["plan"] = summary.plan.splitlines()
+        if args.trace:
+            payload["trace"] = summary.trace.as_dict()
         print(json.dumps(payload, indent=2))
         return 0
     table = ExperimentTable(
@@ -339,6 +368,30 @@ def cmd_query(args) -> int:
     if args.explain:
         print("\nplan:")
         print(summary.plan)
+    if args.trace:
+        print("\ntrace:")
+        print(summary.trace.render())
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.graphdb.api import connect
+    from repro.graphdb.observe import render_prometheus
+
+    # --checkpoint needs a writable open; plain dumps recover
+    # read-only (which still exercises - and counts - recovery).
+    writable = bool(args.checkpoint)
+    with connect(args.data_dir, readonly=not writable) as db:
+        for query in args.queries or []:
+            with db.session() as session:
+                session.run(query).consume()
+        if args.checkpoint:
+            db.checkpoint()
+        snapshot = db.metrics()
+    if args.format == "prom":
+        print(render_prometheus(), end="")
+    else:
+        print(json.dumps(snapshot, indent=2))
     return 0
 
 
@@ -522,7 +575,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-rows", type=int, default=None, metavar="N",
         help="fail (don't truncate) if the query produces more rows",
     )
+    p_query.add_argument(
+        "--trace", action="store_true",
+        help="record a span tree (parse -> plan -> execute, per-"
+             "operator timings) and print it after the result",
+    )
     p_query.set_defaults(fn=cmd_query)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="recover a data directory and dump the engine metrics",
+    )
+    p_metrics.add_argument("data_dir", help="data directory to open")
+    p_metrics.add_argument(
+        "--query", dest="queries", action="append", metavar="CYPHER",
+        help="run this query before dumping metrics (repeatable)",
+    )
+    p_metrics.add_argument(
+        "--checkpoint", action="store_true",
+        help="open writable and checkpoint before dumping (exercises "
+             "the WAL and snapshot instruments)",
+    )
+    p_metrics.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help="JSON registry snapshot or Prometheus text exposition",
+    )
+    p_metrics.set_defaults(fn=cmd_metrics)
 
     p_verify = sub.add_parser(
         "verify",

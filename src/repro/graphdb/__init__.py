@@ -30,12 +30,15 @@ from repro.exceptions import (
 )
 from repro.graphdb.api import (
     Database,
+    ObserveConfig,
     Record,
     Result,
     ResultSummary,
     Session,
+    Trace,
     Transaction,
     connect,
+    render_prometheus,
 )
 from repro.graphdb.backends import (
     JANUSGRAPH_LIKE,
@@ -53,12 +56,15 @@ from repro.graphdb.view import GraphView, graph_pagerank
 __all__ = [
     # Driver API (the supported application surface)
     "Database",
+    "ObserveConfig",
     "Record",
     "Result",
     "ResultSummary",
     "Session",
+    "Trace",
     "Transaction",
     "connect",
+    "render_prometheus",
     # Exceptions
     "GraphError",
     "ParameterError",

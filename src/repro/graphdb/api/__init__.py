@@ -31,10 +31,12 @@ from repro.graphdb.api.database import Database, connect
 from repro.graphdb.api.result import Record, Result, ResultSummary
 from repro.graphdb.api.session import Session
 from repro.graphdb.api.transaction import Transaction
+from repro.graphdb.observe import ObserveConfig, Trace, render_prometheus
 
 __all__ = [
     "Database",
     "GraphError",
+    "ObserveConfig",
     "ParameterError",
     "QueryError",
     "QuerySyntaxError",
@@ -42,7 +44,9 @@ __all__ = [
     "Result",
     "ResultSummary",
     "Session",
+    "Trace",
     "Transaction",
     "TransactionError",
     "connect",
+    "render_prometheus",
 ]

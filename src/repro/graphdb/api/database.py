@@ -29,6 +29,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.exceptions import GraphError
+from repro.graphdb import observe as observe_mod
 from repro.graphdb.api.session import Session
 from repro.graphdb.backends import BackendProfile, NEO4J_LIKE
 from repro.graphdb.graph import PropertyGraph
@@ -41,6 +42,7 @@ def connect(
     create: bool = True,
     sync: str = "batch",
     readonly: bool = False,
+    observe: "observe_mod.ObserveConfig | dict | str | Path | None" = None,
 ) -> "Database":
     """Open ``target`` (graph, data directory, or snapshot file).
 
@@ -48,7 +50,14 @@ def connect(
     ``create``/``sync`` apply to writable data directories (see
     :class:`~repro.graphdb.storage.GraphStore`); ``readonly=True``
     recovers a directory without creating, truncating, or logging.
+    ``observe`` configures the process-global observability layer: an
+    :class:`~repro.graphdb.observe.ObserveConfig` (or a dict of its
+    fields, or a bare event-log path) that can point the JSONL event
+    sink somewhere, arm the slow-query log, or switch the metrics
+    registry off entirely - see :mod:`repro.graphdb.observe`.
     """
+    if observe is not None:
+        observe_mod.configure(observe)
     if isinstance(target, PropertyGraph):
         return Database(target, store=None, profile=profile)
     path = Path(target)
@@ -125,6 +134,22 @@ class Database:
         self._require_open()
         if self.store is not None:
             self.store.sync()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict:
+        """A consistent snapshot of the process-global metrics registry.
+
+        Counters, gauges, histograms, and per-plan est-vs-actual
+        observations populated by every layer of the engine (WAL,
+        checkpoint, recovery, plan cache, query execution) - the same
+        payload ``repro metrics`` prints; for a Prometheus text
+        exposition use :func:`repro.graphdb.observe.render_prometheus`.
+        The registry is process-global, so the snapshot covers every
+        database in the process, not just this one.
+        """
+        return observe_mod.REGISTRY.snapshot()
 
     # ------------------------------------------------------------------
     # Lifecycle

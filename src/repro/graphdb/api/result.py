@@ -24,12 +24,25 @@ attribution requires draining before the next query starts).
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Iterator
 
 from repro.exceptions import QueryError, ResourceLimitError
-from repro.graphdb import faults
+from repro.graphdb import faults, observe
 from repro.graphdb.metrics import ExecutionMetrics
+from repro.graphdb.observe.trace import Trace
+
+_QUERIES = observe.REGISTRY.counter(
+    "repro_queries_total", "Driver query executions settled."
+)
+_QUERY_ROWS = observe.REGISTRY.counter(
+    "repro_query_rows_total", "Records produced by driver executions."
+)
+_QUERY_SECONDS = observe.REGISTRY.histogram(
+    "repro_query_seconds",
+    help="Driver query wall time, run() to settled cursor.",
+)
 
 
 class Record:
@@ -97,7 +110,8 @@ class ResultSummary:
 
     __slots__ = (
         "query", "parameters", "columns", "rows", "metrics",
-        "latency_ms", "_plan", "_plan_actual", "_plan_text",
+        "latency_ms", "elapsed_ms", "plan_digest", "trace",
+        "_plan", "_plan_actual", "_plan_text",
     )
 
     def __init__(
@@ -110,6 +124,8 @@ class ResultSummary:
         latency_ms: float,
         plan,
         plan_actual: list[int],
+        elapsed_ms: float = 0.0,
+        trace: Trace | None = None,
     ):
         self.query = query
         self.parameters = parameters
@@ -121,6 +137,14 @@ class ResultSummary:
         self.metrics = metrics
         #: Simulated backend latency for those counters.
         self.latency_ms = latency_ms
+        #: Real wall-clock time, ``session.run()`` to settled cursor.
+        self.elapsed_ms = elapsed_ms
+        #: Short digest of the executed plan's shape (keys the
+        #: per-plan est-vs-actual observation store).
+        self.plan_digest = plan.fingerprint
+        #: The span tree recorded with ``session.run(..., trace=True)``
+        #: (``None`` on untraced executions).
+        self.trace = trace
         self._plan = plan
         self._plan_actual = plan_actual
         self._plan_text: str | None = None
@@ -159,6 +183,7 @@ class Result:
         rows: Iterator[tuple],
         plan,
         step_counts: list[int],
+        trace: Trace | None = None,
     ):
         self._owner = owner
         self._query = query
@@ -167,6 +192,8 @@ class Result:
         self._rows = rows
         self._plan = plan
         self._step_counts = step_counts
+        self._trace = trace
+        self._started = time.perf_counter()
         #: Records pulled but not yet handed to the caller (filled
         #: when the session detaches this result to run a new query).
         #: A deque: draining a large detached result pops from the
@@ -278,6 +305,7 @@ class Result:
     def _settle(self) -> None:
         """The pipeline is exhausted: collect metrics into a summary."""
         self._exhausted = True
+        elapsed_ms = (time.perf_counter() - self._started) * 1000.0
         graph_session = self._owner._graph_session
         metrics = graph_session.reset_metrics()
         metrics.rows = self._yielded
@@ -289,6 +317,32 @@ class Result:
         metrics.faults_injected = (
             counters["injected"] - self._fault_base["injected"]
         )
+        plan = self._plan
+        if self._trace is not None:
+            self._trace.complete(
+                plan.step_texts(),
+                [step.est_rows for step in plan.steps],
+                self._step_counts,
+                self._yielded,
+            )
+        _QUERIES.inc()
+        _QUERY_ROWS.inc(self._yielded)
+        _QUERY_SECONDS.observe(elapsed_ms / 1000.0)
+        if observe.REGISTRY.enabled:
+            step_counts = self._step_counts
+            observe.REGISTRY.plans.record(
+                plan.fingerprint,
+                lambda: [
+                    (
+                        text,
+                        step.est_rows,
+                        step_counts[i] if i < len(step_counts) else 0,
+                    )
+                    for i, (step, text) in enumerate(
+                        zip(plan.steps, plan.step_texts())
+                    )
+                ],
+            )
         self._summary = ResultSummary(
             query=self._query,
             parameters=dict(self._parameters),
@@ -296,7 +350,17 @@ class Result:
             rows=self._yielded,
             metrics=metrics,
             latency_ms=graph_session.profile.latency_ms(metrics),
-            plan=self._plan,
+            plan=plan,
             plan_actual=self._step_counts,
+            elapsed_ms=elapsed_ms,
+            trace=self._trace,
         )
+        if observe.EVENTS.slow_query_ms is not None:
+            observe.EVENTS.slow_query(
+                elapsed_ms,
+                self._query,
+                plan.fingerprint,
+                self._yielded,
+                metrics.as_dict(),
+            )
         self._owner._result_settled(self)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from repro.exceptions import TransactionError
 from repro.graphdb.api.result import Result
 from repro.graphdb.api.transaction import Transaction
+from repro.graphdb.observe.trace import Trace
 from repro.graphdb.query.ast import Query, query_text
 from repro.graphdb.query.executor import ExecutionGuard, Executor
 from repro.graphdb.session import GraphSession
@@ -62,6 +63,7 @@ class Session:
         parameters: dict[str, object] | None = None,
         timeout: float | None = None,
         max_rows: int | None = None,
+        trace: bool = False,
         **params: object,
     ) -> Result:
         """Execute a query; parameters come from ``parameters`` and/or
@@ -75,7 +77,10 @@ class Session:
         call is pulling the cursor.  ``max_rows`` caps the number of
         records the query may *produce*; exceeding it raises
         :class:`~repro.exceptions.ResourceLimitError` (unlike
-        ``LIMIT``, which silently stops).
+        ``LIMIT``, which silently stops).  ``trace=True`` records a
+        span tree (parse -> plan -> execute, with per-operator child
+        spans) surfaced as ``summary.trace`` once the cursor settles -
+        the per-step timing adds overhead, so it is opt-in per query.
         """
         self._require_open()
         bound = {**(parameters or {}), **params}
@@ -85,13 +90,23 @@ class Session:
             if timeout is not None or max_rows is not None
             else None
         )
+        trace_obj = (
+            Trace(query if isinstance(query, str) else query_text(query))
+            if trace
+            else None
+        )
         step_counts: list[int] = []
         parsed, plan, columns, rows = self._executor.stream(
-            query, bound, step_counts=step_counts, guard=guard
+            query,
+            bound,
+            step_counts=step_counts,
+            guard=guard,
+            trace=trace_obj,
         )
         text = query if isinstance(query, str) else query_text(parsed)
         result = Result(
-            self, text, bound, columns, rows, plan, step_counts
+            self, text, bound, columns, rows, plan, step_counts,
+            trace=trace_obj,
         )
         self._open_result = result
         return result

@@ -60,6 +60,18 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
+from repro.graphdb.observe import REGISTRY as _OBS
+
+_FAULTS_INJECTED = _OBS.labeled_counter(
+    "repro_faults_injected_total",
+    "point",
+    "Faults the failpoint harness injected, by failpoint name.",
+)
+_IO_RETRIES = _OBS.counter(
+    "repro_io_retries_total",
+    "Transient I/O errors absorbed by bounded retry.",
+)
+
 __all__ = [
     "FaultError",
     "FaultRegistry",
@@ -226,6 +238,7 @@ class FaultRegistry:
 
     def record_retry(self) -> None:
         self.retries += 1
+        _IO_RETRIES.inc()
 
     # -- hooks (hot path) ----------------------------------------------
     def fire(self, point: str) -> None:
@@ -236,6 +249,7 @@ class FaultRegistry:
         if not state.should_fire(self._rng):
             return
         self.injected += 1
+        _FAULTS_INJECTED.inc(point)
         spec = state.spec
         if spec.mode == "error":
             raise OSError(
@@ -257,6 +271,7 @@ class FaultRegistry:
         state = self._armed.get(point)
         if state is not None and state.should_fire(self._rng):
             self.injected += 1
+            _FAULTS_INJECTED.inc(point)
             spec = state.spec
             if spec.mode == "error":
                 raise OSError(

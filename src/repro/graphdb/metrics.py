@@ -11,12 +11,17 @@ authors' testbed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
 class ExecutionMetrics:
-    """Work counters for one query execution (or a workload)."""
+    """Work counters for one query execution (or a workload).
+
+    Every field is an additive counter, so :meth:`merge` and
+    :meth:`as_dict` are derived from the dataclass fields - adding a
+    counter is a one-line change.
+    """
 
     edge_traversals: int = 0
     vertex_reads: int = 0
@@ -34,30 +39,16 @@ class ExecutionMetrics:
     faults_injected: int = 0
 
     def merge(self, other: "ExecutionMetrics") -> None:
-        self.edge_traversals += other.edge_traversals
-        self.vertex_reads += other.vertex_reads
-        self.property_reads += other.property_reads
-        self.index_lookups += other.index_lookups
-        self.page_hits += other.page_hits
-        self.page_misses += other.page_misses
-        self.rows += other.rows
-        self.queries += other.queries
-        self.io_retries += other.io_retries
-        self.faults_injected += other.faults_injected
+        for name in _FIELD_NAMES:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "edge_traversals": self.edge_traversals,
-            "vertex_reads": self.vertex_reads,
-            "property_reads": self.property_reads,
-            "index_lookups": self.index_lookups,
-            "page_hits": self.page_hits,
-            "page_misses": self.page_misses,
-            "rows": self.rows,
-            "queries": self.queries,
-            "io_retries": self.io_retries,
-            "faults_injected": self.faults_injected,
-        }
+        return {name: getattr(self, name) for name in _FIELD_NAMES}
+
+
+_FIELD_NAMES: tuple[str, ...] = tuple(
+    f.name for f in fields(ExecutionMetrics)
+)
 
 
 @dataclass

@@ -48,7 +48,9 @@ from repro.exceptions import (
     QueryTimeoutError,
     ResourceLimitError,
 )
+from repro.graphdb import observe
 from repro.graphdb.metrics import ExecutionMetrics
+from repro.graphdb.observe.trace import Trace
 from repro.graphdb.query.ast import (
     AGGREGATE_FUNCTIONS,
     BoolOp,
@@ -82,6 +84,12 @@ from repro.graphdb.query.planner import (
     build_plan,
 )
 from repro.graphdb.session import GraphSession
+
+_GUARDRAIL_TRIPS = observe.REGISTRY.labeled_counter(
+    "repro_guardrail_trips_total",
+    "kind",
+    "Queries stopped by a resource guardrail (timeout, max_rows).",
+)
 
 
 @dataclass(frozen=True)
@@ -334,6 +342,7 @@ class ExecutionGuard:
             self.deadline is not None
             and time.monotonic() > self.deadline
         ):
+            _GUARDRAIL_TRIPS.inc("timeout")
             raise QueryTimeoutError(
                 f"query exceeded its {self.timeout}s timeout"
             )
@@ -359,6 +368,7 @@ def _guarded_rows(
         if max_rows is not None:
             emitted += 1
             if emitted > max_rows:
+                _GUARDRAIL_TRIPS.inc("max_rows")
                 raise ResourceLimitError(
                     f"query produced more than max_rows={max_rows} "
                     "row(s)"
@@ -378,6 +388,63 @@ def _counted(
 ) -> Iterator[Binding]:
     """Count the bindings one step yields (EXPLAIN ANALYZE probe)."""
     for binding in stream:
+        counts[index] += 1
+        yield binding
+
+
+#: Traced steps time their first pulls exactly, then 1 in every
+#: ``_TRACE_SAMPLE_STRIDE`` (scaled back up) - small traces stay
+#: exact while large scans don't pay two clock reads per row.
+_TRACE_EXACT_PULLS = 16
+_TRACE_SAMPLE_STRIDE = 16
+
+
+def _timed_counted(
+    stream: Iterable[Binding],
+    counts: list[int],
+    times: list[float],
+    index: int,
+) -> Iterator[Binding]:
+    """The tracing variant of :func:`_counted`: same binding counts
+    (one source of truth for trace spans *and* EXPLAIN ANALYZE), plus
+    the inclusive wall time spent pulling this step's generator (which
+    contains all upstream work - the iterator-model profile).  Past
+    the first ``_TRACE_EXACT_PULLS`` pulls the clock is sampled (1 in
+    ``_TRACE_SAMPLE_STRIDE``, scaled), so long streams pay the
+    tracing budget per *sample*, not per row.  Only installed when a
+    query runs with ``trace=True``; untraced executions never pay the
+    per-binding clock reads."""
+    perf = time.perf_counter
+    it = iter(stream)
+    exact = _TRACE_EXACT_PULLS
+    stride = _TRACE_SAMPLE_STRIDE
+    until_sample = 1
+    while True:
+        if exact > 0:
+            exact -= 1
+            started = perf()
+            try:
+                binding = next(it)
+            except StopIteration:
+                times[index] += perf() - started
+                return
+            times[index] += perf() - started
+        else:
+            until_sample -= 1
+            if until_sample <= 0:
+                until_sample = stride
+                started = perf()
+                try:
+                    binding = next(it)
+                except StopIteration:
+                    times[index] += perf() - started
+                    return
+                times[index] += (perf() - started) * stride
+            else:
+                try:
+                    binding = next(it)
+                except StopIteration:
+                    return
         counts[index] += 1
         yield binding
 
@@ -408,6 +475,7 @@ class Executor:
         parameters: dict[str, object] | None = None,
         step_counts: list[int] | None = None,
         guard: ExecutionGuard | None = None,
+        trace: Trace | None = None,
     ) -> tuple[Query, "Plan", list[str], Iterator[tuple]]:
         """Lazily execute; returns ``(query, plan, columns, rows)``.
 
@@ -422,25 +490,42 @@ class Executor:
         ``EXPLAIN ANALYZE``-style summaries render as actual rows.
         ``guard`` imposes a deadline checked per binding inside the
         pipeline and a cap on emitted rows (see
-        :class:`ExecutionGuard`).
+        :class:`ExecutionGuard`).  ``trace`` records parse/plan phase
+        spans and switches the pipeline to per-step inclusive timing
+        (the driver settles the trace's operator spans from the same
+        ``step_counts`` EXPLAIN ANALYZE uses).
         """
-        query, plan = self._prepare(query)
+        query, plan = self._prepare(query, trace)
         if step_counts is not None and not step_counts:
             step_counts.extend([0] * len(plan.steps))
+        if trace is not None:
+            trace.step_times = [0.0] * len(plan.steps)
+            trace.begin_execute()
         columns, rows = self._start(
-            query, plan, parameters, step_counts, guard
+            query,
+            plan,
+            parameters,
+            step_counts,
+            guard,
+            step_times=trace.step_times if trace is not None else None,
         )
         return query, plan, columns, rows
 
-    def _prepare(self, query: Query | str) -> tuple[Query, Plan]:
+    def _prepare(
+        self, query: Query | str, trace: Trace | None = None
+    ) -> tuple[Query, Plan]:
         """Parse and plan, consulting the per-graph plan cache.
 
         The cache key is the query text, or - AST nodes are frozen
         dataclasses - the :class:`Query` itself; the one unhashable
         case (a list literal embedded in an expression) is planned
         afresh.  The rewriter's pre-parsed OPT queries therefore cache
-        just like text does.
+        just like text does.  With ``trace``, parse and plan each get
+        a phase span; a cache hit collapses them into one instant
+        ``plan`` span tagged ``cached``.
         """
+        if trace is not None:
+            return self._prepare_traced(query, trace)
         graph = self.session.graph
         if not self.cost_based:
             if isinstance(query, str):
@@ -465,6 +550,43 @@ class Executor:
             stats.plan_cache.put(key, stats.epoch, (parsed, plan))
         return parsed, plan
 
+    def _prepare_traced(
+        self, query: Query | str, trace: Trace
+    ) -> tuple[Query, Plan]:
+        """:meth:`_prepare` with parse/plan phase spans recorded."""
+        graph = self.session.graph
+        if not self.cost_based:
+            if isinstance(query, str):
+                with trace.span("parse"):
+                    query = parse_query(query)
+            with trace.span("plan"):
+                return query, build_plan(query, graph, cost_based=False)
+        stats = graph.statistics()
+        key: Query | str | None = query
+        try:
+            hash(key)
+        except TypeError:
+            key = None
+        cached = (
+            stats.plan_cache.get(key, stats.epoch)
+            if key is not None
+            else None
+        )
+        if cached is not None:
+            span = trace.begin("plan").finish()
+            span.attrs["cached"] = True
+            return cached
+        if isinstance(query, str):
+            with trace.span("parse"):
+                parsed = parse_query(query)
+        else:
+            parsed = query
+        with trace.span("plan"):
+            plan = build_plan(parsed, graph, statistics=stats)
+        if key is not None:
+            stats.plan_cache.put(key, stats.epoch, (parsed, plan))
+        return parsed, plan
+
     def _start(
         self,
         query: Query,
@@ -472,11 +594,12 @@ class Executor:
         parameters: dict[str, object] | None,
         step_counts: list[int] | None = None,
         guard: ExecutionGuard | None = None,
+        step_times: list[float] | None = None,
     ) -> tuple[list[str], Iterator[tuple]]:
         """Compile one execution: ``(columns, lazy row iterator)``."""
         params = _validate_params(query, parameters)
         evaluator = _Evaluator(self.session, plan, params)
-        stream = self._match_stream(plan, evaluator, step_counts)
+        stream = self._match_stream(plan, evaluator, step_counts, step_times)
         if guard is not None and guard.deadline is not None:
             # Checked per binding *before* projection, so pipeline
             # breakers (aggregation, full-sort ORDER BY) that drain the
@@ -541,6 +664,7 @@ class Executor:
         plan: Plan,
         evaluator: _Evaluator,
         step_counts: list[int] | None = None,
+        step_times: list[float] | None = None,
     ) -> Iterator[Binding]:
         params = evaluator.params
         stream: Iterable[Binding] = ((),)
@@ -555,7 +679,9 @@ class Executor:
                 )
             else:
                 stream = self._join_stream(step, filters, stream)
-            if step_counts is not None:
+            if step_times is not None and step_counts is not None:
+                stream = _timed_counted(stream, step_counts, step_times, i)
+            elif step_counts is not None:
                 stream = _counted(stream, step_counts, i)
         return iter(stream)
 

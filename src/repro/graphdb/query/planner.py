@@ -62,6 +62,7 @@ object's LRU plan cache, keyed on ``(query text, stats epoch)`` - see
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
 from dataclasses import dataclass, field, replace
@@ -182,19 +183,31 @@ class Plan:
     slot_kinds: dict[str, str] = field(default_factory=dict)
     #: "cost" or "syntactic" - how the step order was chosen.
     ordering: str = "cost"
+    _fingerprint: str | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _step_texts: list[str] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_slots(self) -> int:
         return len(self.slots)
 
-    def describe(self, actual: list[int] | None = None) -> str:
-        """Human-readable rendering of steps and pushed predicates.
+    def step_texts(self) -> list[str]:
+        """One canonical text per step (no numbering, no row counts).
 
-        ``actual`` (per-step binding counts collected by
-        ``EXPLAIN ANALYZE``) adds an estimated-vs-actual column.
+        This is the single rendering of "what the plan does": EXPLAIN
+        output (:meth:`describe`), trace operator spans, and the plan
+        :attr:`fingerprint` all derive from it, so the three surfaces
+        can never describe the same plan differently.  Cached: plans
+        are immutable once built and cached plans settle metrics on
+        every execution.
         """
-        lines = []
-        for i, step in enumerate(self.steps):
+        if self._step_texts is not None:
+            return self._step_texts
+        texts = []
+        for step in self.steps:
             if isinstance(step, ScanStep):
                 if step.access == "index":
                     how = (
@@ -233,6 +246,33 @@ class Plan:
                     text += " [O(1) pair probe]"
             for predicate in step.filters:
                 text += f" filter[{expr_text(predicate)}]"
+            texts.append(text)
+        self._step_texts = texts
+        return texts
+
+    @property
+    def fingerprint(self) -> str:
+        """Short stable digest of the plan shape (step texts).
+
+        Keys the per-plan est-vs-actual observation store; two queries
+        that plan into the same operator pipeline share a fingerprint,
+        and a replan that changes the pipeline changes it.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1(
+                "\n".join(self.step_texts()).encode("utf-8")
+            )
+            self._fingerprint = digest.hexdigest()[:12]
+        return self._fingerprint
+
+    def describe(self, actual: list[int] | None = None) -> str:
+        """Human-readable rendering of steps and pushed predicates.
+
+        ``actual`` (per-step binding counts collected by
+        ``EXPLAIN ANALYZE``) adds an estimated-vs-actual column.
+        """
+        lines = []
+        for i, (step, text) in enumerate(zip(self.steps, self.step_texts())):
             text += _rows_text(
                 step.est_rows, actual[i] if actual is not None else None
             )

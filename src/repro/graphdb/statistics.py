@@ -46,6 +46,19 @@ from itertools import compress
 from typing import Iterable
 
 from repro.graphdb.columnar import KIND_OBJ
+from repro.graphdb.observe import REGISTRY as _OBS
+
+_PLAN_CACHE_HITS = _OBS.counter(
+    "repro_plan_cache_hits_total", "Plan-cache lookups served from cache."
+)
+_PLAN_CACHE_MISSES = _OBS.counter(
+    "repro_plan_cache_misses_total",
+    "Plan-cache lookups that required planning (includes epoch bumps).",
+)
+_PLAN_CACHE_EVICTIONS = _OBS.counter(
+    "repro_plan_cache_evictions_total",
+    "Cached plans dropped by LRU capacity pressure.",
+)
 
 #: Histograms persisted into snapshots keep at most this many
 #: most-common values; the remainder is summarized as (extra distinct
@@ -149,9 +162,11 @@ class PlanCache:
         value = self._entries.pop(key, None)
         if value is None:
             self.misses += 1
+            _PLAN_CACHE_MISSES.inc()
             return None
         self._entries[key] = value  # re-insert: most recently used
         self.hits += 1
+        _PLAN_CACHE_HITS.inc()
         return value
 
     def put(self, query, epoch: int, value) -> None:
@@ -160,6 +175,7 @@ class PlanCache:
         while len(self._entries) >= self.capacity:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
+            _PLAN_CACHE_EVICTIONS.inc()
         self._entries[key] = value
 
     def __len__(self) -> int:

@@ -26,11 +26,12 @@ from __future__ import annotations
 
 import os
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.exceptions import StorageError
-from repro.graphdb import faults
+from repro.graphdb import faults, observe
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.storage.snapshot import (
     SnapshotError,
@@ -58,6 +59,29 @@ TMP_PATTERN = re.compile(r"^snapshot-(\d{8})\.rpgs\.tmp$")
 FP_TRUNCATE = faults.REGISTRY.register("recovery.wal_truncate")
 FP_QUARANTINE = faults.REGISTRY.register("recovery.quarantine")
 FP_SWEEP = faults.REGISTRY.register("store.open.sweep")
+
+_RECOVERIES = observe.REGISTRY.counter(
+    "repro_recoveries_total", "Recovery passes (store opens)."
+)
+_RECOVERY_REPLAYED = observe.REGISTRY.counter(
+    "repro_recovery_replayed_records_total",
+    "WAL records replayed during recovery.",
+)
+_RECOVERY_TRUNCATED = observe.REGISTRY.counter(
+    "repro_recovery_truncated_bytes_total",
+    "Torn WAL-tail bytes found by recovery.",
+)
+_RECOVERY_QUARANTINED = observe.REGISTRY.counter(
+    "repro_recovery_quarantined_total",
+    "Corrupt snapshots renamed aside during recovery.",
+)
+_RECOVERY_SWEPT_TMP = observe.REGISTRY.counter(
+    "repro_recovery_swept_tmp_total",
+    "Orphaned tmp files swept on writable open.",
+)
+_RECOVERY_SECONDS = observe.REGISTRY.histogram(
+    "repro_recovery_seconds", help="Recovery pass wall time."
+)
 
 
 def snapshot_name(generation: int) -> str:
@@ -167,6 +191,7 @@ class RecoveryManager:
         ``*.quarantined`` - degrading to the newest older valid
         generation instead of re-tripping on the bad file forever.
         """
+        started = time.perf_counter()
         report = RecoveryReport(data_dir=self.data_dir)
         if truncate:
             self._sweep_tmp(report)
@@ -210,6 +235,21 @@ class RecoveryManager:
                 self._quarantine(path, report)
 
         self._replay_wal(graph, report, truncate)
+        _RECOVERIES.inc()
+        _RECOVERY_REPLAYED.inc(report.replayed_ops)
+        _RECOVERY_TRUNCATED.inc(report.truncated_bytes)
+        _RECOVERY_SWEPT_TMP.inc(len(report.removed_tmp))
+        _RECOVERY_SECONDS.observe(time.perf_counter() - started)
+        observe.EVENTS.emit(
+            "recovery",
+            data_dir=str(self.data_dir),
+            generation=report.generation,
+            replayed_ops=report.replayed_ops,
+            truncated_bytes=report.truncated_bytes,
+            quarantined=len(report.quarantined),
+            removed_tmp=len(report.removed_tmp),
+            writable=truncate,
+        )
         return graph, report
 
     def _replay_wal(
@@ -290,6 +330,8 @@ class RecoveryManager:
         except OSError:
             return
         report.quarantined.append(path)
+        _RECOVERY_QUARANTINED.inc()
+        observe.EVENTS.emit("quarantine", path=str(path))
 
 
 def recover_graph(data_dir: str | Path) -> PropertyGraph:

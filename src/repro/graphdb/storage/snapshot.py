@@ -64,12 +64,13 @@ import gc
 import os
 import struct
 import sys
+import time
 import zlib
 from array import array
 from pathlib import Path
 
 from repro.exceptions import StorageError
-from repro.graphdb import faults
+from repro.graphdb import faults, observe
 from repro.graphdb.columnar import KIND_FLOAT, KIND_INT, KIND_OBJ, PropertyColumn
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.statistics import MCV_CAP, GraphStatistics, PropertyStats
@@ -114,6 +115,17 @@ FP_RENAME = faults.REGISTRY.register("snapshot.rename")
 FP_DIR_FSYNC = faults.REGISTRY.register("snapshot.dir_fsync")
 FP_READ = faults.REGISTRY.register("snapshot.read")
 
+_SNAP_WRITES = observe.REGISTRY.counter(
+    "repro_snapshot_writes_total", "Snapshots written (tmp+rename)."
+)
+_SNAP_WRITTEN_BYTES = observe.REGISTRY.counter(
+    "repro_snapshot_written_bytes_total", "Bytes written into snapshots."
+)
+_SNAP_WRITE_SECONDS = observe.REGISTRY.histogram(
+    "repro_snapshot_write_seconds",
+    help="Snapshot serialize+fsync+rename wall time.",
+)
+
 _I64_MIN = -(1 << 63)
 _I64_MAX = (1 << 63) - 1
 
@@ -142,6 +154,7 @@ def write_snapshot(
 ) -> int:
     """Serialize ``graph`` to ``path`` atomically; returns bytes written."""
     path = Path(path)
+    started = time.perf_counter()
     sections = _encode_sections(graph, generation)
     table = bytearray()
     payload = bytearray()
@@ -185,6 +198,9 @@ def write_snapshot(
             pass
         raise
     _fsync_dir(path.parent)
+    _SNAP_WRITES.inc()
+    _SNAP_WRITTEN_BYTES.inc(written)
+    _SNAP_WRITE_SECONDS.observe(time.perf_counter() - started)
     return written
 
 

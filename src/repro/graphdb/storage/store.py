@@ -26,10 +26,11 @@ that want a point-in-time view without write access should use
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 from repro.exceptions import StorageError
-from repro.graphdb import faults
+from repro.graphdb import faults, observe
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.storage.recovery import (
     RecoveryManager,
@@ -44,6 +45,21 @@ from repro.graphdb.storage.wal import WriteAheadLog
 FP_CKPT_PRE = faults.REGISTRY.register("store.checkpoint.pre_snapshot")
 FP_CKPT_STALE = faults.REGISTRY.register("store.checkpoint.stale_wal")
 FP_CKPT_NEW = faults.REGISTRY.register("store.checkpoint.new_wal")
+
+_CHECKPOINTS = observe.REGISTRY.counter(
+    "repro_checkpoints_total", "Completed checkpoints (WAL compactions)."
+)
+_CHECKPOINT_ROLLBACKS = observe.REGISTRY.counter(
+    "repro_checkpoint_rollbacks_total",
+    "Half-finished checkpoints rolled back after a failure.",
+)
+_CHECKPOINT_SECONDS = observe.REGISTRY.histogram(
+    "repro_checkpoint_seconds", help="Checkpoint wall time."
+)
+_STORE_GENERATION = observe.REGISTRY.gauge(
+    "repro_store_generation",
+    "Generation of the most recently opened/checkpointed store.",
+)
 
 
 class GraphStore:
@@ -95,6 +111,7 @@ class GraphStore:
             data_dir, graph, report.generation, wal, recovery=report
         )
         store._prune(keep=report.generation)
+        _STORE_GENERATION.set(report.generation)
         return store
 
     @classmethod
@@ -188,6 +205,7 @@ class GraphStore:
             raise StorageError(
                 "cannot checkpoint while a transaction is open"
             )
+        started = time.perf_counter()
         self._wal.flush(fsync=True)
         new_generation = self.generation + 1
         snapshot_path = self.data_dir / snapshot_name(new_generation)
@@ -219,6 +237,15 @@ class GraphStore:
         old_wal.close()
         self.generation = new_generation
         self._prune(keep=new_generation)
+        _CHECKPOINTS.inc()
+        _CHECKPOINT_SECONDS.observe(time.perf_counter() - started)
+        _STORE_GENERATION.set(new_generation)
+        observe.EVENTS.emit(
+            "checkpoint",
+            data_dir=str(self.data_dir),
+            generation=new_generation,
+            snapshot=snapshot_path.name,
+        )
         return snapshot_path
 
     def _rollback_checkpoint(
@@ -232,12 +259,19 @@ class GraphStore:
         be removed the store is poisoned, because appends to the old
         WAL would be invisible to a recovery that prefers ``g+1``.
         """
+        _CHECKPOINT_ROLLBACKS.inc()
         try:
             os.unlink(snapshot_path)
         except FileNotFoundError:
             pass
         except OSError:
             self._poisoned = True
+            observe.EVENTS.emit(
+                "store_poisoned",
+                data_dir=str(self.data_dir),
+                generation=self.generation,
+                snapshot=snapshot_path.name,
+            )
             return
         self._unlink(self.data_dir / wal_name(new_generation))
 

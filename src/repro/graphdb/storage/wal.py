@@ -37,12 +37,13 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.exceptions import GraphError, StorageError
-from repro.graphdb import faults
+from repro.graphdb import faults, observe
 from repro.graphdb.graph import PropertyGraph
 from repro.graphdb.storage.codec import (
     CodecError,
@@ -58,6 +59,36 @@ from repro.graphdb.storage.codec import (
 
 MAGIC = b"RPGWAL01"
 FORMAT_VERSION = 1
+
+#: Metric handles (see :mod:`repro.graphdb.observe`); an update while
+#: the registry is disabled is a single flag check, same budget as a
+#: disarmed failpoint.
+_WAL_APPENDS = observe.REGISTRY.counter(
+    "repro_wal_appends_total", "Records appended to the WAL."
+)
+_WAL_FLUSHES = observe.REGISTRY.counter(
+    "repro_wal_flushes_total", "WAL flushes (batch or explicit)."
+)
+_WAL_FLUSHED_BYTES = observe.REGISTRY.counter(
+    "repro_wal_flushed_bytes_total", "Record bytes written by WAL flushes."
+)
+_WAL_POISONED = observe.REGISTRY.counter(
+    "repro_wal_poisoned_total",
+    "Times a WAL poisoned itself after an uncertain write.",
+)
+_WAL_BATCH_RECORDS = observe.REGISTRY.histogram(
+    "repro_wal_batch_records",
+    buckets=observe.DEFAULT_SIZE_BUCKETS,
+    help="Records per flushed WAL batch.",
+)
+_WAL_FSYNC_SECONDS = observe.REGISTRY.histogram(
+    "repro_wal_fsync_seconds", help="WAL fsync wall time."
+)
+_WAL_SIZE_BYTES = observe.REGISTRY.gauge(
+    "repro_wal_size_bytes",
+    "On-disk size of the most recently flushed WAL (buffered tail "
+    "included).",
+)
 
 #: Failpoints threaded through this module (see
 #: :mod:`repro.graphdb.faults`); a disarmed hook is one dict probe.
@@ -329,6 +360,12 @@ class WriteAheadLog:
                 )
             except BaseException:
                 self._failed = True
+                _WAL_POISONED.inc()
+                observe.EVENTS.emit(
+                    "wal_poisoned",
+                    path=str(self.path),
+                    generation=generation,
+                )
                 raise
             # The file itself must survive a crash, not just its
             # contents - otherwise fsynced records vanish with the
@@ -347,6 +384,7 @@ class WriteAheadLog:
         self._pending.append(record)
         self._pending_bytes += len(record)
         self.records_appended += 1
+        _WAL_APPENDS.inc()
         if self.sync == "always":
             self.flush()
         elif self.sync == "batch" and (
@@ -374,16 +412,21 @@ class WriteAheadLog:
         try:
             if self._pending:
                 batch = b"".join(self._pending)
+                batch_records = len(self._pending)
                 # Clear *before* writing: a torn write must not be
                 # re-attempted after the same bytes partially landed.
                 self._pending.clear()
                 self._pending_bytes = 0
                 faults.write(FP_FLUSH_WRITE, self._fh, batch)
+                _WAL_FLUSHED_BYTES.inc(len(batch))
+                _WAL_BATCH_RECORDS.observe(batch_records)
             self._fh.flush()
             if fsync is None:
                 fsync = self.sync != "never"
             if fsync:
                 faults.fire(FP_PRE_FSYNC)
+                timing = observe.REGISTRY.enabled
+                started = time.perf_counter() if timing else 0.0
                 faults.retrying(
                     lambda: (
                         faults.fire(FP_FLUSH_FSYNC),
@@ -391,8 +434,20 @@ class WriteAheadLog:
                     ),
                     "fsync WAL",
                 )
+                if timing:
+                    _WAL_FSYNC_SECONDS.observe(
+                        time.perf_counter() - started
+                    )
+            _WAL_FLUSHES.inc()
+            _WAL_SIZE_BYTES.set(self._fh.tell())
         except BaseException:
             self._failed = True
+            _WAL_POISONED.inc()
+            observe.EVENTS.emit(
+                "wal_poisoned",
+                path=str(self.path),
+                generation=self.generation,
+            )
             raise
 
     @property

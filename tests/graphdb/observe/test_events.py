@@ -1,0 +1,121 @@
+"""EventLog / ObserveConfig: JSONL sink, slow-query threshold."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.graphdb.observe import EventLog, ObserveConfig, query_fingerprint
+
+
+def read_events(path: Path) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+    ]
+
+
+class TestQueryFingerprint:
+    def test_stable_and_short(self):
+        fp = query_fingerprint("MATCH (n) RETURN n")
+        assert fp == query_fingerprint("MATCH (n) RETURN n")
+        assert len(fp) == 12
+        assert fp != query_fingerprint("MATCH (m) RETURN m")
+
+
+class TestObserveConfig:
+    def test_coerce_passthrough(self):
+        config = ObserveConfig(slow_query_ms=5.0)
+        assert ObserveConfig.coerce(config) is config
+
+    def test_coerce_path_is_log_path(self, tmp_path):
+        config = ObserveConfig.coerce(tmp_path / "ev.jsonl")
+        assert config.log_path == tmp_path / "ev.jsonl"
+        assert config.slow_query_ms is None and config.metrics is True
+
+    def test_coerce_dict(self):
+        config = ObserveConfig.coerce(
+            {"slow_query_ms": 10.0, "metrics": False}
+        )
+        assert config.slow_query_ms == 10.0 and config.metrics is False
+
+    def test_coerce_rejects_other_types(self):
+        with pytest.raises(TypeError, match="observe="):
+            ObserveConfig.coerce(42)
+
+
+class TestEventLog:
+    def test_inert_until_configured(self, tmp_path):
+        log = EventLog()
+        assert not log.enabled
+        log.emit("noop", x=1)  # no path -> dropped silently
+
+    def test_emit_appends_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("checkpoint", generation=2)
+        log.emit("recovery", replayed_ops=7)
+        events = read_events(path)
+        assert [e["event"] for e in events] == ["checkpoint", "recovery"]
+        assert events[0]["generation"] == 2
+        assert events[1]["replayed_ops"] == 7
+        assert all(e["ts"] > 0 for e in events)
+        log.disable()
+
+    def test_emit_serializes_paths_as_strings(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit("quarantine", path=tmp_path / "bad.wal")
+        assert read_events(path)[0]["path"].endswith("bad.wal")
+        log.disable()
+
+    def test_disable_clears_path_and_threshold(self, tmp_path):
+        log = EventLog(tmp_path / "e.jsonl", slow_query_ms=1.0)
+        log.disable()
+        assert not log.enabled and log.slow_query_ms is None
+        log.emit("after", x=1)
+        assert not (tmp_path / "e.jsonl").exists()
+
+    def test_unarmed_slow_query_logs_nothing(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path)  # no threshold
+        log.slow_query(1000.0, "MATCH (n) RETURN n", "digest", 1, {})
+        assert not path.exists()
+        log.disable()
+
+    def test_threshold_gates_slow_queries(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path, slow_query_ms=50.0)
+        log.slow_query(49.9, "fast", "d1", 1, {})
+        log.slow_query(50.0, "at-threshold", "d2", 2, {"rows": 2})
+        log.slow_query(200.0, "slow", "d3", 3, {})
+        events = read_events(path)
+        assert [e["query"] for e in events] == ["at-threshold", "slow"]
+        first = events[0]
+        assert first["event"] == "slow_query"
+        assert first["elapsed_ms"] == 50.0
+        assert first["threshold_ms"] == 50.0
+        assert first["plan_digest"] == "d2"
+        assert first["rows"] == 2
+        assert first["metrics"] == {"rows": 2}
+        assert first["query_fingerprint"] == query_fingerprint(
+            "at-threshold"
+        )
+        log.disable()
+
+    def test_zero_threshold_logs_every_query(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path, slow_query_ms=0)
+        log.slow_query(0.01, "q", "d", 0, {})
+        assert len(read_events(path)) == 1
+        log.disable()
+
+    def test_configure_repoints_sink(self, tmp_path):
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        log = EventLog(first)
+        log.emit("one")
+        log.configure(path=second)
+        log.emit("two")
+        assert [e["event"] for e in read_events(first)] == ["one"]
+        assert [e["event"] for e in read_events(second)] == ["two"]
+        log.disable()

@@ -1,0 +1,50 @@
+"""Prometheus text exposition of a MetricsRegistry."""
+
+from repro.graphdb.observe import MetricsRegistry, render_prometheus
+
+
+def fresh_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_c_total", help="A counter.").inc(3)
+    reg.gauge("repro_g", help="A gauge.").set(2.5)
+    reg.labeled_counter("repro_lc_total", "kind").inc("time\"out")
+    reg.histogram("repro_h_seconds", buckets=(0.001, 1.0)).observe(0.5)
+    return reg
+
+
+class TestRenderPrometheus:
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(fresh_registry())
+        assert "# HELP repro_c_total A counter." in text
+        assert "# TYPE repro_c_total counter" in text
+        assert "\nrepro_c_total 3\n" in text
+        assert "# TYPE repro_g gauge" in text
+        assert "\nrepro_g 2.5\n" in text
+
+    def test_labeled_counter_escapes_quotes(self):
+        text = render_prometheus(fresh_registry())
+        assert 'repro_lc_total{kind="time\\"out"} 1' in text
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        reg = fresh_registry()
+        reg.histogram("repro_h_seconds").observe(0.0005)
+        text = render_prometheus(reg)
+        assert 'repro_h_seconds_bucket{le="0.001"} 1' in text
+        assert 'repro_h_seconds_bucket{le="1"} 2' in text
+        assert 'repro_h_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_h_seconds_sum 0.5005" in text
+        assert "repro_h_seconds_count 2" in text
+
+    def test_integral_floats_render_as_ints(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(4.0)
+        assert "\ng 4\n" in render_prometheus(reg)
+
+    def test_ends_with_newline(self):
+        assert render_prometheus(fresh_registry()).endswith("\n")
+
+    def test_defaults_to_global_registry(self):
+        # The global registry always carries the engine's instruments.
+        text = render_prometheus()
+        assert "repro_queries_total" in text
+        assert "repro_wal_appends_total" in text

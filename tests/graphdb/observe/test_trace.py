@@ -1,0 +1,121 @@
+"""Trace / Span: nesting, timing, rendering."""
+
+import time
+
+import pytest
+
+from repro.graphdb.observe import Trace
+from repro.graphdb.observe.trace import Span
+
+
+class TestSpan:
+    def test_finish_sets_end_once(self):
+        span = Span("s")
+        span.finish()
+        end = span.end
+        span.finish()  # idempotent
+        assert span.end == end
+        assert span.duration_ms is not None and span.duration_ms >= 0
+
+    def test_unfinished_span_has_no_duration(self):
+        assert Span("s").duration_ms is None
+
+    def test_walk_is_depth_first(self):
+        root = Span("root")
+        a, b = Span("a"), Span("b")
+        a.children.append(Span("a1"))
+        root.children.extend([a, b])
+        assert [s.name for s in root.walk()] == ["root", "a", "a1", "b"]
+
+    def test_as_dict_includes_attrs_and_children(self):
+        span = Span("s")
+        span.attrs["rows"] = 3
+        span.children.append(Span("child").finish())
+        span.finish()
+        d = span.as_dict()
+        assert d["name"] == "s" and d["rows"] == 3
+        assert d["children"][0]["name"] == "child"
+        assert d["duration_ms"] >= 0
+
+
+class TestTrace:
+    def test_phase_spans_nest_under_root(self):
+        trace = Trace("MATCH (n) RETURN n")
+        with trace.span("parse"):
+            pass
+        with trace.span("plan"):
+            pass
+        trace.begin_execute()
+        names = [s.name for s in trace.root.children]
+        assert names == ["parse", "plan", "execute"]
+
+    def test_span_timing_is_monotonic(self):
+        trace = Trace("q")
+        with trace.span("parse") as parse:
+            time.sleep(0.001)
+        with trace.span("plan") as plan:
+            pass
+        assert parse.end <= plan.start
+        assert parse.duration_ms >= 1.0
+
+    def test_complete_builds_operator_spans(self):
+        trace = Trace("q")
+        trace.begin_execute()
+        trace.step_times = [0.002, 0.005]
+        trace.complete(
+            step_texts=["Scan d", "Expand d->i"],
+            est_rows=[50.0, None],
+            actual_rows=[48, 120],
+            rows=120,
+        )
+        execute = trace.execute_span
+        assert execute.attrs["rows"] == 120
+        assert execute.end is not None and trace.root.end is not None
+        ops = execute.children
+        assert [s.name for s in ops] == ["1. Scan d", "2. Expand d->i"]
+        assert ops[0].attrs == {"est_rows": 50.0, "actual_rows": 48}
+        assert ops[1].attrs == {"est_rows": None, "actual_rows": 120}
+        # step_times are inclusive seconds offset from execute start
+        assert ops[0].duration_ms == pytest.approx(2.0, rel=0.01)
+        assert ops[1].duration_ms == pytest.approx(5.0, rel=0.01)
+
+    def test_complete_without_execute_span_synthesizes_one(self):
+        trace = Trace("q")
+        trace.complete(["s"], [1.0], [1], 1)
+        assert trace.execute_span is not None
+        assert trace.root.end is not None
+
+    def test_missing_actual_rows_default_to_zero(self):
+        trace = Trace("q")
+        trace.complete(["a", "b"], [1.0, 2.0], [5], 5)
+        ops = trace.execute_span.children
+        assert ops[0].attrs["actual_rows"] == 5
+        assert ops[1].attrs["actual_rows"] == 0
+
+    def test_render_tree(self):
+        trace = Trace("MATCH (d:Drug) RETURN d")
+        with trace.span("parse"):
+            pass
+        trace.begin_execute()
+        trace.step_times = [0.001]
+        trace.complete(["Scan d via label scan (:Drug)"], [22.0], [22], 22)
+        text = trace.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("query MATCH (d:Drug) RETURN d")
+        assert any(line.startswith("|- parse") for line in lines)
+        assert any(line.startswith("`- execute") for line in lines)
+        assert "est~22, actual=22 rows" in text
+
+    def test_cached_plan_span_renders_marker(self):
+        trace = Trace("q")
+        span = trace.begin("plan").finish()
+        span.attrs["cached"] = True
+        assert "cached plan" in trace.render()
+
+    def test_as_dict_carries_query_and_started_at(self):
+        trace = Trace("MATCH (n) RETURN n")
+        trace.complete([], [], [], 0)
+        d = trace.as_dict()
+        assert d["query"] == "MATCH (n) RETURN n"
+        assert d["started_at"] > 0
+        assert d["duration_ms"] >= 0

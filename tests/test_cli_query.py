@@ -41,6 +41,59 @@ class TestQueryCommand:
         assert payload["rows"] == [["d2"]]
         assert payload["latency_ms"] > 0
 
+    def test_json_output_carries_full_summary(self, data_dir, capsys):
+        assert main([
+            "query", data_dir,
+            "MATCH (d:Drug) RETURN d.name AS name",
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["row_count"] == 5
+        assert payload["elapsed_ms"] >= 0
+        assert len(payload["plan_digest"]) == 12
+        assert payload["metrics"]["rows"] == 5
+        assert payload["parameters"] == {}
+
+    def test_json_output_echoes_parameters(self, data_dir, capsys):
+        assert main([
+            "query", data_dir,
+            "MATCH (d:Drug {id: $id}) RETURN d.name",
+            "--param", "id=2", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["parameters"] == {"id": 2}
+
+    def test_trace_flag_table(self, data_dir, capsys):
+        assert main([
+            "query", data_dir,
+            "MATCH (d:Drug) RETURN count(*) AS n", "--trace",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+        assert "parse" in out and "execute" in out
+        assert "actual=5 rows" in out
+
+    def test_trace_flag_json(self, data_dir, capsys):
+        assert main([
+            "query", data_dir,
+            "MATCH (d:Drug) RETURN d.name",
+            "--trace", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        trace = payload["trace"]
+        names = [child["name"] for child in trace["children"]]
+        assert names == ["parse", "plan", "execute"]
+        execute = trace["children"][-1]
+        assert execute["rows"] == 5
+        assert execute["children"][0]["actual_rows"] == 5
+
+    def test_untraced_json_has_no_trace_key(self, data_dir, capsys):
+        assert main([
+            "query", data_dir,
+            "MATCH (d:Drug) RETURN d.name", "--format", "json",
+        ]) == 0
+        assert "trace" not in json.loads(capsys.readouterr().out)
+
     def test_param_json_and_string_values(self, data_dir, capsys):
         # score=0.5 parses as a JSON number; name falls back to str.
         assert main([
