@@ -10,10 +10,15 @@ dataset (full scale, DIR graph):
   candidate, so the per-row property access path dominates;
 * **label_project_scan** - project one property for every vertex of a
   large label (aggregated so projection cost, not row materialization,
-  dominates);
+  dominates).  Timed on *both* pipelines: the headline stats are the
+  default (vectorized) executor, and ``extra`` records the tuple-path
+  median plus the speedup (target >=5x);
+* **filtered_sum_aggregate** - a filtered numeric aggregation
+  (``WHERE s.cohortSize > 0 RETURN sum(...)``): mask kernel plus
+  batch fold, also timed on both pipelines (target >=5x);
 * **two_hop_expand** - a 2-hop typed pattern
   (``(p:Patient)-[:takes]->(d:Drug)-[:treat]->(i:Indication)``):
-  adjacency iteration dominates;
+  adjacency iteration dominates; both pipelines recorded;
 * **stats_build** - a cold :class:`GraphStatistics` batch build (the
   pass every fresh graph pays on its first cost-based plan);
 * **snapshot_load** - decoding a binary snapshot into a live graph;
@@ -56,6 +61,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: object-per-vertex baseline recorded in EXPERIMENTS.md).
 TARGET_SCAN_SPEEDUP = 1.3
 TARGET_STATS_SPEEDUP = 1.3
+#: Acceptance target for the vectorized batch path vs. the tuple
+#: pipeline on the same columnar core (scan-heavy shapes).
+TARGET_VECTOR_SPEEDUP = 5.0
 
 
 def timed(fn, repeats: int) -> list[float]:
@@ -118,6 +126,9 @@ def main(argv: list[str] | None = None) -> int:
     graph = pipeline.dir_graph
     print(f"  {graph.summary()}")
     executor = Executor(GraphSession(graph, NEO4J_LIKE))
+    tuple_executor = Executor(
+        GraphSession(graph, NEO4J_LIKE), vectorize=False
+    )
 
     # Scan the *largest* label on its most common property: the scan
     # operator must examine every row of the label.  Queries are tiny
@@ -137,13 +148,51 @@ def main(argv: list[str] | None = None) -> int:
         "MATCH (p:Patient)-[:takes]->(d:Drug)-[:treat]->(i:Indication) "
         "RETURN count(*)"
     )
+    # The batch path needs the frozen CSR view for expansions; tuple
+    # execution freezes on demand, so do it up front for fairness.
+    graph.freeze()
+    aggregate_query = (
+        "MATCH (s:Study) WHERE s.cohortSize > 0 "
+        "RETURN sum(s.cohortSize)"
+    )
     batch = 1 if args.smoke else 40
 
-    def batched(query: str):
+    def batched(query: str, ex=None):
+        ex = ex or executor
+
         def run():
             for _ in range(batch):
-                executor.run(query)
+                ex.run(query)
         return run
+
+    def executed_mode(query: str) -> str:
+        from repro.graphdb.query.vectorized import ExecutionReport
+
+        report = ExecutionReport()
+        _, _, _, rows = executor.stream(query, {}, report=report)
+        list(rows)
+        return report.mode
+
+    def paired(name: str, query: str, extra: dict) -> dict:
+        """The default (vectorized) pipeline as headline stats, the
+        tuple pipeline alongside, and the speedup in ``extra``."""
+        entry = bench(name, batched(query), repeats, extra)
+        tuple_fn = batched(query, tuple_executor)
+        tuple_fn()  # warm the tuple executor's plan cache too
+        tuple_stats = stats(timed(tuple_fn, repeats))
+        vec_ms = entry["stats"]["median_ms"]
+        tup_ms = tuple_stats["median_ms"]
+        entry["extra"].update({
+            "mode": executed_mode(query),
+            "tuple_median_ms": tup_ms,
+            "vectorized_median_ms": vec_ms,
+            "speedup": round(tup_ms / vec_ms, 2) if vec_ms else None,
+        })
+        print(
+            f"    tuple {tup_ms:.2f} ms -> "
+            f"{entry['extra']['speedup']}x"
+        )
+        return entry
 
     benchmarks = [
         bench(
@@ -153,14 +202,22 @@ def main(argv: list[str] | None = None) -> int:
              "runs_per_sample": batch,
              "target_speedup": TARGET_SCAN_SPEEDUP},
         ),
-        bench(
-            "label_project_scan", batched(project_query), repeats,
+        paired(
+            "label_project_scan", project_query,
             {"label": scan_label,
              "rows_scanned": graph.label_count(scan_label),
-             "runs_per_sample": batch},
+             "runs_per_sample": batch,
+             "target_speedup": TARGET_VECTOR_SPEEDUP},
         ),
-        bench(
-            "two_hop_expand", batched(expand_query), repeats,
+        paired(
+            "filtered_sum_aggregate", aggregate_query,
+            {"label": "Study", "prop": "cohortSize",
+             "rows_scanned": graph.label_count("Study"),
+             "runs_per_sample": batch,
+             "target_speedup": TARGET_VECTOR_SPEEDUP},
+        ),
+        paired(
+            "two_hop_expand", expand_query,
             {"result": executor.run(expand_query).single_value(),
              "runs_per_sample": batch},
         ),

@@ -346,6 +346,7 @@ def cmd_query(args) -> int:
             "latency_ms": round(summary.latency_ms, 3),
             "elapsed_ms": round(summary.elapsed_ms, 3),
             "plan_digest": summary.plan_digest,
+            "mode": summary.mode,
             "parameters": {
                 name: _jsonable(value)
                 for name, value in summary.parameters.items()

@@ -110,7 +110,7 @@ class ResultSummary:
 
     __slots__ = (
         "query", "parameters", "columns", "rows", "metrics",
-        "latency_ms", "elapsed_ms", "plan_digest", "trace",
+        "latency_ms", "elapsed_ms", "plan_digest", "trace", "mode",
         "_plan", "_plan_actual", "_plan_text",
     )
 
@@ -126,6 +126,7 @@ class ResultSummary:
         plan_actual: list[int],
         elapsed_ms: float = 0.0,
         trace: Trace | None = None,
+        mode: str = "tuple",
     ):
         self.query = query
         self.parameters = parameters
@@ -145,6 +146,9 @@ class ResultSummary:
         #: The span tree recorded with ``session.run(..., trace=True)``
         #: (``None`` on untraced executions).
         self.trace = trace
+        #: Which pipeline ran this execution: ``"vectorized"`` (the
+        #: batch path) or ``"tuple"`` (the generator pipeline).
+        self.mode = mode
         self._plan = plan
         self._plan_actual = plan_actual
         self._plan_text: str | None = None
@@ -160,7 +164,7 @@ class ResultSummary:
         """
         if self._plan_text is None:
             self._plan_text = self._plan.describe(
-                actual=self._plan_actual
+                actual=self._plan_actual, mode=self.mode
             )
         return self._plan_text
 
@@ -184,6 +188,7 @@ class Result:
         plan,
         step_counts: list[int],
         trace: Trace | None = None,
+        report=None,
     ):
         self._owner = owner
         self._query = query
@@ -193,6 +198,7 @@ class Result:
         self._plan = plan
         self._step_counts = step_counts
         self._trace = trace
+        self._report = report
         self._started = time.perf_counter()
         #: Records pulled but not yet handed to the caller (filled
         #: when the session detaches this result to run a new query).
@@ -318,12 +324,14 @@ class Result:
             counters["injected"] - self._fault_base["injected"]
         )
         plan = self._plan
+        mode = self._report.mode if self._report is not None else "tuple"
         if self._trace is not None:
             self._trace.complete(
                 plan.step_texts(),
                 [step.est_rows for step in plan.steps],
                 self._step_counts,
                 self._yielded,
+                mode=mode,
             )
         _QUERIES.inc()
         _QUERY_ROWS.inc(self._yielded)
@@ -354,6 +362,7 @@ class Result:
             plan_actual=self._step_counts,
             elapsed_ms=elapsed_ms,
             trace=self._trace,
+            mode=mode,
         )
         if observe.EVENTS.slow_query_ms is not None:
             observe.EVENTS.slow_query(

@@ -28,6 +28,7 @@ from repro.graphdb.api.transaction import Transaction
 from repro.graphdb.observe.trace import Trace
 from repro.graphdb.query.ast import Query, query_text
 from repro.graphdb.query.executor import ExecutionGuard, Executor
+from repro.graphdb.query.vectorized import ExecutionReport
 from repro.graphdb.session import GraphSession
 
 
@@ -96,17 +97,19 @@ class Session:
             else None
         )
         step_counts: list[int] = []
+        report = ExecutionReport()
         parsed, plan, columns, rows = self._executor.stream(
             query,
             bound,
             step_counts=step_counts,
             guard=guard,
             trace=trace_obj,
+            report=report,
         )
         text = query if isinstance(query, str) else query_text(parsed)
         result = Result(
             self, text, bound, columns, rows, plan, step_counts,
-            trace=trace_obj,
+            trace=trace_obj, report=report,
         )
         self._open_result = result
         return result

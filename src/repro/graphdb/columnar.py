@@ -163,6 +163,23 @@ class PropertyColumn:
     def present(self, row: int) -> bool:
         return row < len(self.mask) and bool(self.mask[row])
 
+    def notnull_mask(self) -> bytearray:
+        """Presence mask with stored-``None`` slots cleared.
+
+        For typed columns this is the presence mask itself (they never
+        hold ``None``); object columns can carry an explicit ``None``,
+        which every read path reports identically to an absent key, so
+        batch consumers want the *reads-non-null* mask.
+        """
+        if self.kind != KIND_OBJ:
+            return self.mask
+        mask = bytearray(self.mask)
+        data = self.data
+        for row, bit in enumerate(mask):
+            if bit and data[row] is None:
+                mask[row] = 0
+        return mask
+
     def __len__(self) -> int:
         return len(self.mask)
 

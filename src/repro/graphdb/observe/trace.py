@@ -122,17 +122,21 @@ class Trace:
         est_rows: list[float | None],
         actual_rows: list[int],
         rows: int,
+        mode: str | None = None,
     ) -> "Trace":
         """Settle the trace: operator spans + execute/root end times.
 
         ``actual_rows`` is the executor's per-step binding-count list -
         the same one ``EXPLAIN ANALYZE`` renders - and ``step_times``
         (when the traced pipeline filled it) supplies each operator's
-        inclusive wall time.
+        inclusive wall time.  ``mode`` tags the execute span with the
+        pipeline path that ran (``vectorized`` or ``tuple``).
         """
         execute = self._execute
         if execute is None:
             execute = self.begin_execute()
+        if mode is not None:
+            execute.attrs["mode"] = mode
         times = self.step_times
         for i, text in enumerate(step_texts):
             span = Span(f"{i + 1}. {text}", start=execute.start)
@@ -172,6 +176,8 @@ class Trace:
             details.append(f"{duration:.2f} ms")
         if "rows" in span.attrs:
             details.append(f"{span.attrs['rows']} row(s)")
+        if "mode" in span.attrs:
+            details.append(f"mode={span.attrs['mode']}")
         if "actual_rows" in span.attrs:
             est = span.attrs.get("est_rows")
             est_text = f"est~{est:.0f}, " if est is not None else ""

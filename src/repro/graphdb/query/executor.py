@@ -90,6 +90,11 @@ _GUARDRAIL_TRIPS = observe.REGISTRY.labeled_counter(
     "kind",
     "Queries stopped by a resource guardrail (timeout, max_rows).",
 )
+_QUERY_PATHS = observe.REGISTRY.labeled_counter(
+    "repro_query_path_total",
+    "path",
+    "Query executions per pipeline path (vectorized or tuple).",
+)
 
 
 @dataclass(frozen=True)
@@ -455,11 +460,22 @@ class Executor:
     ``cost_based=False`` disables statistics-driven planning (and the
     plan cache) and falls back to the legacy syntactic ordering - the
     baseline the planner benchmarks compare against.
+    ``vectorize=False`` pins every execution to the tuple-at-a-time
+    generator pipeline; by default, plans the planner marked
+    ``batchable`` run through the batch pipeline in
+    :mod:`~repro.graphdb.query.vectorized` when the query's values
+    also qualify, falling back per execution otherwise.
     """
 
-    def __init__(self, session: GraphSession, cost_based: bool = True):
+    def __init__(
+        self,
+        session: GraphSession,
+        cost_based: bool = True,
+        vectorize: bool = True,
+    ):
         self.session = session
         self.cost_based = cost_based
+        self.vectorize = vectorize
 
     def run(
         self,
@@ -476,6 +492,7 @@ class Executor:
         step_counts: list[int] | None = None,
         guard: ExecutionGuard | None = None,
         trace: Trace | None = None,
+        report: object | None = None,
     ) -> tuple[Query, "Plan", list[str], Iterator[tuple]]:
         """Lazily execute; returns ``(query, plan, columns, rows)``.
 
@@ -493,7 +510,9 @@ class Executor:
         :class:`ExecutionGuard`).  ``trace`` records parse/plan phase
         spans and switches the pipeline to per-step inclusive timing
         (the driver settles the trace's operator spans from the same
-        ``step_counts`` EXPLAIN ANALYZE uses).
+        ``step_counts`` EXPLAIN ANALYZE uses).  ``report`` (a
+        :class:`~repro.graphdb.query.vectorized.ExecutionReport`)
+        receives which pipeline path this execution took and why.
         """
         query, plan = self._prepare(query, trace)
         if step_counts is not None and not step_counts:
@@ -508,6 +527,7 @@ class Executor:
             step_counts,
             guard,
             step_times=trace.step_times if trace is not None else None,
+            report=report,
         )
         return query, plan, columns, rows
 
@@ -595,17 +615,37 @@ class Executor:
         step_counts: list[int] | None = None,
         guard: ExecutionGuard | None = None,
         step_times: list[float] | None = None,
+        report: object | None = None,
     ) -> tuple[list[str], Iterator[tuple]]:
         """Compile one execution: ``(columns, lazy row iterator)``."""
         params = _validate_params(query, parameters)
-        evaluator = _Evaluator(self.session, plan, params)
-        stream = self._match_stream(plan, evaluator, step_counts, step_times)
-        if guard is not None and guard.deadline is not None:
-            # Checked per binding *before* projection, so pipeline
-            # breakers (aggregation, full-sort ORDER BY) that drain the
-            # match stream eagerly still honor the deadline.
-            stream = _guarded_bindings(stream, guard)
-        columns, rows = self._project(query, stream, evaluator)
+        rows = None
+        if self.vectorize and plan.batchable:
+            from repro.graphdb.query import vectorized
+
+            pipeline = vectorized.build_pipeline(
+                query, plan, self.session, params,
+                guard=guard, step_counts=step_counts,
+                step_times=step_times, report=report,
+            )
+            if pipeline is not None:
+                columns, rows = pipeline
+        elif report is not None:
+            report.reason = "plan" if self.vectorize else "disabled"
+        if rows is None:
+            _QUERY_PATHS.inc("tuple")
+            evaluator = _Evaluator(self.session, plan, params)
+            stream = self._match_stream(
+                plan, evaluator, step_counts, step_times
+            )
+            if guard is not None and guard.deadline is not None:
+                # Checked per binding *before* projection, so pipeline
+                # breakers (aggregation, full-sort ORDER BY) that drain
+                # the match stream eagerly still honor the deadline.
+                stream = _guarded_bindings(stream, guard)
+            columns, rows = self._project(query, stream, evaluator)
+        else:
+            _QUERY_PATHS.inc("vectorized")
         if query.distinct:
             rows = _dedupe(rows)
         if query.order_by:
@@ -622,9 +662,10 @@ class Executor:
         plan: Plan,
         parameters: dict[str, object] | None = None,
         step_counts: list[int] | None = None,
+        report: object | None = None,
     ) -> QueryResult:
         columns, row_iter = self._start(
-            query, plan, parameters, step_counts
+            query, plan, parameters, step_counts, report=report
         )
         rows = list(row_iter)
         metrics = self.session.reset_metrics()
@@ -650,11 +691,22 @@ class Executor:
         because it runs the query.
         """
         query, plan = self._prepare(query)
+        from repro.graphdb.query import vectorized
+
         if not analyze:
-            return plan.describe()
+            mode = (
+                vectorized.static_mode(query, plan, self.session.graph)
+                if self.vectorize else "tuple"
+            )
+            return plan.describe(mode=mode)
         counts = [0] * len(plan.steps)
-        self._execute(query, plan, parameters, step_counts=counts)
-        return plan.describe(actual=counts)
+        report = vectorized.ExecutionReport()
+        if not self.vectorize:
+            report.reason = "disabled"
+        self._execute(
+            query, plan, parameters, step_counts=counts, report=report
+        )
+        return plan.describe(actual=counts, mode=report.mode)
 
     # ------------------------------------------------------------------
     # Pattern matching (generator pipeline)

@@ -1,0 +1,1357 @@
+"""Vectorized (batch-at-a-time) execution over the columnar core.
+
+The tuple executor in :mod:`~repro.graphdb.query.executor` interprets
+one binding at a time through a chain of Python generators.  This
+module provides the batch alternative: plans whose every step the
+planner marked ``batchable`` (see ``Plan.batchable``) are compiled
+into a pipeline of operators that each process a :class:`Batch` - a
+set of parallel vid/eid arrays plus a selection mask - using numpy
+kernels over the columnar core's flat arrays:
+
+* **Fused filter+project scans** gather an entire
+  :class:`~repro.graphdb.columnar.VertexTable` column per batch
+  instead of probing it per row;
+* **Mask kernels** compile single-column predicates
+  (``= <> < <= > >=``, ``IS [NOT] NULL``, AND/OR/NOT folding) over
+  int64/float64 columns with presence-mask handling;
+* **CSR-slice expansion** joins a whole batch of source vertices over
+  the frozen :class:`~repro.graphdb.view.GraphView` offset arrays
+  (``repeat``/``cumsum`` arithmetic) instead of per-vertex iteration;
+* **Batch aggregation** folds COUNT/SUM/MIN/MAX/AVG over masked
+  arrays, with exactness guards that drop to Python folds whenever
+  numpy's arithmetic could diverge from the tuple path (int64 sums
+  near overflow, NaN floats, pairwise float summation).
+
+The contract with the tuple path is *strict equivalence*: identical
+rows in identical order, and identical work counters (the session's
+vertex/property reads, index lookups, edge traversals, and page
+touches), so the differential harness in
+``tests/graphdb/test_differential.py`` can assert multiset equality
+and every existing metrics-sensitive test keeps passing regardless of
+which path ran.  Page touches are charged in *runs* of consecutive
+same-page rows - the bulk equivalent of the per-row LRU touches the
+session makes - in the exact order the tuple path would make them.
+
+:func:`build_pipeline` returns ``(None, reason)`` instead of a
+pipeline whenever any part of the query cannot be vectorized without
+changing semantics: object-typed columns behind value reads,
+parameters resolved to non-numeric values, ``LIMIT`` (whose
+short-circuit laziness batch execution would coarsen), int64 ranges
+where float promotion loses precision, plans that expand without a
+valid frozen view, and so on.  Every fallback is counted per reason in
+``repro_vectorized_fallback_total`` and the executor reports the path
+that actually ran as ``mode=vectorized|tuple`` in EXPLAIN and traces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - CI images all carry numpy
+    np = None
+    HAVE_NUMPY = False
+
+from repro.graphdb import observe
+from repro.graphdb.columnar import KIND_FLOAT, KIND_INT
+from repro.graphdb.query.ast import (
+    BoolOp,
+    Comparison,
+    Expr,
+    FuncCall,
+    Literal,
+    NotOp,
+    NullCheck,
+    Parameter,
+    PropertyRef,
+    Query,
+    Star,
+    Variable,
+    contains_aggregate,
+)
+from repro.graphdb.query.executor import (
+    EdgeBinding,
+    ExecutionGuard,
+    VertexBinding,
+    _resolve_props,
+    _resolve_value,
+)
+from repro.graphdb.query.planner import ExpandStep, Plan, ScanStep
+
+_FALLBACKS = observe.REGISTRY.labeled_counter(
+    "repro_vectorized_fallback_total",
+    "reason",
+    "Batchable plans that fell back to tuple execution, per reason.",
+)
+_BATCHES = observe.REGISTRY.counter(
+    "repro_vectorized_batches_total",
+    "Batches processed by the vectorized pipeline.",
+)
+
+#: Rows per scan batch.  Large enough to amortize kernel dispatch,
+#: small enough that a batch's column slices stay cache-resident.
+BATCH_ROWS = 4096
+
+#: Integers beyond this magnitude do not round-trip through float64;
+#: comparisons and sums that would promote past it fall back.
+_EXACT_FLOAT_INT = 2 ** 53
+#: int64 batch sums stay provably overflow-free below this bound
+#: (BATCH_ROWS * 2**50 < 2**63).
+_SAFE_SUM_MAGNITUDE = 2 ** 50
+
+_COMPARISON_OPS = frozenset({"=", "<>", "<", "<=", ">", ">="})
+_MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+@dataclass
+class ExecutionReport:
+    """Which path one execution took, and why, settled per run."""
+
+    mode: str = "tuple"
+    #: Fallback reason when a batchable plan ran tuple (None when the
+    #: plan was never batchable or the vectorized path ran).
+    reason: str | None = None
+    batches: int = 0
+
+
+class _Fallback(Exception):
+    """Raised during pipeline *construction* only - never mid-batch,
+    so a fallback can never leave half-charged metrics behind."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# Columnar array cache
+# ----------------------------------------------------------------------
+class _Column:
+    """One property key's values scattered into vid-indexed arrays.
+
+    ``kind`` is ``"int64"``/``"float64"`` (values + presence),
+    ``"object"``/``"mixed"`` (presence only - ``present`` is already
+    the *reads-non-null* mask, so a stored ``None`` in an object
+    column counts as absent, exactly as every read path reports it),
+    or ``"absent"`` (key never stored; reads are None everywhere).
+    """
+
+    __slots__ = (
+        "kind", "values", "present", "has_tids", "examined",
+        "vmin", "vmax",
+    )
+
+    def __init__(self, kind, values, present, has_tids, examined, vmin, vmax):
+        self.kind = kind
+        self.values = values
+        self.present = present
+        #: Table ids that materialized a column for this key (drives
+        #: scan_rows' column-missing charging shortcut).
+        self.has_tids = has_tids
+        #: tid -> live rows within the column's *raw* (unpadded)
+        #: extent.  scan_rows zips vids against the lazily-padded
+        #: mask, so with a non-None target the rows past the mask's
+        #: end are never examined - and never charged.  Batch scans
+        #: must charge the same truncated count.
+        self.examined = examined
+        self.vmin = vmin
+        self.vmax = vmax
+
+
+class GraphArrays:
+    """Epoch-cached numpy projections of one graph's columnar state.
+
+    Built lazily per consumer (column, label bucket, CSR direction)
+    and dropped wholesale when the graph's mutation epoch advances -
+    the same invalidation rule the frozen view uses.
+    """
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.epoch = graph.mutation_epoch
+        self.nslots = len(graph._v_tid)
+        self.v_tid = np.asarray(graph._v_tid, dtype=np.int64)
+        self._columns: dict[str, _Column] = {}
+        self._label_vids: dict[str, object] = {}
+        self._table_vids: dict[int, object] = {}
+        self._all_vids = None
+        self._csr: dict[str, tuple[dict, list]] = {}
+
+    # -- columns -------------------------------------------------------
+    def column(self, name: str) -> _Column:
+        cached = self._columns.get(name)
+        if cached is not None:
+            return cached
+        column = self._build_column(name)
+        self._columns[name] = column
+        return column
+
+    def _build_column(self, name: str) -> _Column:
+        graph = self.graph
+        sid = graph._symbols.sid(name)
+        parts = []
+        kinds = set()
+        has_tids = set()
+        if sid is not None:
+            for tid, table in enumerate(graph._tables):
+                col = table.columns.get(sid)
+                if col is None:
+                    continue
+                has_tids.add(tid)
+                kinds.add(col.kind)
+                parts.append((tid, table, col))
+        if not parts:
+            return _Column(
+                "absent", None, np.zeros(self.nslots, dtype=bool),
+                has_tids, {}, None, None,
+            )
+        if kinds == {KIND_INT}:
+            kind, dtype = KIND_INT, np.int64
+        elif kinds == {KIND_FLOAT}:
+            kind, dtype = KIND_FLOAT, np.float64
+        else:
+            kind, dtype = ("object" if len(kinds) == 1 else "mixed"), None
+        present = np.zeros(self.nslots, dtype=bool)
+        values = (
+            np.zeros(self.nslots, dtype=dtype) if dtype is not None
+            else None
+        )
+        examined: dict[int, int] = {}
+        for tid, table, col in parts:
+            vids = np.asarray(table.vids, dtype=np.int64)
+            cap = min(len(vids), len(col.mask), len(col.data))
+            examined[tid] = int(np.count_nonzero(vids[:cap] >= 0))
+            mask = np.zeros(len(vids), dtype=bool)
+            if col.mask:
+                nn = col.notnull_mask()
+                mask[: len(nn)] = np.frombuffer(
+                    bytes(nn), dtype=np.uint8
+                ).astype(bool)
+            mask &= vids >= 0
+            rows = np.flatnonzero(mask)
+            if not len(rows):
+                continue
+            targets = vids[rows]
+            present[targets] = True
+            if values is not None:
+                # Copy, not frombuffer: a shared buffer export would
+                # forbid the live column from ever resizing again.
+                data = np.array(col.data, dtype=dtype)
+                values[targets] = data[rows]
+        vmin = vmax = None
+        if values is not None and present.any():
+            selected = values[present]
+            vmin = selected.min().item()
+            vmax = selected.max().item()
+        return _Column(
+            kind, values, present, has_tids, examined, vmin, vmax
+        )
+
+    # -- vid sets ------------------------------------------------------
+    def label_vids(self, label: str):
+        cached = self._label_vids.get(label)
+        if cached is None:
+            cached = np.asarray(
+                self.graph.vertices_with_label(label), dtype=np.int64
+            )
+            self._label_vids[label] = cached
+        return cached
+
+    def all_vids(self):
+        if self._all_vids is None:
+            self._all_vids = np.asarray(
+                self.graph.vertex_ids(), dtype=np.int64
+            )
+        return self._all_vids
+
+    def table_vids(self, tid: int):
+        """Live vids of one table, in row (insertion) order."""
+        cached = self._table_vids.get(tid)
+        if cached is None:
+            vids = np.asarray(
+                self.graph._tables[tid].vids, dtype=np.int64
+            )
+            cached = vids[vids >= 0]
+            self._table_vids[tid] = cached
+        return cached
+
+    # -- CSR adjacency -------------------------------------------------
+    def csr(self, direction: str) -> tuple[dict, list]:
+        """``(sid -> (offsets, neighbors, eids), sid order)`` arrays.
+
+        Mirrors the valid frozen view for one direction; the sid order
+        is the segment-dict insertion order the tuple path's untyped
+        expand iterates, so batch expansion emits pairs identically.
+        """
+        cached = self._csr.get(direction)
+        if cached is not None:
+            return cached
+        view = self.graph.frozen_view
+        if view is None:
+            raise _Fallback("no-frozen-view")
+        arrays = {}
+        order = []
+        for sid, (offsets, neighbors, eids) in view.iter_csr(direction):
+            order.append(sid)
+            arrays[sid] = (
+                np.array(offsets, dtype=np.int64),
+                np.asarray(neighbors, dtype=np.int64),
+                np.asarray(eids, dtype=np.int64),
+            )
+        cached = (arrays, order)
+        self._csr[direction] = cached
+        return cached
+
+
+def graph_arrays(graph) -> GraphArrays:
+    """The graph's cached :class:`GraphArrays`, rebuilt per epoch."""
+    arrays = getattr(graph, "_vec_arrays", None)
+    if arrays is None or arrays.epoch != graph.mutation_epoch:
+        arrays = GraphArrays(graph)
+        graph._vec_arrays = arrays
+    return arrays
+
+
+# ----------------------------------------------------------------------
+# Page-run charging (bulk equivalents of the per-row LRU touches)
+# ----------------------------------------------------------------------
+def _charge_pages(session, kind: str, vids, dedup: bool) -> None:
+    """Charge page touches for ``vids`` accessed in order.
+
+    ``dedup=False`` is the per-row flavor (``accept_vertex`` /
+    ``property_reader`` / ``expand_pairs``): every row touches its
+    page, so a run of consecutive same-page rows is one real LRU touch
+    followed by guaranteed hits.  ``dedup=True`` is the ``scan_rows``
+    flavor: repeats within a run are suppressed entirely.
+    """
+    n = len(vids)
+    if n == 0:
+        return
+    per = (
+        session._vertices_per_page if kind == "v"
+        else session._adjacency_per_page
+    )
+    pages = vids // per
+    if n == 1:
+        run_pages = [int(pages[0])]
+    else:
+        starts = np.flatnonzero(np.diff(pages)) + 1
+        run_pages = pages[np.concatenate(([0], starts))].tolist()
+    session.charge_page_runs(kind, run_pages, 0 if dedup else n - len(run_pages))
+
+
+# ----------------------------------------------------------------------
+# Static qualification
+# ----------------------------------------------------------------------
+_AGG_NAMES = frozenset({"count", "sum", "min", "max", "avg"})
+
+
+def query_fallback_reason(query: Query, plan: Plan) -> str | None:
+    """Why this query's *shape* cannot vectorize (None = it can).
+
+    Plan-shape qualification is the planner's job (``Plan.batchable``);
+    this covers the clauses the plan does not describe: LIMIT, the
+    RETURN surface, and variables the plan never binds.
+    """
+    if not HAVE_NUMPY:
+        return "numpy-unavailable"
+    if query.limit is not None:
+        # Batch granularity would coarsen LIMIT's short-circuit
+        # laziness (and the work counters that pin it down).
+        return "limit"
+    has_aggregate = any(
+        contains_aggregate(item.expr) for item in query.return_items
+    )
+    for item in query.return_items:
+        reason = _item_reason(item.expr, plan, has_aggregate)
+        if reason is not None:
+            return reason
+    # ORDER BY / DISTINCT need no check: the executor's shared tail
+    # (sort, dedupe) works on produced rows, identically per path.
+    return None
+
+
+def _item_reason(expr: Expr, plan: Plan, aggregating: bool) -> str | None:
+    if aggregating:
+        if not isinstance(expr, FuncCall) or expr.name not in _AGG_NAMES:
+            # Grouped aggregation, collect(), scalar wrappers around
+            # aggregates: all still tuple-only.
+            return "aggregate-shape"
+        if expr.distinct or expr.flatten or len(expr.args) != 1:
+            return "aggregate-shape"
+        arg = expr.args[0]
+        if isinstance(arg, Star):
+            return None if expr.name == "count" else "aggregate-shape"
+        if isinstance(arg, Variable):
+            if expr.name != "count":
+                return "aggregate-shape"
+            return _bound_reason(arg.name, plan)
+        if isinstance(arg, PropertyRef):
+            reason = _bound_reason(arg.var, plan)
+            if reason is None and plan.slot_kinds.get(arg.var) != "vertex":
+                return "aggregate-shape"
+            return reason
+        return "aggregate-shape"
+    if isinstance(expr, (Literal, Parameter)):
+        return None
+    if isinstance(expr, Variable):
+        return _bound_reason(expr.name, plan)
+    if isinstance(expr, PropertyRef):
+        return _bound_reason(expr.var, plan)
+    return "return-shape"
+
+
+def _bound_reason(var: str, plan: Plan) -> str | None:
+    return None if var in plan.slots else "unbound-variable"
+
+
+def static_mode(query: Query, plan: Plan, graph=None) -> str:
+    """The mode EXPLAIN (which never executes) should render.
+
+    With ``graph``, schema-dependent fallbacks are predicted too:
+    object/mixed columns behind value reads, bool constants, and a
+    missing frozen view ahead of CSR expansion.  Parameter-dependent
+    fallbacks (a ``$param`` bound to a string, int-precision edge
+    cases) stay runtime decisions - EXPLAIN is optimistic there and
+    ``EXPLAIN ANALYZE`` / result summaries report what actually ran.
+    """
+    if not plan.batchable:
+        return "tuple"
+    if query_fallback_reason(query, plan) is not None:
+        return "tuple"
+    if graph is not None and _schema_reason(query, plan, graph):
+        return "tuple"
+    return "vectorized"
+
+
+def _schema_reason(query: Query, plan: Plan, graph) -> str | None:
+    needs_value: list[str] = []  # props whose *values* must be read
+    consts: list[tuple[str, object]] = []  # (prop, constant) checks
+    aggregating = any(
+        contains_aggregate(item.expr) for item in query.return_items
+    )
+    for item in query.return_items:
+        expr = item.expr
+        if aggregating:  # every item is a plain aggregate FuncCall here
+            arg = expr.args[0] if expr.args else None
+            if isinstance(arg, PropertyRef) and expr.name != "count":
+                needs_value.append(arg.prop)
+        elif isinstance(expr, PropertyRef):
+            if plan.slot_kinds.get(expr.var) == "vertex":
+                needs_value.append(expr.prop)
+    has_expand = False
+    for step in plan.steps:
+        for f in step.filters:
+            _filter_consts(f, consts)
+        if isinstance(step, ScanStep):
+            consts.extend(step.check_props)
+        else:
+            has_expand = True
+            consts.extend(plan.node_specs[step.to_var].props.items())
+    if has_expand and graph.frozen_view is None:
+        return "no-frozen-view"
+    for name in needs_value:
+        kind = _schema_kind(graph, name)
+        if kind in ("object", "mixed"):
+            return "object-column" if kind == "object" else "mixed-kind"
+    for name, value in consts:
+        if isinstance(value, Parameter) or value is None:
+            continue
+        if isinstance(value, bool):
+            return "bool-value"
+        kind = _schema_kind(graph, name)
+        if kind in ("object", "mixed"):
+            return "object-column" if kind == "object" else "mixed-kind"
+    return None
+
+
+def _filter_consts(expr: Expr, consts: list) -> None:
+    if isinstance(expr, Comparison):
+        for ref, const in ((expr.lhs, expr.rhs), (expr.rhs, expr.lhs)):
+            if isinstance(ref, PropertyRef) and isinstance(const, Literal):
+                if const.value is not None:
+                    consts.append((ref.prop, const.value))
+    elif isinstance(expr, BoolOp):
+        for operand in expr.operands:
+            _filter_consts(operand, consts)
+    elif isinstance(expr, NotOp):
+        _filter_consts(expr.operand, consts)
+    # NullCheck needs presence only: every column kind qualifies.
+
+
+def _schema_kind(graph, name: str) -> str:
+    """The global column kind, from table metadata alone (no arrays)."""
+    sid = graph._symbols.sid(name)
+    kinds = set()
+    if sid is not None:
+        for table in graph._tables:
+            col = table.columns.get(sid)
+            if col is not None:
+                kinds.add(col.kind)
+    if not kinds:
+        return "absent"
+    if kinds == {KIND_INT}:
+        return KIND_INT
+    if kinds == {KIND_FLOAT}:
+        return KIND_FLOAT
+    return "object" if len(kinds) == 1 else "mixed"
+
+
+# ----------------------------------------------------------------------
+# Constant guards
+# ----------------------------------------------------------------------
+def _check_const(col: _Column, value: object) -> None:
+    """Reject (via fallback) constants numpy cannot compare exactly."""
+    if value is None:
+        return  # null-is-false: the kernel returns zeros after charging
+    if isinstance(value, bool):
+        raise _Fallback("bool-value")
+    if isinstance(value, int):
+        if not (-(2 ** 63) <= value < 2 ** 63):
+            raise _Fallback("int-precision")
+        if col.kind == KIND_FLOAT and abs(value) > _EXACT_FLOAT_INT:
+            raise _Fallback("int-precision")
+        return
+    if isinstance(value, float):
+        if col.kind == KIND_INT and not _int_range_float_exact(col):
+            raise _Fallback("int-precision")
+        return
+    raise _Fallback("non-numeric-value")
+
+
+def _int_range_float_exact(col: _Column) -> bool:
+    return (
+        col.vmin is None
+        or (
+            -_EXACT_FLOAT_INT <= col.vmin
+            and col.vmax <= _EXACT_FLOAT_INT
+        )
+    )
+
+
+def _value_column(arrays: GraphArrays, name: str) -> _Column:
+    """The column for value (not just presence) access, or fallback."""
+    col = arrays.column(name)
+    if col.kind in ("object", "mixed"):
+        raise _Fallback(
+            "object-column" if col.kind == "object" else "mixed-kind"
+        )
+    return col
+
+
+# ----------------------------------------------------------------------
+# Mask kernels
+# ----------------------------------------------------------------------
+class _KernelContext:
+    """What compiled kernels close over for one execution."""
+
+    __slots__ = ("session", "arrays", "slots", "slot_kinds", "params")
+
+    def __init__(self, session, arrays, plan: Plan, params):
+        self.session = session
+        self.arrays = arrays
+        self.slots = plan.slots
+        self.slot_kinds = plan.slot_kinds
+        self.params = params
+
+
+def compile_mask(ctx: _KernelContext, expr: Expr):
+    """Compile a maskable predicate into ``fn(batch, idx) -> mask``.
+
+    ``batch`` is the list of per-slot id arrays, ``idx`` the positions
+    (within those arrays) still alive; the returned boolean mask is
+    aligned to ``idx``.  Work-counter charges replicate the tuple
+    path's short-circuit evaluation exactly: AND operands see only the
+    rows that survived earlier operands, OR operands only the rows
+    still false, and both sides of a comparison always evaluate.
+    All fallback checks run here, at compile time - compiled kernels
+    cannot fail, so charges are never left half-applied.
+    """
+    if isinstance(expr, Comparison):
+        return _compile_comparison(ctx, expr)
+    if isinstance(expr, NullCheck):
+        return _compile_nullcheck(ctx, expr)
+    if isinstance(expr, BoolOp):
+        fns = [compile_mask(ctx, op) for op in expr.operands]
+        if expr.op == "and":
+
+            def k_and(batch, idx):
+                out = fns[0](batch, idx)
+                for fn in fns[1:]:
+                    alive = idx[out]
+                    if not len(alive):
+                        break
+                    out[out] = fn(batch, alive)
+                return out
+
+            return k_and
+
+        def k_or(batch, idx):
+            out = fns[0](batch, idx)
+            for fn in fns[1:]:
+                rem = ~out
+                pending = idx[rem]
+                if not len(pending):
+                    break
+                out[rem] = fn(batch, pending)
+            return out
+
+        return k_or
+    if isinstance(expr, NotOp):
+        inner = compile_mask(ctx, expr.operand)
+        return lambda batch, idx: ~inner(batch, idx)
+    raise _Fallback("predicate-shape")  # pragma: no cover - planner-gated
+
+
+def _charged_gather(ctx: _KernelContext, ref: PropertyRef):
+    """``fn(batch, idx) -> vids``: read-charge one column per row."""
+    slot = ctx.slots.get(ref.var)
+    if slot is None or ctx.slot_kinds.get(ref.var) != "vertex":
+        raise _Fallback("predicate-shape")  # pragma: no cover
+    session = ctx.session
+    metrics = session.metrics
+
+    def gather(batch, idx):
+        vids = batch[slot][idx]
+        metrics.property_reads += len(vids)
+        _charge_pages(session, "v", vids, dedup=False)
+        return vids
+
+    return gather
+
+
+def _compile_comparison(ctx: _KernelContext, expr: Comparison):
+    lhs, op, rhs = expr.lhs, expr.op, expr.rhs
+    if op not in _COMPARISON_OPS:
+        raise _Fallback("predicate-shape")  # pragma: no cover
+    if isinstance(lhs, PropertyRef) and isinstance(rhs, (Literal, Parameter)):
+        ref, const_expr = lhs, rhs
+    elif isinstance(rhs, PropertyRef) and isinstance(lhs, (Literal, Parameter)):
+        ref, const_expr, op = rhs, lhs, _MIRROR[op]
+    else:
+        raise _Fallback("predicate-shape")  # pragma: no cover
+    value = (
+        _resolve_value(const_expr, ctx.params)
+        if isinstance(const_expr, Parameter)
+        else const_expr.value
+    )
+    col = ctx.arrays.column(ref.prop)
+    if value is not None and col.kind != "absent":
+        # A null constant needs no values (null-is-false for every
+        # op), so even object columns stay on the batch path then.
+        if col.kind in ("object", "mixed"):
+            raise _Fallback(
+                "object-column" if col.kind == "object" else "mixed-kind"
+            )
+        _check_const(col, value)
+    gather = _charged_gather(ctx, ref)
+    if col.kind == "absent" or value is None:
+        # Every read is None (or the constant is): null-is-false, but
+        # the tuple path still pays the reads before deciding that.
+        def k_false(batch, idx):
+            vids = gather(batch, idx)
+            return np.zeros(len(vids), dtype=bool)
+
+        return k_false
+    values, present = col.values, col.present
+
+    def kernel(batch, idx):
+        vids = gather(batch, idx)
+        stored = values[vids]
+        if op == "=":
+            hit = stored == value
+        elif op == "<>":
+            hit = stored != value
+        elif op == "<":
+            hit = stored < value
+        elif op == "<=":
+            hit = stored <= value
+        elif op == ">":
+            hit = stored > value
+        else:
+            hit = stored >= value
+        return present[vids] & hit
+
+    return kernel
+
+
+def _compile_nullcheck(ctx: _KernelContext, expr: NullCheck):
+    ref = expr.expr
+    if not isinstance(ref, PropertyRef):
+        raise _Fallback("predicate-shape")  # pragma: no cover
+    col = ctx.arrays.column(ref.prop)
+    gather = _charged_gather(ctx, ref)
+    present = col.present
+    if expr.negated:
+        return lambda batch, idx: present[gather(batch, idx)]
+    return lambda batch, idx: ~present[gather(batch, idx)]
+
+
+def _apply_filters(filters, cols, n):
+    """Run pushed filter kernels with per-filter short-circuiting.
+
+    Later filters see only the survivors of earlier ones - the batch
+    equivalent of the tuple executor's ``_passes`` loop, so read and
+    page charges match per row.
+    """
+    if not filters or n == 0:
+        return cols, n
+    idx = np.arange(n)
+    for kernel in filters:
+        if not len(idx):
+            break
+        idx = idx[kernel(cols, idx)]
+    if len(idx) == n:
+        return cols, n
+    return [c[idx] if c is not None else None for c in cols], len(idx)
+
+
+# ----------------------------------------------------------------------
+# Equality checks (scan residuals and expand far-node property maps)
+# ----------------------------------------------------------------------
+#: Node-map equality against one column, resolved at build time:
+#: ``presence`` (a None target: matches exactly the rows that read as
+#: null), ``compare`` (numeric equality on the value array), or
+#: ``nothing`` (a constant that cannot equal any stored value - the
+#: rows are still examined and charged, they just never match).
+def _eq_spec(
+    arrays: GraphArrays, name: str, value: object
+) -> tuple[str, _Column, object]:
+    col = arrays.column(name)
+    if value is None:
+        return ("presence", col, None)
+    if col.kind == "absent":
+        return ("nothing", col, value)
+    if col.kind in ("object", "mixed"):
+        raise _Fallback(
+            "object-column" if col.kind == "object" else "mixed-kind"
+        )
+    if isinstance(value, bool):
+        raise _Fallback("bool-value")
+    if isinstance(value, int):
+        if not (-(2 ** 63) <= value < 2 ** 63):
+            # Beyond int64 it cannot equal a stored int64; a float64
+            # column could still hold it exactly, which numpy's
+            # promotion would mis-compare.
+            if col.kind == KIND_FLOAT:
+                raise _Fallback("int-precision")
+            return ("nothing", col, value)
+        if col.kind == KIND_FLOAT and abs(value) > _EXACT_FLOAT_INT:
+            raise _Fallback("int-precision")
+        return ("compare", col, value)
+    if isinstance(value, float):
+        if col.kind == KIND_INT and not _int_range_float_exact(col):
+            raise _Fallback("int-precision")
+        return ("compare", col, value)
+    # Strings/lists/etc. never equal a stored number.
+    return ("nothing", col, value)
+
+
+def _eq_mask(mode: str, col: _Column, value: object, vids):
+    if mode == "presence":
+        return ~col.present[vids]
+    if mode == "nothing":
+        return np.zeros(len(vids), dtype=bool)
+    return col.present[vids] & (col.values[vids] == value)
+
+
+# ----------------------------------------------------------------------
+# Scan operator (fused filter + batch emission)
+# ----------------------------------------------------------------------
+_UNSAT = object()  # a resolved constraint no row can satisfy
+
+
+def _build_scan(ctx: _KernelContext, step: ScanStep, params, nslots):
+    """Compile the leading scan into a batch-generator factory.
+
+    Returns :data:`_UNSAT` when a ``$param`` resolved to null (the
+    tuple generators yield nothing and charge nothing then).  The
+    generator replicates ``GraphSession.scan_rows`` /
+    ``label_scan`` charging exactly - including the per-table
+    shortcuts that charge without examining rows.
+
+    Candidate vid arrays are captured *now*, at build time: the whole
+    pipeline executes against one consistent snapshot, so a mutation
+    while a lazy cursor is open cannot leave the compiled column
+    arrays and a live vid list disagreeing about graph size.  (The
+    charges themselves stay lazy - an unconsumed cursor charges
+    nothing, like the tuple generators.)
+    """
+    check_labels = (
+        frozenset(step.check_labels) if step.check_labels else None
+    )
+    props = _resolve_props(step.check_props, params)
+    if props is None:
+        return _UNSAT
+    filters = [compile_mask(ctx, f) for f in step.filters]
+    session = ctx.session
+    arrays = ctx.arrays
+    graph = session.graph
+    slot = step.slot
+    access = step.access
+    access_label = step.access_label
+
+    def emit(vids):
+        for start in range(0, len(vids), BATCH_ROWS):
+            chunk = vids[start:start + BATCH_ROWS]
+            cols: list = [None] * nslots
+            cols[slot] = chunk
+            cols, n = _apply_filters(filters, cols, len(chunk))
+            if n:
+                yield cols, n
+
+    if check_labels is None and not props:
+        # No residual checks: the tuple path streams raw candidates
+        # (label bucket order / ascending all-vertices) untouched.
+        if access == "label":
+            candidates = arrays.label_vids(access_label)
+
+            def gen_label():
+                session.metrics.index_lookups += 1
+                yield from emit(candidates)
+
+            return gen_label
+
+        all_candidates = arrays.all_vids()
+
+        def gen_all():
+            yield from emit(all_candidates)
+
+        return gen_all
+
+    primary = props[0] if props else None
+    primary_spec = (
+        _eq_spec(arrays, primary[0], primary[1])
+        if primary is not None else None
+    )
+    rest_specs = [
+        _eq_spec(arrays, name, value) for name, value in props[1:]
+    ]
+    n_props = len(props)
+    count_labels = check_labels is not None
+    label_sid = None
+    if access == "label":
+        label_sid = graph._symbols.sid(access_label)
+        if label_sid is None:
+            # An un-interned label matches nothing; the lookup is
+            # still charged (scan_rows returns after charging it).
+            def gen_nothing():
+                session.metrics.index_lookups += 1
+                return
+                yield  # pragma: no cover - makes this a generator
+
+            return gen_nothing
+    tables = [
+        (tid, table.labels, table.label_sids, arrays.table_vids(tid))
+        for tid, table in enumerate(graph._tables)
+        if table.live > 0
+    ]
+
+    def gen_checked():
+        metrics = session.metrics
+        metrics.index_lookups += 1
+        for tid, tbl_labels, tbl_label_sids, vids in tables:
+            if label_sid is not None and label_sid not in tbl_label_sids:
+                continue
+            if check_labels is not None and not (
+                check_labels <= tbl_labels
+            ):
+                # Whole table rejected by its label set: each live row
+                # still counts as examined by the label check.
+                metrics.vertex_reads += len(vids)
+                continue
+            live = len(vids)
+            examined = live
+            if primary is not None:
+                mode, col, value = primary_spec
+                if tid not in col.has_tids and value is not None:
+                    # Column never materialized on this table: the
+                    # probe pays one read per live row and nothing
+                    # else (no rows examined, no pages touched).
+                    metrics.property_reads += live
+                    continue
+                if value is not None:
+                    # A non-None target zips against the *unpadded*
+                    # column, so live rows past its raw extent are
+                    # never examined (a None target pads first and
+                    # examines everything).
+                    examined = col.examined.get(tid, live)
+                passing = vids[_eq_mask(mode, col, value, vids)]
+            else:
+                passing = vids
+            # Page touches cover exactly the rows the primary check
+            # admitted, before residual property checks - one touch
+            # per run of consecutive same-page vids.
+            _charge_pages(session, "v", passing, dedup=True)
+            for mode, col, value in rest_specs:
+                if not len(passing):
+                    break
+                passing = passing[_eq_mask(mode, col, value, passing)]
+            if count_labels:
+                metrics.vertex_reads += examined
+            metrics.property_reads += examined * n_props
+            if len(passing):
+                yield from emit(passing)
+
+    return gen_checked
+
+
+# ----------------------------------------------------------------------
+# CSR expand operator
+# ----------------------------------------------------------------------
+def _build_expand(ctx: _KernelContext, step, spec, params):
+    """Compile one plain-hop expansion into a batch-to-batch operator.
+
+    Pair production joins the whole batch against the frozen view's
+    CSR offset arrays (repeat/cumsum arithmetic instead of per-vertex
+    dict probes) and preserves the tuple path's emission order: source
+    row first, then edge-type rank (the spec's label order, or the
+    view's segment order untyped, out before in for undirected hops),
+    then ascending edge id within a segment.
+    """
+    far_labels = frozenset(spec.labels) if spec.labels else None
+    props = _resolve_props(tuple(spec.props.items()), params)
+    if props is None:
+        return _UNSAT
+    session = ctx.session
+    arrays = ctx.arrays
+    graph = session.graph
+    prop_specs = [
+        _eq_spec(arrays, name, value) for name, value in props
+    ]
+    filters = [compile_mask(ctx, f) for f in step.filters]
+    from_slot = step.from_slot
+    to_slot = step.to_slot
+    rel_slot = step.rel_slot
+    direction = step.walk_direction
+    directions = (
+        ("out", "in") if direction == "any" else (direction,)
+    )
+    edge_labels = step.edge.labels
+    ranked = []
+    for d in directions:
+        segments, order = arrays.csr(d)
+        if edge_labels:
+            keys = [graph._symbols.sid(label) for label in edge_labels]
+        else:
+            keys = order
+        for sid in keys:
+            if sid is None:
+                continue  # a label the graph never interned
+            triple = segments.get(sid)
+            if triple is not None:
+                ranked.append(triple)
+    tid_ok = None
+    if far_labels is not None:
+        tid_ok = np.array(
+            [far_labels <= table.labels for table in graph._tables],
+            dtype=bool,
+        )
+    v_tid = arrays.v_tid
+
+    def op(batch):
+        cols, n = batch
+        src = cols[from_slot]
+        metrics = session.metrics
+        # One adjacency-page touch per source binding, pairs or not.
+        _charge_pages(session, "a", src, dedup=False)
+        reps, nbrs, eids = [], [], []
+        total = 0
+        for offsets, neighbors, edge_ids in ranked:
+            starts = offsets[src]
+            counts = offsets[src + 1] - starts
+            seg_total = int(counts.sum())
+            if seg_total == 0:
+                continue
+            rep = np.repeat(np.arange(n), counts)
+            cum = np.cumsum(counts)
+            pos = np.arange(seg_total) + np.repeat(
+                starts - (cum - counts), counts
+            )
+            reps.append(rep)
+            nbrs.append(neighbors[pos])
+            eids.append(edge_ids[pos])
+            total += seg_total
+        metrics.edge_traversals += total
+        if total == 0:
+            return None
+        if len(reps) == 1:
+            rep, nbr, eid = reps[0], nbrs[0], eids[0]
+        else:
+            rep = np.concatenate(reps)
+            # Stable by source row: ties keep concatenation order,
+            # which is exactly the per-source type-rank order.
+            order = np.argsort(rep, kind="stable")
+            rep = rep[order]
+            nbr = np.concatenate(nbrs)[order]
+            eid = np.concatenate(eids)[order]
+        alive = np.arange(total)
+        if tid_ok is not None:
+            # accept_vertex charges the label read and its page touch
+            # for every pair, pass or fail.
+            metrics.vertex_reads += total
+            _charge_pages(session, "v", nbr, dedup=False)
+            alive = alive[tid_ok[v_tid[nbr]]]
+        for mode, col, value in prop_specs:
+            if not len(alive):
+                break
+            sel = nbr[alive]
+            metrics.property_reads += len(sel)
+            _charge_pages(session, "v", sel, dedup=False)
+            alive = alive[_eq_mask(mode, col, value, sel)]
+        if not len(alive):
+            return None
+        rep_out = rep[alive]
+        out = [
+            c[rep_out] if c is not None else None for c in cols
+        ]
+        out[to_slot] = nbr[alive]
+        if rel_slot is not None:
+            out[rel_slot] = eid[alive]
+        out, n_out = _apply_filters(filters, out, len(rep_out))
+        if n_out == 0:
+            return None
+        return out, n_out
+
+    return op
+
+
+# ----------------------------------------------------------------------
+# Projection and aggregation
+# ----------------------------------------------------------------------
+def _vertex_prop_reader(ctx: _KernelContext, var: str, prop: str):
+    """Charged batch read of one vertex property column -> values.
+
+    Mirrors ``GraphSession.property_reader``: one property read and
+    one vertex-page touch per row (repeats on a page count as hits).
+    """
+    col = ctx.arrays.column(prop)
+    if col.kind in ("object", "mixed"):
+        raise _Fallback(
+            "object-column" if col.kind == "object" else "mixed-kind"
+        )
+    slot = ctx.slots[var]
+    session = ctx.session
+
+    def read(cols, n):
+        vids = cols[slot]
+        session.metrics.property_reads += n
+        _charge_pages(session, "v", vids, dedup=False)
+        if col.kind == "absent":
+            return [None] * n
+        present = col.present[vids]
+        values = col.values[vids].tolist()
+        if present.all():
+            return values
+        return [
+            v if p else None
+            for v, p in zip(values, present.tolist())
+        ]
+
+    return read
+
+
+def _edge_prop_reader(ctx: _KernelContext, var: str, prop: str):
+    """Charged batch read of one edge property (sparse dict probes)."""
+    slot = ctx.slots[var]
+    session = ctx.session
+    e_props = session.graph._e_props
+
+    def read(cols, n):
+        # read_edge_property: one property read, no page touch.
+        session.metrics.property_reads += n
+        out = []
+        for eid in cols[slot].tolist():
+            stored = e_props.get(eid)
+            out.append(stored.get(prop) if stored else None)
+        return out
+
+    return read
+
+
+def _compile_item(ctx: _KernelContext, expr: Expr):
+    """Compile one RETURN item into ``fn(cols, n) -> list`` (plain
+    Python output values, one per batch row)."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda cols, n: [value] * n
+    if isinstance(expr, Parameter):
+        value = _resolve_value(expr, ctx.params)
+        return lambda cols, n: [value] * n
+    if isinstance(expr, Variable):
+        slot = ctx.slots[expr.name]
+        if ctx.slot_kinds[expr.name] == "edge":
+            return lambda cols, n: [
+                EdgeBinding(eid) for eid in cols[slot].tolist()
+            ]
+        return lambda cols, n: [
+            VertexBinding(vid) for vid in cols[slot].tolist()
+        ]
+    if isinstance(expr, PropertyRef):
+        if ctx.slot_kinds[expr.var] == "edge":
+            return _edge_prop_reader(ctx, expr.var, expr.prop)
+        return _vertex_prop_reader(ctx, expr.var, expr.prop)
+    raise _Fallback("return-shape")  # pragma: no cover - pre-checked
+
+
+class _Aggregator:
+    """One aggregate RETURN item folded batch by batch.
+
+    Exactness contract: results must be bit-identical to
+    ``apply_aggregate`` over the same value sequence - numpy is only
+    used where its arithmetic provably matches the Python fold
+    (int sums within overflow-safe bounds, NaN-free min/max); every
+    other case drops to an explicit Python fold in row order.
+    """
+
+    def __init__(self, ctx, name, arg):
+        self.name = name
+        self.count = 0
+        self.total: object = 0
+        self.best: object = None
+        self.read = None
+        self.col = None
+        if isinstance(arg, PropertyRef):
+            session = ctx.session
+            slot = ctx.slots[arg.var]
+            col = ctx.arrays.column(arg.prop)
+            if name != "count" and col.kind in ("object", "mixed"):
+                raise _Fallback(
+                    "object-column" if col.kind == "object"
+                    else "mixed-kind"
+                )
+            self.col = col
+            safe = 0
+            if col.kind == KIND_INT and col.vmin is not None:
+                safe = max(abs(col.vmin), abs(col.vmax))
+
+            def gather(cols, n):
+                vids = cols[slot]
+                session.metrics.property_reads += n
+                _charge_pages(session, "v", vids, dedup=False)
+                return vids
+
+            self.read = gather
+            self._safe_mag = safe
+
+    def update(self, cols, n):
+        if self.read is None:  # count(*) / count(var)
+            self.count += n
+            return
+        vids = self.read(cols, n)
+        col = self.col
+        present = col.present[vids]
+        k = int(present.sum())
+        if self.name == "count":
+            self.count += k
+            return
+        if k == 0:
+            return
+        self.count += k
+        values = col.values[vids][present]
+        if col.kind == KIND_INT:
+            self._fold_int(values, k)
+        else:
+            self._fold_float(values)
+
+    def _fold_int(self, values, k):
+        name = self.name
+        if name in ("sum", "avg"):
+            if self._safe_mag and k * self._safe_mag < 2 ** 62:
+                self.total += int(values.sum())
+            else:
+                self.total += sum(values.tolist())
+            return
+        m = int(values.min() if name == "min" else values.max())
+        best = self.best
+        if best is None:
+            self.best = m
+        elif name == "min":
+            self.best = m if m < best else best
+        else:
+            self.best = m if m > best else best
+
+    def _fold_float(self, values):
+        name = self.name
+        if name in ("sum", "avg"):
+            # Sequential left fold: bit-identical to Python sum().
+            self.total = sum(values.tolist(), self.total)
+            return
+        if np.isnan(values).any():
+            # builtin min/max semantics: a leading NaN sticks, a later
+            # one loses every comparison - fold explicitly.
+            best = self.best
+            for v in values.tolist():
+                if best is None:
+                    best = v
+                elif name == "min":
+                    if v < best:
+                        best = v
+                elif v > best:
+                    best = v
+            self.best = best
+            return
+        m = float(values.min() if name == "min" else values.max())
+        best = self.best
+        if best is None:
+            self.best = m
+        elif name == "min":
+            if m < best:  # False when best is NaN: NaN sticks
+                self.best = m
+        elif m > best:
+            self.best = m
+
+    def result(self):
+        name = self.name
+        if name == "count":
+            return self.count
+        if name == "sum":
+            return self.total
+        if name == "avg":
+            return self.total / self.count if self.count else None
+        return self.best
+
+
+def _compile_output(query: Query, plan: Plan, ctx: _KernelContext):
+    """Compile RETURN into ``(columns, consume(batches) -> rows)``."""
+    items = query.return_items
+    columns = [item.output_name(i) for i, item in enumerate(items)]
+    if any(contains_aggregate(item.expr) for item in items):
+        aggs = [
+            _Aggregator(
+                ctx,
+                item.expr.name,
+                item.expr.args[0] if item.expr.args else None,
+            )
+            for item in items
+        ]
+
+        def consume_aggregate(batches):
+            for cols, n in batches:
+                for agg in aggs:
+                    agg.update(cols, n)
+            # A global aggregate always yields one row, even over
+            # zero matches (count=0, sum=0, min/max/avg=null).
+            yield tuple(agg.result() for agg in aggs)
+
+        return columns, consume_aggregate
+
+    fns = [_compile_item(ctx, item.expr) for item in items]
+
+    def consume_plain(batches):
+        for cols, n in batches:
+            yield from zip(*(fn(cols, n) for fn in fns))
+
+    return columns, consume_plain
+
+
+# ----------------------------------------------------------------------
+# Pipeline assembly
+# ----------------------------------------------------------------------
+def build_pipeline(
+    query: Query,
+    plan: Plan,
+    session,
+    params: dict[str, object],
+    guard: ExecutionGuard | None = None,
+    step_counts: list[int] | None = None,
+    step_times: list[float] | None = None,
+    report: ExecutionReport | None = None,
+):
+    """Compile a batchable plan, or fall back with a counted reason.
+
+    Returns ``(columns, row_iterator)`` on success and ``None`` when
+    any part of this *execution* cannot be vectorized faithfully (the
+    reason lands in ``repro_vectorized_fallback_total`` and on
+    ``report.reason``).  All fallback decisions happen here, before
+    any work-counter charge - a returned pipeline cannot fail over to
+    the tuple path mid-run.
+    """
+    try:
+        reason = query_fallback_reason(query, plan)
+        if reason is not None:
+            raise _Fallback(reason)
+        arrays = graph_arrays(session.graph)
+        ctx = _KernelContext(session, arrays, plan, params)
+        nslots = plan.num_slots
+        unsat = False
+        ops = []
+        scan_gen = _build_scan(ctx, plan.steps[0], params, nslots)
+        if scan_gen is _UNSAT:
+            unsat = True
+        else:
+            for step in plan.steps[1:]:
+                op = _build_expand(
+                    ctx, step, plan.node_specs[step.to_var], params
+                )
+                if op is _UNSAT:
+                    # The tuple generators return before pulling
+                    # upstream: zero rows, zero charges.
+                    unsat = True
+                    break
+                ops.append(op)
+        columns, consume = _compile_output(query, plan, ctx)
+    except _Fallback as fallback:
+        _FALLBACKS.inc(fallback.reason)
+        if report is not None:
+            report.reason = fallback.reason
+        return None
+    if report is not None:
+        report.mode = "vectorized"
+    if unsat:
+        # Still route through the consumer: a global aggregate over
+        # zero matches must produce its one (0/null) row.
+        return columns, consume(iter(()))
+    batches = _drive(
+        scan_gen, ops, guard, step_counts, step_times, report
+    )
+    return columns, consume(batches)
+
+
+def _drive(scan_gen, ops, guard, step_counts, step_times, report):
+    """The batch loop: pull scan batches, push them through the
+    expand operators, with per-batch deadline checks and the same
+    per-step binding counts (and trace timings) the tuple pipeline's
+    ``_counted`` / ``_timed_counted`` wrappers collect."""
+    timing = step_times is not None
+    perf = time.perf_counter
+
+    def batches():
+        source = scan_gen()
+        while True:
+            started = perf() if timing else 0.0
+            try:
+                batch = next(source)
+            except StopIteration:
+                if timing:
+                    step_times[0] += perf() - started
+                return
+            if timing:
+                step_times[0] += perf() - started
+            if guard is not None:
+                guard.check_deadline()
+            if step_counts is not None:
+                step_counts[0] += batch[1]
+            dropped = False
+            for i, op in enumerate(ops, start=1):
+                started = perf() if timing else 0.0
+                batch = op(batch)
+                if timing:
+                    step_times[i] += perf() - started
+                if batch is None:
+                    dropped = True
+                    break
+                if step_counts is not None:
+                    step_counts[i] += batch[1]
+            if dropped:
+                continue
+            _BATCHES.inc()
+            if report is not None:
+                report.batches += 1
+            yield batch
+
+    return batches()

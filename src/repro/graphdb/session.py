@@ -79,6 +79,27 @@ class GraphSession:
         else:
             self.metrics.page_misses += 1
 
+    def charge_page_runs(
+        self, kind: str, run_pages: list[int], extra_hits: int
+    ) -> None:
+        """Bulk page charging for the vectorized path.
+
+        ``run_pages`` is one page number per run of consecutive
+        same-page accesses, in access order; each run costs one real
+        LRU touch.  ``extra_hits`` covers the within-run repeats that
+        per-row readers count as guaranteed hits (pass 0 for the
+        deduplicating :meth:`scan_rows` flavor, which suppresses
+        repeats entirely).
+        """
+        self.metrics.page_hits += extra_hits
+        touch = self.cache.touch
+        metrics = self.metrics
+        for page in run_pages:
+            if touch((kind, page)):
+                metrics.page_hits += 1
+            else:
+                metrics.page_misses += 1
+
     # ------------------------------------------------------------------
     # Instrumented reads
     # ------------------------------------------------------------------

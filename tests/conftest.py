@@ -39,6 +39,32 @@ def fin_small():
 
 
 @pytest.fixture(scope="session")
+def diff_graph():
+    """The differential-testing graph: every kernel-relevant column
+    shape (typed columns with missing values, NaN floats, an object
+    column, a mid-table promotion to object), plus a frozen CSR view.
+
+    Session-scoped and shared: differential runs never mutate it (each
+    run opens a fresh :class:`~repro.graphdb.session.GraphSession`, so
+    work counters stay per-run)."""
+    from tests.graphdb.diffquery import build_differential_graph
+
+    return build_differential_graph()
+
+
+@pytest.fixture()
+def diff_gen():
+    """Factory for seeded random query generators over ``diff_graph``'s
+    schema: ``gen = diff_gen(seed)``; ``gen.query()`` yields
+    ``(text, params)`` pairs."""
+    import random
+
+    from tests.graphdb.diffquery import QueryGen
+
+    return lambda seed: QueryGen(random.Random(seed))
+
+
+@pytest.fixture(scope="session")
 def med_pipeline(med_small):
     """A full MED pipeline at test scale (optimize + load + rewrite)."""
     return build_pipeline(med_small, scale=1.0)

@@ -150,6 +150,92 @@ class TestTimeout:
                 session.run("MATCH (p:Person) RETURN p", timeout=-1)
 
 
+class TestVectorizedGuardrails:
+    """The same guardrails, tripped *inside* the batch pipeline.
+
+    The vectorized driver checks the deadline between batches and the
+    row budget in the executor's shared tail, so every behavior above
+    must hold unchanged when the query takes the batch path.  Each
+    test first proves its query actually vectorizes (otherwise it
+    would silently re-test the tuple pipeline).
+    """
+
+    @pytest.fixture
+    def vdb(self):
+        graph = PropertyGraph("vguard")
+        people = [
+            graph.add_vertex("Person", {"age": i, "score": i / 4})
+            for i in range(30)
+        ]
+        for i in range(1, 30):
+            graph.add_edge(people[i - 1], people[i], "knows")
+        graph.freeze()
+        with connect(graph) as database:
+            yield database
+
+    def _assert_vectorized(self, session, text):
+        summary = session.run(text).consume()
+        assert summary.mode == "vectorized", summary.plan
+        return summary
+
+    def test_max_rows_trips_in_batch_pipeline(self, vdb):
+        with vdb.session() as session:
+            self._assert_vectorized(
+                session, "MATCH (p:Person) RETURN p.age"
+            )
+            result = session.run(
+                "MATCH (p:Person) RETURN p.age", max_rows=5
+            )
+            with pytest.raises(ResourceLimitError, match="max_rows=5"):
+                result.records()
+
+    def test_timeout_trips_between_batches(self, vdb):
+        with vdb.session() as session:
+            self._assert_vectorized(
+                session, "MATCH (p:Person) RETURN p.age"
+            )
+            result = session.run(
+                "MATCH (p:Person) RETURN p.age", timeout=0
+            )
+            with pytest.raises(QueryTimeoutError):
+                result.records()
+
+    def test_timeout_interrupts_batch_aggregation(self, vdb):
+        with vdb.session() as session:
+            self._assert_vectorized(
+                session,
+                "MATCH (p:Person)-[:knows]->(q:Person) "
+                "RETURN count(*) AS n",
+            )
+            with pytest.raises(QueryTimeoutError):
+                session.run(
+                    "MATCH (p:Person)-[:knows]->(q:Person) "
+                    "RETURN count(*) AS n",
+                    timeout=0,
+                ).records()
+
+    def test_tripped_abandoned_cursor_settles_quietly(self, vdb):
+        with vdb.session() as session:
+            session.run("MATCH (p:Person) RETURN p.age", max_rows=1)
+            # The next query detaches (drains) the tripped cursor; the
+            # budget trip must not surface from this unrelated call.
+            record = session.run(
+                "MATCH (p:Person) RETURN count(*) AS n"
+            ).single()
+            assert record["n"] == 30
+            assert session.last_summary().mode == "vectorized"
+
+    def test_under_budget_batch_run_passes(self, vdb):
+        with vdb.session() as session:
+            result = session.run(
+                "MATCH (p:Person) RETURN p.age", max_rows=30, timeout=60.0
+            )
+            assert len(result.records()) == 30
+            summary = result.consume()
+            assert summary.mode == "vectorized"
+            assert summary.rows == 30
+
+
 class TestMetricsCounters:
     def test_summary_reports_fault_counters(self, db):
         with db.session() as session:

@@ -1,0 +1,370 @@
+"""The vectorized batch path: mask kernels, fallback decisions, and
+the execution report surface.
+
+The differential suite (``tests/graphdb/test_differential.py``) checks
+vectorized-vs-tuple agreement; this file pins the batch path against
+an *independent* oracle - plain Python comprehensions over
+:func:`repro.graphdb.query.functions.compare` - so a bug shared by
+both pipelines cannot hide.  It also pins the fallback decision table
+(which query/column shapes must refuse the batch path, and the reason
+string each reports) and the aggregation kernels' exactness rules.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphdb import observe
+from repro.graphdb.backends import NEO4J_LIKE
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.query import vectorized
+from repro.graphdb.query.executor import Executor
+from repro.graphdb.query.functions import compare
+from repro.graphdb.query.parser import parse_query
+from repro.graphdb.query.planner import build_plan
+from repro.graphdb.session import GraphSession
+
+OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+def column_graph(values, prop="x", freeze=False):
+    """One label ``L``, one column; ``None`` means *absent*."""
+    g = PropertyGraph("k")
+    for v in values:
+        g.add_vertex("L", {} if v is None else {prop: v})
+    if freeze:
+        g.freeze()
+    return g
+
+
+def run_vectorized(graph, text, params=None):
+    """Rows + report from the default (vectorize=True) executor."""
+    session = GraphSession(graph, NEO4J_LIKE)
+    executor = Executor(session)
+    report = vectorized.ExecutionReport()
+    _, _, columns, rows = executor.stream(
+        text, dict(params or {}), report=report
+    )
+    return [tuple(r) for r in rows], report
+
+
+def norm(value):
+    if isinstance(value, float) and math.isnan(value):
+        return "<NaN>"
+    return value
+
+
+class TestMaskKernelsVsOracle:
+    """Kernel output == a list comprehension over ``compare()``."""
+
+    def check(self, values, op, const, expect_mode=None):
+        graph = column_graph(values)
+        rows, report = run_vectorized(
+            graph, f"MATCH (n:L) WHERE n.x {op} $c RETURN n.x", {"c": const}
+        )
+        expected = [
+            (v,) for v in values if v is not None and compare(op, v, const)
+        ]
+        assert [tuple(norm(v) for v in r) for r in rows] == [
+            tuple(norm(v) for v in r) for r in expected
+        ], (values, op, const, report.reason)
+        if expect_mode is not None:
+            assert report.mode == expect_mode, report.reason
+        return report
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(st.none(), st.integers(-(2**62), 2**62)),
+            max_size=30,
+        ),
+        op=st.sampled_from(OPS),
+        const=st.integers(-(2**70), 2**70),
+    )
+    def test_int64_kernels(self, values, op, const):
+        self.check(values, op, const)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(
+                st.none(),
+                st.floats(allow_nan=True, allow_infinity=True, width=64),
+            ),
+            max_size=30,
+        ),
+        op=st.sampled_from(OPS),
+        const=st.one_of(
+            st.floats(allow_nan=False, allow_infinity=True, width=64),
+            st.integers(-(2**60), 2**60),
+        ),
+    )
+    def test_float64_kernels_with_nan(self, values, op, const):
+        self.check(values, op, const)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(
+                st.none(),
+                st.integers(-100, 100),
+                st.text(alphabet="abz", max_size=3),
+            ),
+            max_size=20,
+        ),
+        const=st.one_of(st.integers(-100, 100), st.text("abz", max_size=3)),
+    )
+    def test_promoted_object_columns_fall_back_correctly(self, values, const):
+        """A column that turns object mid-table must refuse the kernel
+        *and* still produce oracle-identical rows via the fallback."""
+        present = [v for v in values if v is not None]
+        has_int = any(isinstance(v, int) for v in present)
+        has_str = any(isinstance(v, str) for v in present)
+        report = self.check(values, "=", const)
+        if has_int and has_str:
+            assert report.mode == "tuple"
+            assert report.reason in ("object-column", "mixed-kind")
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(st.none(), st.integers(-50, 50)), max_size=25
+        ),
+        negate=st.booleans(),
+    )
+    def test_null_checks(self, values, negate):
+        graph = column_graph(values)
+        check = "IS NOT NULL" if negate else "IS NULL"
+        rows, report = run_vectorized(
+            graph, f"MATCH (n:L) WHERE n.x {check} RETURN count(*) AS c"
+        )
+        expected = sum(
+            1 for v in values if (v is not None) == negate
+        )
+        assert rows == [(expected,)], report.reason
+
+    def test_all_null_column(self):
+        """Kernel over a never-stored key: everything reads as null."""
+        graph = column_graph([None] * 12)
+        for op in OPS:
+            rows, report = run_vectorized(
+                graph, f"MATCH (n:L) WHERE n.x {op} 5 RETURN n.x"
+            )
+            assert rows == []
+            assert report.mode == "vectorized", report.reason
+        rows, _ = run_vectorized(
+            graph, "MATCH (n:L) WHERE n.x IS NULL RETURN count(*) AS c"
+        )
+        assert rows == [(12,)]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(st.none(), st.integers(-20, 20)),
+            min_size=1,
+            max_size=25,
+        ),
+        a=st.integers(-20, 20),
+        b=st.integers(-20, 20),
+        joiner=st.sampled_from(["AND", "OR"]),
+        negate=st.booleans(),
+    )
+    def test_boolean_folding(self, values, a, b, joiner, negate):
+        """AND/OR/NOT trees fold progressively; the oracle evaluates
+        the same tree row-at-a-time."""
+        graph = column_graph(values)
+        pred = f"n.x > {a} {joiner} n.x <= {b}"
+        if negate:
+            pred = f"NOT ({pred})"
+        rows, report = run_vectorized(
+            graph, f"MATCH (n:L) WHERE {pred} RETURN n.x"
+        )
+
+        def oracle(v):
+            # Two-valued logic: a null comparison is *false* (not
+            # unknown), so NOT can resurrect null rows.
+            hit = (
+                (compare(">", v, a) or compare("<=", v, b))
+                if joiner == "OR"
+                else (compare(">", v, a) and compare("<=", v, b))
+            )
+            return not hit if negate else hit
+
+        assert rows == [(v,) for v in values if oracle(v)], report.reason
+        assert report.mode == "vectorized", report.reason
+
+
+class TestFallbackDecisions:
+    """The documented fallback matrix, by reason string."""
+
+    @pytest.fixture()
+    def graph(self):
+        g = PropertyGraph("fb")
+        for i in range(10):
+            g.add_vertex("P", {"x": i, "flag": i % 2 == 0})
+        return g
+
+    def expect(self, graph, text, reason, params=None):
+        rows, report = run_vectorized(graph, text, params)
+        assert report.mode == "tuple", text
+        assert report.reason == reason, (text, report.reason)
+        return rows
+
+    def test_limit_is_tuple_only(self, graph):
+        self.expect(graph, "MATCH (n:P) RETURN n.x LIMIT 3", "limit")
+
+    def test_grouped_aggregation_is_tuple_only(self, graph):
+        self.expect(
+            graph,
+            "MATCH (n:P) RETURN n.x, count(*) AS c",
+            "aggregate-shape",
+        )
+
+    def test_collect_is_tuple_only(self, graph):
+        self.expect(
+            graph, "MATCH (n:P) RETURN collect(n.x) AS c", "aggregate-shape"
+        )
+
+    def test_bool_column_is_object(self, graph):
+        self.expect(
+            graph,
+            "MATCH (n:P) WHERE n.flag = true RETURN n.x",
+            "object-column",
+        )
+
+    def test_bool_constant_refuses_numeric_kernel(self, graph):
+        # 1 == True in Python, so the tuple semantics are subtle
+        # enough that the kernel refuses rather than approximates.
+        rows = self.expect(
+            graph, "MATCH (n:P) WHERE n.x = true RETURN n.x", "bool-value"
+        )
+        assert rows == [(1,)]
+
+    def test_expand_needs_frozen_view(self):
+        g = PropertyGraph()
+        a = g.add_vertex("P", {"x": 1})
+        b = g.add_vertex("Q", {"y": 2})
+        g.add_edge(a, b, "r")
+        assert g.frozen_view is None
+        self.expect(g, "MATCH (a:P)-[:r]->(b:Q) RETURN b.y", "no-frozen-view")
+        # Frozen, the same query vectorizes.
+        g.freeze()
+        _, report = run_vectorized(g, "MATCH (a:P)-[:r]->(b:Q) RETURN b.y")
+        assert report.mode == "vectorized", report.reason
+
+    def test_disabled_executor_reports_disabled(self, graph):
+        session = GraphSession(graph, NEO4J_LIKE)
+        executor = Executor(session, vectorize=False)
+        report = vectorized.ExecutionReport()
+        _, _, _, rows = executor.stream(
+            "MATCH (n:P) RETURN n.x", {}, report=report
+        )
+        list(rows)
+        assert report.mode == "tuple"
+        assert report.reason == "disabled"
+
+
+class TestStaticModeFidelity:
+    """Plain EXPLAIN's mode prediction matches what actually runs,
+    for every parameter-free query shape we emit."""
+
+    CASES = [
+        "MATCH (n:P) RETURN n.x",
+        "MATCH (n:P) WHERE n.x > 3 RETURN n.x",
+        "MATCH (n:P) RETURN sum(n.x) AS s",
+        "MATCH (n:P) RETURN n.x LIMIT 2",
+        "MATCH (n:P) RETURN n.x, count(*) AS c",
+        "MATCH (n:P) WHERE n.name = 'a' RETURN n.x",
+        "MATCH (n:P) WHERE n.flag = true RETURN n.x",
+        "MATCH (a:P)-[:r]->(b:P) RETURN count(*) AS c",
+    ]
+
+    def test_prediction_matches_runtime(self):
+        g = PropertyGraph("sm")
+        vids = [
+            g.add_vertex(
+                "P", {"x": i, "name": f"n{i}", "flag": bool(i % 2)}
+            )
+            for i in range(8)
+        ]
+        for i in range(7):
+            g.add_edge(vids[i], vids[i + 1], "r")
+        g.freeze()
+        for text in self.CASES:
+            query = parse_query(text)
+            plan = build_plan(query, g)
+            predicted = vectorized.static_mode(query, plan, g)
+            _, report = run_vectorized(g, text)
+            assert predicted == report.mode, (
+                text, predicted, report.mode, report.reason
+            )
+
+
+class TestAggregationExactness:
+    def test_int_sum_beyond_float_precision(self):
+        """Sums that float64 would round must come out exact."""
+        values = [2**60, 2**60 - 1, 3, -7]
+        rows, report = run_vectorized(
+            column_graph(values), "MATCH (n:L) RETURN sum(n.x) AS s"
+        )
+        assert rows == [(sum(values),)]
+        assert isinstance(rows[0][0], int)
+        assert report.mode == "vectorized", report.reason
+
+    def test_float_sum_matches_sequential_fold(self):
+        values = [0.1] * 10 + [1e16, -1e16]
+        rows, report = run_vectorized(
+            column_graph(values), "MATCH (n:L) RETURN sum(n.x) AS s"
+        )
+        acc = 0
+        for v in values:
+            acc += v
+        assert rows == [(acc,)]
+        assert report.mode == "vectorized", report.reason
+
+    def test_nan_poisons_min_max_like_python(self):
+        values = [3.0, float("nan"), 1.0]
+        for func in ("min", "max"):
+            rows, report = run_vectorized(
+                column_graph(values),
+                f"MATCH (n:L) RETURN {func}(n.x) AS m",
+            )
+            oracle = min(values) if func == "min" else max(values)
+            assert (
+                [tuple(norm(v) for v in r) for r in rows]
+                == [(norm(oracle),)]
+            )
+            assert report.mode == "vectorized", report.reason
+
+    def test_zero_match_aggregate_row(self):
+        graph = column_graph([1, 2, 3])
+        rows, report = run_vectorized(
+            graph,
+            "MATCH (n:L) WHERE n.x > 99 "
+            "RETURN count(*) AS c, sum(n.x) AS s, min(n.x) AS lo, "
+            "avg(n.x) AS a",
+        )
+        assert rows == [(0, 0, None, None)]
+        assert report.mode == "vectorized", report.reason
+
+
+class TestObservability:
+    def test_query_path_counter_increments(self):
+        graph = column_graph([1, 2, 3])
+        counter = observe.REGISTRY.labeled_counter(
+            "repro_query_path_total", "path"
+        )
+        before_v = counter.value("vectorized")
+        before_t = counter.value("tuple")
+        run_vectorized(graph, "MATCH (n:L) RETURN n.x")
+        run_vectorized(graph, "MATCH (n:L) RETURN n.x LIMIT 1")
+        assert counter.value("vectorized") == before_v + 1
+        assert counter.value("tuple") == before_t + 1
+
+    def test_report_counts_batches(self):
+        graph = column_graph(range(vectorized.BATCH_ROWS + 10))
+        rows, report = run_vectorized(graph, "MATCH (n:L) RETURN n.x")
+        assert len(rows) == vectorized.BATCH_ROWS + 10
+        assert report.batches == 2

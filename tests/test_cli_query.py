@@ -123,6 +123,41 @@ class TestQueryCommand:
         out = capsys.readouterr().out
         assert "index lookup (Drug.id = $id)" in out
 
+    def test_json_output_reports_pipeline_mode(self, data_dir, capsys):
+        assert main([
+            "query", data_dir,
+            "MATCH (d:Drug) RETURN sum(d.id) AS s",
+            "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "vectorized"
+        assert payload["rows"] == [[10]]
+
+    def test_json_mode_reports_fallback(self, data_dir, capsys):
+        # LIMIT is tuple-only by design; the surfaced mode must say so.
+        assert main([
+            "query", data_dir,
+            "MATCH (d:Drug) RETURN d.id LIMIT 2",
+            "--format", "json",
+        ]) == 0
+        assert json.loads(capsys.readouterr().out)["mode"] == "tuple"
+
+    def test_explain_renders_chosen_path(self, data_dir, capsys):
+        assert main([
+            "query", data_dir,
+            "MATCH (d:Drug) RETURN count(*) AS n", "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mode=vectorized" in out
+
+    def test_trace_renders_chosen_path(self, data_dir, capsys):
+        assert main([
+            "query", data_dir,
+            "MATCH (d:Drug) RETURN count(*) AS n", "--trace",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mode=vectorized" in out
+
     def test_query_error_exits_1(self, data_dir, capsys):
         assert main(["query", data_dir, "MATCH (d:Drug RETURN d"]) == 1
         assert "error:" in capsys.readouterr().err
