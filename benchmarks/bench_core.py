@@ -117,8 +117,17 @@ def main(argv: list[str] | None = None) -> int:
         help="one small-scale pass of every benchmark (CI regression "
              "canary; no timing claims)",
     )
+    parser.add_argument(
+        "--scale", type=float, default=None, metavar="FACTOR",
+        help="dataset scale factor (10-100x supported; default 1.0, "
+             "0.25 under --smoke); generated graphs are memoized per "
+             "scale in $REPRO_SNAPSHOT_CACHE",
+    )
     args = parser.parse_args(argv)
-    scale = 0.25 if args.smoke else 1.0
+    scale = (
+        args.scale if args.scale is not None
+        else (0.25 if args.smoke else 1.0)
+    )
     repeats = 1 if args.smoke else max(3, args.repeats)
 
     print(f"graph-core benchmarks (MED, scale {scale:g})")

@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Morsel-parallel executor benchmarks -> BENCH_parallel.json.
+
+Sweeps the worker pool over 1/2/4/8 processes on the MED dataset
+(DIR graph, scale 10 by default so scans clear the parallel
+threshold comfortably) and records, per worker count:
+
+* **scan_aggregate** - a filtered numeric aggregation
+  (``WHERE s.cohortSize > 0 RETURN sum(...)``): morsel scatter,
+  masked partial folds in the workers, exact merge on the
+  coordinator;
+* **scan_project** - the same filter projecting rows back
+  (``RETURN s.cohortSize``): morsel results are gathered and
+  replayed in morsel order, so output is identical to serial;
+* **pagerank** - morsel-parallel PageRank with a per-iteration
+  barrier and dangling-mass reduction
+  (:func:`repro.graphdb.query.parallel.parallel_pagerank`);
+* **stats_build** - the parallel :class:`GraphStatistics` build
+  (:func:`repro.graphdb.query.parallel.parallel_build_stats`).
+
+``workers=1`` runs the serial path (the pool declines below two
+workers), so each sweep's first entry is the baseline its speedups
+are computed against.  The report records ``cpus`` (the scheduler
+affinity count): speedups are only physically possible when it
+exceeds 1 — on a single-CPU host the sweep still validates
+correctness and measures coordination overhead honestly.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--out PATH]
+
+``--smoke`` runs one small-scale pass (CI canary, no timing claims).
+``benchmarks/run_bench.sh`` invokes the full version after the
+graph-core benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import build_pipeline
+from repro.datasets import build_med
+from repro.graphdb.backends import NEO4J_LIKE
+from repro.graphdb.query.executor import Executor
+from repro.graphdb.query.parallel import (
+    parallel_build_stats,
+    parallel_pagerank,
+    shutdown_pool,
+)
+from repro.graphdb.query.vectorized import ExecutionReport
+from repro.graphdb.session import GraphSession
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+WORKER_SWEEP = (1, 2, 4, 8)
+
+AGGREGATE_QUERY = (
+    "MATCH (s:Study) WHERE s.cohortSize > 0 RETURN sum(s.cohortSize)"
+)
+PROJECT_QUERY = (
+    "MATCH (s:Study) WHERE s.cohortSize > 0 RETURN s.cohortSize"
+)
+
+
+def timed(fn, repeats: int) -> list[float]:
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - started) * 1000.0)
+    return samples
+
+
+def stats(samples: list[float]) -> dict:
+    return {
+        "repeats": len(samples),
+        "median_ms": round(statistics.median(samples), 3),
+        "mean_ms": round(statistics.fmean(samples), 3),
+        "min_ms": round(min(samples), 3),
+        "max_ms": round(max(samples), 3),
+        "stdev_ms": round(
+            statistics.stdev(samples) if len(samples) > 1 else 0.0, 3
+        ),
+    }
+
+
+def bench(name: str, fn, repeats: int, extra: dict | None = None) -> dict:
+    fn()  # warmup (plan cache, pool spawn, shared-memory columns)
+    entry = {"name": name, "stats": stats(timed(fn, repeats))}
+    if extra:
+        entry["extra"] = extra
+    print(f"  {name}: median {entry['stats']['median_ms']:.2f} ms")
+    return entry
+
+
+def sweep(name: str, make_fn, repeats: int, workers_sweep, extra_fn=None):
+    """One benchmark entry per worker count; speedups vs. the first
+    (serial) entry of the same sweep."""
+    entries = []
+    base_ms = None
+    for workers in workers_sweep:
+        fn = make_fn(workers)
+        extra = {"workers": workers}
+        if extra_fn:
+            extra.update(extra_fn(workers))
+        entry = bench(f"{name}_w{workers}", fn, repeats, extra)
+        median = entry["stats"]["median_ms"]
+        if base_ms is None:
+            base_ms = median
+        entry["extra"]["speedup_vs_w1"] = (
+            round(base_ms / median, 2) if median else None
+        )
+        entries.append(entry)
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one small-scale pass with a short sweep (CI regression "
+             "canary; no timing claims)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None, metavar="FACTOR",
+        help="dataset scale factor (default 10.0, 0.25 under --smoke); "
+             "generated graphs are memoized per scale in "
+             "$REPRO_SNAPSHOT_CACHE",
+    )
+    args = parser.parse_args(argv)
+    scale = (
+        args.scale if args.scale is not None
+        else (0.25 if args.smoke else 10.0)
+    )
+    repeats = 1 if args.smoke else max(3, args.repeats)
+    workers_sweep = (1, 2) if args.smoke else WORKER_SWEEP
+    cpus = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1)
+    )
+
+    print(f"morsel-parallel benchmarks (MED, scale {scale:g}, {cpus} cpu(s))")
+    pipeline = build_pipeline(build_med(), scale=scale)
+    graph = pipeline.dir_graph
+    graph.freeze()  # the workers attach the frozen CSR arrays
+    print(f"  {graph.summary()}")
+
+    def make_executor(workers: int) -> Executor:
+        return Executor(
+            GraphSession(graph, NEO4J_LIKE),
+            parallelism=workers,
+            parallel_threshold=0,
+        )
+
+    def query_mode(workers: int, query: str) -> str:
+        report = ExecutionReport()
+        _, _, _, rows = make_executor(workers).stream(
+            query, {}, report=report
+        )
+        list(rows)
+        return report.mode
+
+    batch = 1 if args.smoke else 10
+
+    def make_query_fn(query: str):
+        def factory(workers: int):
+            executor = make_executor(workers)
+
+            def run():
+                for _ in range(batch):
+                    executor.run(query)
+            return run
+        return factory
+
+    rows_scanned = graph.label_count("Study")
+    benchmarks = []
+    benchmarks += sweep(
+        "scan_aggregate", make_query_fn(AGGREGATE_QUERY), repeats,
+        workers_sweep,
+        lambda w: {
+            "query": AGGREGATE_QUERY,
+            "rows_scanned": rows_scanned,
+            "runs_per_sample": batch,
+            "mode": query_mode(w, AGGREGATE_QUERY),
+        },
+    )
+    benchmarks += sweep(
+        "scan_project", make_query_fn(PROJECT_QUERY), repeats,
+        workers_sweep,
+        lambda w: {
+            "query": PROJECT_QUERY,
+            "rows_scanned": rows_scanned,
+            "runs_per_sample": batch,
+            "mode": query_mode(w, PROJECT_QUERY),
+        },
+    )
+
+    checksum: dict = {}
+
+    def make_pagerank_fn(workers: int):
+        def run():
+            scores = parallel_pagerank(graph, workers=workers)
+            checksum["pagerank"] = round(sum(scores.values()), 6)
+        return run
+
+    benchmarks += sweep(
+        "pagerank", make_pagerank_fn,
+        1 if args.smoke else max(3, repeats // 2), workers_sweep,
+        lambda w: {"vertices": graph.num_vertices,
+                   "edges": graph.num_edges},
+    )
+    for entry in benchmarks[-len(workers_sweep):]:
+        entry["extra"]["checksum"] = checksum["pagerank"]
+
+    def make_stats_fn(workers: int):
+        def run():
+            parallel_build_stats(graph, workers=workers)
+        return run
+
+    benchmarks += sweep(
+        "stats_build", make_stats_fn, repeats, workers_sweep,
+        lambda w: {"vertices": graph.num_vertices,
+                   "edges": graph.num_edges},
+    )
+
+    shutdown_pool()
+
+    report = {
+        "suite": "parallel",
+        "dataset": "med",
+        "scale": scale,
+        "cpus": cpus,
+        "benchmarks": benchmarks,
+    }
+    if args.smoke:
+        print("smoke pass complete")
+        return 0
+    out = Path(args.out) if args.out else REPO_ROOT / "BENCH_parallel.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

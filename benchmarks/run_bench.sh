@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Run the engine micro-benchmarks, the storage benchmarks, the
 # planner benchmarks, the graph-core benchmarks, the driver-API
-# benchmarks, the fault-injection benchmarks, and the observability
-# benchmarks, recording results at the repo root as
-# BENCH_engine.json, BENCH_storage.json, BENCH_planner.json,
-# BENCH_core.json, BENCH_api.json, BENCH_faults.json, and
-# BENCH_observe.json (the perf trajectory artifacts).
+# benchmarks, the fault-injection benchmarks, the observability
+# benchmarks, and the morsel-parallel worker sweep, recording
+# results at the repo root as BENCH_engine.json, BENCH_storage.json,
+# BENCH_planner.json, BENCH_core.json, BENCH_api.json,
+# BENCH_faults.json, BENCH_observe.json, and BENCH_parallel.json
+# (the perf trajectory artifacts).
 #
 # Usage: benchmarks/run_bench.sh [extra pytest args...]
 set -euo pipefail
@@ -51,3 +52,5 @@ python benchmarks/bench_api.py --out "$REPO_ROOT/BENCH_api.json"
 python benchmarks/bench_faults.py --out "$REPO_ROOT/BENCH_faults.json"
 
 python benchmarks/bench_observe.py --out "$REPO_ROOT/BENCH_observe.json"
+
+python benchmarks/bench_parallel.py --out "$REPO_ROOT/BENCH_parallel.json"

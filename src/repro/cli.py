@@ -324,7 +324,9 @@ def cmd_query(args) -> int:
     from repro.graphdb.api import connect
 
     params = dict(args.params or [])
-    with connect(args.data_dir, readonly=True) as db:
+    with connect(
+        args.data_dir, readonly=True, parallelism=args.parallel
+    ) as db:
         with db.session() as session:
             result = session.run(
                 args.query, params,
@@ -496,7 +498,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_demo = sub.add_parser("demo", help="run a built-in dataset demo")
     p_demo.add_argument("dataset", choices=("med", "fin"))
-    p_demo.add_argument("--scale", type=float, default=0.5)
+    p_demo.add_argument(
+        "--scale", type=float, default=0.5, metavar="FACTOR",
+        help="cardinality multiplier for the generated data (10-100x "
+             "supported; snapshot-cache keys include the scale)",
+    )
     p_demo.add_argument(
         "--explain", action="store_true",
         help="print each query's EXPLAIN ANALYZE plan (estimated vs "
@@ -514,7 +520,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_save.add_argument("dataset", choices=("med", "fin"))
     p_save.add_argument("data_dir", help="target data directory")
-    p_save.add_argument("--scale", type=float, default=0.5)
+    p_save.add_argument(
+        "--scale", type=float, default=0.5, metavar="FACTOR",
+        help="cardinality multiplier for the generated data (10-100x "
+             "supported)",
+    )
     p_save.add_argument(
         "--graph", choices=("dir", "opt"), default="dir",
         help="which materialization to persist (default: dir)",
@@ -580,6 +590,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="record a span tree (parse -> plan -> execute, per-"
              "operator timings) and print it after the result",
+    )
+    p_query.add_argument(
+        "--parallel", type=int, default=None, metavar="WORKERS",
+        help="worker processes for morsel-parallel execution "
+             "(default: $REPRO_PARALLEL, else serial)",
     )
     p_query.set_defaults(fn=cmd_query)
 

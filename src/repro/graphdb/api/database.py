@@ -43,6 +43,7 @@ def connect(
     sync: str = "batch",
     readonly: bool = False,
     observe: "observe_mod.ObserveConfig | dict | str | Path | None" = None,
+    parallelism: int | None = None,
 ) -> "Database":
     """Open ``target`` (graph, data directory, or snapshot file).
 
@@ -55,18 +56,27 @@ def connect(
     fields, or a bare event-log path) that can point the JSONL event
     sink somewhere, arm the slow-query log, or switch the metrics
     registry off entirely - see :mod:`repro.graphdb.observe`.
+    ``parallelism`` sets the default worker count for this database's
+    sessions (values above 1 enable morsel-parallel execution for
+    qualifying scans; unset, the ``REPRO_PARALLEL`` environment
+    variable applies, and serial remains the default).
     """
     if observe is not None:
         observe_mod.configure(observe)
     if isinstance(target, PropertyGraph):
-        return Database(target, store=None, profile=profile)
+        return Database(
+            target, store=None, profile=profile, parallelism=parallelism
+        )
     path = Path(target)
     if path.is_file() or (
         not path.exists() and path.suffix == ".rpgs"
     ):
         from repro.graphdb.storage import read_snapshot
 
-        return Database(read_snapshot(path), store=None, profile=profile)
+        return Database(
+            read_snapshot(path), store=None, profile=profile,
+            parallelism=parallelism,
+        )
     if readonly:
         from repro.graphdb.storage import recover_graph
         from repro.graphdb.storage.recovery import RecoveryManager
@@ -76,11 +86,16 @@ def connect(
             manager.snapshot_generations() or manager.wal_generations()
         ):
             raise GraphError(f"no graph store at {path}")
-        return Database(recover_graph(path), store=None, profile=profile)
+        return Database(
+            recover_graph(path), store=None, profile=profile,
+            parallelism=parallelism,
+        )
     from repro.graphdb.storage import GraphStore
 
     store = GraphStore.open(path, create=create, sync=sync)
-    return Database(store.graph, store=store, profile=profile)
+    return Database(
+        store.graph, store=store, profile=profile, parallelism=parallelism
+    )
 
 
 class Database:
@@ -91,6 +106,7 @@ class Database:
         graph: PropertyGraph,
         store=None,
         profile: BackendProfile = NEO4J_LIKE,
+        parallelism: int | None = None,
     ):
         self.graph = graph
         #: The durable :class:`~repro.graphdb.storage.GraphStore`, or
@@ -98,6 +114,9 @@ class Database:
         self.store = store
         #: Default backend profile for sessions.
         self.profile = profile
+        #: Default worker count for sessions (``None`` defers to the
+        #: ``REPRO_PARALLEL`` environment variable, then to serial).
+        self.parallelism = parallelism
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -108,11 +127,19 @@ class Database:
         profile: BackendProfile | None = None,
         cache=None,
         cost_based: bool = True,
+        parallelism: int | None = None,
+        parallel_threshold: int | None = None,
     ) -> Session:
-        """A new unit-of-work session (use as a context manager)."""
+        """A new unit-of-work session (use as a context manager).
+
+        ``parallelism`` overrides the database default for this
+        session; ``parallel_threshold`` sets the minimum estimated
+        scan rows before morsel dispatch engages."""
         self._require_open()
         return Session(
-            self, profile=profile, cache=cache, cost_based=cost_based
+            self, profile=profile, cache=cache, cost_based=cost_based,
+            parallelism=parallelism,
+            parallel_threshold=parallel_threshold,
         )
 
     # ------------------------------------------------------------------

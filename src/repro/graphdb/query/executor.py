@@ -93,7 +93,8 @@ _GUARDRAIL_TRIPS = observe.REGISTRY.labeled_counter(
 _QUERY_PATHS = observe.REGISTRY.labeled_counter(
     "repro_query_path_total",
     "path",
-    "Query executions per pipeline path (vectorized or tuple).",
+    "Query executions per pipeline path (parallel, vectorized, or "
+    "tuple).",
 )
 
 
@@ -472,10 +473,21 @@ class Executor:
         session: GraphSession,
         cost_based: bool = True,
         vectorize: bool = True,
+        parallelism: int | None = None,
+        parallel_threshold: int | None = None,
     ):
         self.session = session
         self.cost_based = cost_based
         self.vectorize = vectorize
+        # Lazy import: parallel -> vectorized -> executor would cycle
+        # at module load; by __init__ time this module is complete.
+        from repro.graphdb.query.parallel import (
+            resolve_parallelism,
+            resolve_threshold,
+        )
+
+        self.parallelism = resolve_parallelism(parallelism)
+        self.parallel_threshold = resolve_threshold(parallel_threshold)
 
     def run(
         self,
@@ -620,14 +632,29 @@ class Executor:
         """Compile one execution: ``(columns, lazy row iterator)``."""
         params = _validate_params(query, parameters)
         rows = None
+        path = "vectorized"
         if self.vectorize and plan.batchable:
             from repro.graphdb.query import vectorized
 
-            pipeline = vectorized.build_pipeline(
-                query, plan, self.session, params,
-                guard=guard, step_counts=step_counts,
-                step_times=step_times, report=report,
-            )
+            pipeline = None
+            if self.parallelism > 1:
+                from repro.graphdb.query import parallel
+
+                pipeline = parallel.build_parallel_pipeline(
+                    query, plan, self.session, params,
+                    self.parallelism,
+                    guard=guard, step_counts=step_counts,
+                    step_times=step_times, report=report,
+                    threshold=self.parallel_threshold,
+                )
+                if pipeline is not None:
+                    path = "parallel"
+            if pipeline is None:
+                pipeline = vectorized.build_pipeline(
+                    query, plan, self.session, params,
+                    guard=guard, step_counts=step_counts,
+                    step_times=step_times, report=report,
+                )
             if pipeline is not None:
                 columns, rows = pipeline
         elif report is not None:
@@ -645,7 +672,7 @@ class Executor:
                 stream = _guarded_bindings(stream, guard)
             columns, rows = self._project(query, stream, evaluator)
         else:
-            _QUERY_PATHS.inc("vectorized")
+            _QUERY_PATHS.inc(path)
         if query.distinct:
             rows = _dedupe(rows)
         if query.order_by:

@@ -115,6 +115,9 @@ class ExecutionReport:
     #: Fallback reason when a batchable plan ran tuple (None when the
     #: plan was never batchable or the vectorized path ran).
     reason: str | None = None
+    #: Why a parallel-enabled execution stayed serial (None when it
+    #: ran parallel or parallelism was never requested).
+    parallel_reason: str | None = None
     batches: int = 0
 
 
@@ -359,9 +362,13 @@ def query_fallback_reason(query: Query, plan: Plan) -> str | None:
     """
     if not HAVE_NUMPY:
         return "numpy-unavailable"
-    if query.limit is not None:
+    if query.limit is not None and not query.order_by:
         # Batch granularity would coarsen LIMIT's short-circuit
-        # laziness (and the work counters that pin it down).
+        # laziness (and the work counters that pin it down).  Under
+        # ORDER BY there is no laziness to lose - every row must be
+        # produced before the executor's shared top-k heap
+        # (``Executor._order``) picks the first ``limit`` - so ORDER
+        # BY + LIMIT runs the batch pipeline and feeds the same heap.
         return "limit"
     has_aggregate = any(
         contains_aggregate(item.expr) for item in query.return_items

@@ -201,7 +201,9 @@ class TestCatalog:
         assert len(names) == len(set(names))
         for name in names:
             layer = name.split(".")[0]
-            assert layer in ("wal", "snapshot", "store", "recovery")
+            assert layer in (
+                "wal", "snapshot", "store", "recovery", "parallel"
+            )
 
 
 @pytest.mark.parametrize("point", all_failpoints())
