@@ -2,10 +2,11 @@
 # Run the engine micro-benchmarks, the storage benchmarks, the
 # planner benchmarks, the graph-core benchmarks, the driver-API
 # benchmarks, the fault-injection benchmarks, the observability
-# benchmarks, and the morsel-parallel worker sweep, recording
-# results at the repo root as BENCH_engine.json, BENCH_storage.json,
-# BENCH_planner.json, BENCH_core.json, BENCH_api.json,
-# BENCH_faults.json, BENCH_observe.json, and BENCH_parallel.json
+# benchmarks, the morsel-parallel worker sweep, and the network
+# server benchmarks, recording results at the repo root as
+# BENCH_engine.json, BENCH_storage.json, BENCH_planner.json,
+# BENCH_core.json, BENCH_api.json, BENCH_faults.json,
+# BENCH_observe.json, BENCH_parallel.json, and BENCH_server.json
 # (the perf trajectory artifacts).
 #
 # Usage: benchmarks/run_bench.sh [extra pytest args...]
@@ -54,3 +55,5 @@ python benchmarks/bench_faults.py --out "$REPO_ROOT/BENCH_faults.json"
 python benchmarks/bench_observe.py --out "$REPO_ROOT/BENCH_observe.json"
 
 python benchmarks/bench_parallel.py --out "$REPO_ROOT/BENCH_parallel.json"
+
+python benchmarks/bench_server.py --out "$REPO_ROOT/BENCH_server.json"

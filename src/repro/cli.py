@@ -66,6 +66,26 @@ Commands
     result summary (work metrics, latency, plan digest) and the
     trace as structured data.
 
+``serve``
+    Serve a data directory over TCP (the ``repro://`` wire protocol),
+    with an optional HTTP sidecar for ``/health`` and ``/metrics``::
+
+        python -m repro serve ./med-data --port 7688 --http-port 7689
+
+    Any number of clients read concurrently (each query pinned to the
+    graph epoch it started on); writes serialize through one writer
+    slot with group-committed fsyncs.  ``--readonly`` rejects writes
+    at the protocol level; ``--max-connections`` bounds concurrent
+    clients (excess connections are refused with an ERROR frame);
+    ``--idle-timeout`` / ``--query-timeout`` / ``--max-rows`` arm the
+    server-side guardrails.  ``repro query`` accepts ``repro://`` URLs
+    in place of a data directory, so a remote smoke test is::
+
+        python -m repro query repro://127.0.0.1:7688 \\
+            'MATCH (d:Drug) RETURN count(*) AS n' --format json
+
+    SIGINT/SIGTERM shut down cleanly (flushing the WAL).
+
 ``metrics``
     Recover a data directory (populating the recovery, WAL, and plan
     instruments), optionally run queries or a checkpoint against it,
@@ -377,6 +397,63 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.graphdb import faults
+    from repro.graphdb.api import connect
+    from repro.graphdb.server import GraphServer, ServerConfig
+
+    database = connect(
+        args.data_dir, create=False, readonly=args.readonly
+    )
+    server = GraphServer(database, ServerConfig(
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        readonly=args.readonly,
+        max_connections=args.max_connections,
+        idle_timeout=args.idle_timeout,
+        query_timeout=args.query_timeout,
+        max_rows=args.max_rows,
+        group_window=args.group_window,
+    ))
+
+    async def _serve() -> None:
+        await server.start()
+        host, port = server.address
+        mode = " (read-only)" if server.readonly else ""
+        print(
+            f"serving {args.data_dir} on repro://{host}:{port}{mode}",
+            flush=True,
+        )
+        if server.http_address is not None:
+            http_host, http_port = server.http_address
+            print(
+                f"http sidecar on http://{http_host}:{http_port} "
+                "(/health, /metrics)",
+                flush=True,
+            )
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.request_stop)
+        try:
+            await server.serve_forever()
+        finally:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(sig)
+
+    try:
+        asyncio.run(_serve())
+    except faults.SimulatedCrash as crash:
+        print(f"server crashed (injected fault: {crash})",
+              file=sys.stderr)
+        return 1
+    print("server stopped", flush=True)
+    return 0
+
+
 def cmd_metrics(args) -> int:
     from repro.graphdb.api import connect
     from repro.graphdb.observe import render_prometheus
@@ -561,7 +638,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one Cypher query against a data directory (read-only)",
     )
     p_query.add_argument(
-        "data_dir", help="data directory (or .rpgs snapshot) to query"
+        "data_dir",
+        help="data directory, .rpgs snapshot, or repro:// server URL "
+             "to query",
     )
     p_query.add_argument("query", help="Cypher-subset query text")
     p_query.add_argument(
@@ -597,6 +676,53 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: $REPRO_PARALLEL, else serial)",
     )
     p_query.set_defaults(fn=cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a data directory over TCP (repro:// wire protocol)",
+    )
+    p_serve.add_argument("data_dir", help="data directory to serve")
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    from repro.graphdb.server.protocol import DEFAULT_PORT
+
+    p_serve.add_argument(
+        "--port", type=int, default=DEFAULT_PORT,
+        help=f"TCP port for the wire protocol (default: {DEFAULT_PORT}; "
+             "0 picks an ephemeral port)",
+    )
+    p_serve.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="also serve HTTP /health and /metrics on this port",
+    )
+    p_serve.add_argument(
+        "--readonly", action="store_true",
+        help="reject BEGIN/MUTATE at the protocol level",
+    )
+    p_serve.add_argument(
+        "--max-connections", type=int, default=64, metavar="N",
+        help="refuse connections beyond this many concurrent clients",
+    )
+    p_serve.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="drop connections idle for longer than this",
+    )
+    p_serve.add_argument(
+        "--query-timeout", type=float, default=None, metavar="SECONDS",
+        help="server-side ceiling on per-query wall time",
+    )
+    p_serve.add_argument(
+        "--max-rows", type=int, default=None, metavar="N",
+        help="server-side ceiling on rows a query may produce",
+    )
+    p_serve.add_argument(
+        "--group-window", type=float, default=0.0, metavar="SECONDS",
+        help="linger this long collecting commits per fsync batch "
+             "(0 still batches commits that queue during an fsync)",
+    )
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_metrics = sub.add_parser(
         "metrics",

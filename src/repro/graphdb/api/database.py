@@ -10,7 +10,11 @@ normalizes it into a :class:`Database`:
   mutation is write-ahead logged, transactions get BEGIN/COMMIT
   framing, :meth:`Database.checkpoint` compacts.  ``readonly=True``
   recovers a point-in-time graph without touching the directory;
-* a **snapshot file** (``.rpgs``) - loaded as an in-memory graph.
+* a **snapshot file** (``.rpgs``) - loaded as an in-memory graph;
+* a ``repro://host:port`` **URL** - a
+  :class:`~repro.graphdb.api.remote.RemoteDatabase` speaking the wire
+  protocol to a ``repro serve`` process (same Session/Result surface,
+  rows streamed lazily in PULL batches).
 
 A :class:`Database` is a session factory::
 
@@ -67,6 +71,10 @@ def connect(
         return Database(
             target, store=None, profile=profile, parallelism=parallelism
         )
+    if isinstance(target, str) and target.startswith("repro://"):
+        from repro.graphdb.api.remote import RemoteDatabase
+
+        return RemoteDatabase(target, profile=profile, readonly=readonly)
     path = Path(target)
     if path.is_file() or (
         not path.exists() and path.suffix == ".rpgs"
@@ -88,7 +96,7 @@ def connect(
             raise GraphError(f"no graph store at {path}")
         return Database(
             recover_graph(path), store=None, profile=profile,
-            parallelism=parallelism,
+            parallelism=parallelism, readonly=True,
         )
     from repro.graphdb.storage import GraphStore
 
@@ -107,6 +115,7 @@ class Database:
         store=None,
         profile: BackendProfile = NEO4J_LIKE,
         parallelism: int | None = None,
+        readonly: bool = False,
     ):
         self.graph = graph
         #: The durable :class:`~repro.graphdb.storage.GraphStore`, or
@@ -117,6 +126,10 @@ class Database:
         #: Default worker count for sessions (``None`` defers to the
         #: ``REPRO_PARALLEL`` environment variable, then to serial).
         self.parallelism = parallelism
+        #: ``connect(..., readonly=True)``: sessions refuse to open
+        #: transactions, so a point-in-time view cannot be mutated by
+        #: accident (the writes would silently never be logged).
+        self.readonly = readonly
         self._closed = False
 
     # ------------------------------------------------------------------

@@ -1,0 +1,584 @@
+"""Remote driver: the ``connect("repro://host:port")`` client half.
+
+Presents the same Database / Session / Result / Transaction surface as
+the in-process driver, backed by one TCP connection per session
+speaking the framed protocol in :mod:`repro.graphdb.server.protocol`.
+Rows stream lazily: a :class:`RemoteResult` fetches PULL batches on
+demand, so consuming the first record of a large result transfers one
+batch, not the whole thing.  Server-side errors arrive as ERROR frames
+and re-raise as the *same* driver exception classes
+(:func:`~repro.graphdb.server.protocol.exception_for`), so remote and
+in-process failure handling is identical.
+
+The client is deliberately synchronous (blocking sockets): the driver
+surface it mirrors is synchronous, and the asyncio half lives entirely
+in the server.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.exceptions import GraphError, TransactionError
+from repro.graphdb.api.result import Record
+from repro.graphdb.backends import BackendProfile, NEO4J_LIKE
+from repro.graphdb.server import protocol as wire
+
+#: Records fetched per PULL round-trip (overridable per session).
+DEFAULT_FETCH_SIZE = 1024
+
+
+def parse_url(url: str) -> tuple[str, int]:
+    """``repro://host[:port]`` -> ``(host, port)``."""
+    if not url.startswith("repro://"):
+        raise GraphError(f"not a repro:// URL: {url!r}")
+    rest = url[len("repro://"):].rstrip("/")
+    if not rest:
+        raise GraphError(f"missing host in {url!r}")
+    host, _, port_text = rest.rpartition(":")
+    if not host:
+        return rest, wire.DEFAULT_PORT
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise GraphError(f"bad port in {url!r}") from None
+    return host, port
+
+
+class _Connection:
+    """One framed TCP connection: transport + request/response."""
+
+    def __init__(self, host: str, port: int, timeout: float | None):
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except OSError as exc:
+            raise GraphError(
+                f"cannot connect to repro://{host}:{port}: {exc}"
+            ) from exc
+        self._sock.settimeout(None)
+        self._file = self._sock.makefile("rb")
+        self._closed = False
+
+    def send(self, payload: bytes) -> None:
+        try:
+            self._sock.sendall(wire.pack_frame(payload))
+        except OSError as exc:
+            self.close()
+            raise GraphError(f"server connection lost: {exc}") from exc
+
+    def recv(self) -> tuple[int, dict]:
+        try:
+            header = self._read_exactly(wire.FRAME_HEADER_BYTES)
+            payload = self._read_exactly(wire.frame_length(header))
+        except OSError as exc:
+            self.close()
+            raise GraphError(f"server connection lost: {exc}") from exc
+        return wire.decode_message(wire.check_frame(header, payload))
+
+    def _read_exactly(self, n: int) -> bytes:
+        data = self._file.read(n)
+        if data is None or len(data) != n:
+            self.close()
+            raise GraphError(
+                "server closed the connection mid-frame"
+            )
+        return data
+
+    def request(self, payload: bytes) -> dict:
+        """Send one message, expect SUCCESS; ERROR re-raises."""
+        self.send(payload)
+        msg_type, fields = self.recv()
+        if msg_type == wire.MSG_ERROR:
+            raise wire.exception_for(fields["code"], fields["message"])
+        if msg_type != wire.MSG_SUCCESS:
+            raise wire.ProtocolError(
+                f"expected SUCCESS, got {wire.MSG_NAMES[msg_type]!r}"
+            )
+        return fields["meta"]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:  # pragma: no cover - teardown is best-effort
+            pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class RemoteDatabase:
+    """A server-backed database: a session factory over ``repro://``.
+
+    Each :meth:`session` opens its own TCP connection (one server-side
+    session per connection, like real drivers pool); the database
+    object itself holds no socket, only the address and the handshake
+    metadata of a probe connection.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        profile: BackendProfile = NEO4J_LIKE,
+        readonly: bool = False,
+        connect_timeout: float | None = 10.0,
+    ):
+        self.url = url
+        self.host, self.port = parse_url(url)
+        self.profile = profile  # accepted for surface parity; unused
+        self._connect_timeout = connect_timeout
+        self._closed = False
+        # Probe handshake: fail fast on a bad address or version
+        # mismatch, and learn the server's readonly mode up front.
+        conn = _Connection(self.host, self.port, connect_timeout)
+        try:
+            self.server_info = conn.request(wire.encode_hello(
+                {"app": "repro-driver"}
+            ))
+        finally:
+            conn.send(wire.encode_simple(wire.MSG_GOODBYE))
+            conn.close()
+        #: True when writes are rejected - either the server is
+        #: read-only or this handle was opened with ``readonly=True``.
+        self.readonly = bool(self.server_info.get("readonly")) or readonly
+        #: No local graph/store: everything goes over the wire.
+        self.graph = None
+        self.store = None
+
+    @property
+    def durable(self) -> bool:
+        return True  # durability lives server-side
+
+    def session(self, fetch_size: int = DEFAULT_FETCH_SIZE,
+                **_ignored) -> "RemoteSession":
+        """A new unit-of-work session on its own connection.
+
+        Extra keyword arguments (``profile=``, ``parallelism=``, ...)
+        are accepted for parity with the in-process surface and
+        ignored: those knobs live server-side.
+        """
+        self._require_open()
+        return RemoteSession(self, fetch_size=fetch_size)
+
+    def metrics(self) -> dict:
+        raise GraphError(
+            "remote databases expose metrics via the server's HTTP "
+            "/metrics endpoint, not the driver"
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise GraphError("database is closed")
+
+    def __enter__(self) -> "RemoteDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RemoteDatabase {self.url}>"
+
+
+class RemoteSession:
+    """One unit-of-work handle on a :class:`RemoteDatabase`."""
+
+    def __init__(self, database: RemoteDatabase, fetch_size: int):
+        self._database = database
+        self._fetch_size = max(1, fetch_size)
+        self._conn = _Connection(
+            database.host, database.port, database._connect_timeout
+        )
+        self._conn.request(wire.encode_hello({"app": "repro-driver"}))
+        self._open_result: RemoteResult | None = None
+        self._transaction: RemoteTransaction | None = None
+        self._last_summary: RemoteSummary | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: str,
+        parameters: dict[str, object] | None = None,
+        timeout: float | None = None,
+        max_rows: int | None = None,
+        trace: bool = False,
+        parallelism: int | None = None,
+        **params: object,
+    ) -> "RemoteResult":
+        """Execute ``query`` on the server; returns a lazy cursor.
+
+        ``timeout`` / ``max_rows`` arm the server-side execution
+        guard (the server may clamp them tighter); the corresponding
+        :class:`~repro.exceptions.QueryTimeoutError` /
+        :class:`~repro.exceptions.ResourceLimitError` raise here
+        exactly as they would in-process.  ``trace`` is not available
+        over the wire; ``parallelism`` is a server-side knob and is
+        ignored.
+        """
+        self._require_open()
+        if trace:
+            raise GraphError(
+                "trace=True is not supported over remote connections"
+            )
+        del parallelism  # server-side configuration
+        self._finish_open_result()
+        bound = {**(parameters or {}), **params}
+        options: dict[str, object] = {}
+        if timeout is not None:
+            options["timeout"] = timeout
+        if max_rows is not None:
+            options["max_rows"] = max_rows
+        meta = self._conn.request(
+            wire.encode_run(query, bound, options)
+        )
+        result = RemoteResult(self, query, bound, meta)
+        self._open_result = result
+        return result
+
+    def explain(
+        self,
+        query: str,
+        analyze: bool = False,
+        parameters: dict[str, object] | None = None,
+        **params: object,
+    ) -> str:
+        """The server-side plan for ``query`` (``analyze=True`` runs it)."""
+        self._require_open()
+        self._finish_open_result()
+        bound = {**(parameters or {}), **params}
+        meta = self._conn.request(wire.encode_run(
+            query, bound, {"explain": 2 if analyze else 1}
+        ))
+        return meta["plan"]
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin_tx(self) -> "RemoteTransaction":
+        """Open an explicit server-side transaction.
+
+        Waits for the server's single writer slot; rejected with
+        :class:`~repro.exceptions.TransactionError` on read-only
+        handles (client-side) and read-only servers (server-side).
+        """
+        self._require_open()
+        if self._database.readonly:
+            raise TransactionError(
+                "database is read-only; writes are rejected"
+            )
+        if (
+            self._transaction is not None
+            and not self._transaction.closed
+        ):
+            raise TransactionError(
+                "this session already has an open transaction"
+            )
+        self._finish_open_result()
+        self._conn.request(wire.encode_simple(wire.MSG_BEGIN))
+        self._transaction = RemoteTransaction(self)
+        return self._transaction
+
+    # ------------------------------------------------------------------
+    # Lifecycle / plumbing
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Settle the open cursor, roll back any open tx, hang up."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if not self._conn.closed:
+                if (
+                    self._transaction is not None
+                    and not self._transaction.closed
+                ):
+                    self._transaction._closed = True
+                    self._conn.request(
+                        wire.encode_simple(wire.MSG_ROLLBACK)
+                    )
+                self._conn.send(wire.encode_simple(wire.MSG_GOODBYE))
+        except GraphError:  # pragma: no cover - teardown best-effort
+            pass
+        finally:
+            self._conn.close()
+        self._transaction = None
+
+    def last_summary(self) -> "RemoteSummary | None":
+        return self._last_summary
+
+    def _finish_open_result(self) -> None:
+        # Same cursor-isolation contract as the in-process session: a
+        # new query first buffers the previous result's remaining
+        # records client-side (the server drops its buffer on RUN).
+        if self._open_result is not None:
+            self._open_result._detach()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise TransactionError("session is closed")
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class _RemoteMetrics:
+    """Placeholder work counters: remote executions count server-side
+    (scrape the server's ``/metrics`` endpoint for the real numbers)."""
+
+    __slots__ = ()
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+class RemoteSummary:
+    """What one consumed remote execution did (server-reported)."""
+
+    __slots__ = (
+        "query", "parameters", "columns", "rows", "epoch", "mode",
+        "latency_ms", "elapsed_ms", "plan_digest", "metrics", "trace",
+    )
+
+    def __init__(self, query, parameters, columns, meta):
+        self.query = query
+        self.parameters = parameters
+        self.columns = columns
+        self.rows = meta.get("rows", 0)
+        #: The graph mutation epoch this execution was pinned to -
+        #: every row of the result came from this exact version.
+        self.epoch = meta.get("epoch")
+        self.mode = meta.get("mode", "tuple")
+        self.latency_ms = meta.get("latency_ms", 0.0)
+        self.elapsed_ms = meta.get("elapsed_ms", 0.0)
+        self.plan_digest = meta.get("plan_digest", "")
+        self.metrics = _RemoteMetrics()
+        self.trace = None
+
+    @property
+    def plan(self) -> str:
+        return (
+            "(plan not carried over the wire; "
+            "use session.explain(query, analyze=True))"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RemoteSummary rows={self.rows} epoch={self.epoch}>"
+        )
+
+
+class RemoteResult:
+    """Lazy cursor over one remote execution (batched PULL streaming)."""
+
+    def __init__(self, session: RemoteSession, query: str,
+                 parameters: dict, meta: dict):
+        self._session = session
+        self._query = query
+        self._parameters = parameters
+        self._columns = list(meta.get("columns", []))
+        self.epoch = meta.get("epoch")
+        self._buffer: list[Record] = []
+        self._pos = 0
+        self._exhausted = False
+        self._summary: RemoteSummary | None = None
+
+    def keys(self) -> list[str]:
+        return list(self._columns)
+
+    def __iter__(self):
+        while True:
+            record = self._next_record()
+            if record is None:
+                return
+            yield record
+
+    def _next_record(self) -> Record | None:
+        if self._pos < len(self._buffer):
+            record = self._buffer[self._pos]
+            self._pos += 1
+            return record
+        if not self._exhausted:
+            self._fetch_batch()
+            if self._pos < len(self._buffer):
+                record = self._buffer[self._pos]
+                self._pos += 1
+                return record
+        return None
+
+    def _fetch_batch(self) -> None:
+        session = self._session
+        conn = session._conn
+        conn.send(wire.encode_pull(session._fetch_size))
+        while True:
+            msg_type, fields = conn.recv()
+            if msg_type == wire.MSG_RECORD:
+                self._buffer.append(
+                    Record(self._columns, fields["values"])
+                )
+            elif msg_type == wire.MSG_SUCCESS:
+                meta = fields["meta"]
+                if not meta.get("has_more"):
+                    self._settle(meta)
+                return
+            elif msg_type == wire.MSG_ERROR:
+                self._exhausted = True
+                raise wire.exception_for(
+                    fields["code"], fields["message"]
+                )
+            else:
+                raise wire.ProtocolError(
+                    f"unexpected {wire.MSG_NAMES[msg_type]!r} "
+                    "during PULL"
+                )
+
+    def _settle(self, meta: dict) -> None:
+        self._exhausted = True
+        self._summary = RemoteSummary(
+            self._query, dict(self._parameters), self._columns, meta
+        )
+        session = self._session
+        if session._open_result is self:
+            session._open_result = None
+        session._last_summary = self._summary
+
+    def single(self) -> Record:
+        """Exactly one record; raises :class:`GraphError` otherwise."""
+        from repro.exceptions import QueryError
+
+        first = self._next_record()
+        if first is None:
+            raise QueryError("expected a single record, got none")
+        second = self._next_record()
+        if second is not None:
+            self._pos -= 2  # keep both readable for debugging
+            raise QueryError(
+                "expected a single record, got more than one"
+            )
+        return first
+
+    def values(self) -> list[list]:
+        return [record.values() for record in self]
+
+    def records(self) -> list[Record]:
+        return list(self)
+
+    def consume(self) -> RemoteSummary:
+        """Discard unread records and return the run's summary."""
+        if self._summary is None:
+            if not self._exhausted:
+                # DISCARD drops the server buffer in one round-trip
+                # (no point streaming records we are throwing away).
+                meta = self._session._conn.request(
+                    wire.encode_simple(wire.MSG_DISCARD)
+                )
+                self._settle(meta)
+        self._pos = len(self._buffer)
+        assert self._summary is not None
+        return self._summary
+
+    def _detach(self) -> None:
+        """Buffer everything left so the session can run a new query."""
+        while not self._exhausted:
+            self._fetch_batch()
+
+
+class RemoteTransaction:
+    """Explicit server-side transaction bound to one session."""
+
+    def __init__(self, session: RemoteSession):
+        self._session = session
+        self._closed = False
+
+    def run(self, query, parameters=None, **params):
+        """Run a query inside the transaction (sees its own writes)."""
+        self._require_open()
+        return self._session.run(query, parameters, **params)
+
+    # -- mutations (MUTATE frames, WAL vocabulary) ---------------------
+    def add_vertex(self, labels, properties=None) -> int:
+        if isinstance(labels, str):
+            labels = [labels]
+        meta = self._mutate("add_vertex", [list(labels), properties or {}])
+        return meta["id"]
+
+    def add_edge(self, src: int, dst: int, label: str,
+                 properties=None) -> int:
+        meta = self._mutate(
+            "add_edge", [src, dst, label, properties or {}]
+        )
+        return meta["id"]
+
+    def set_property(self, vid: int, name: str, value) -> None:
+        self._mutate("set_property", [vid, name, value])
+
+    def remove_property(self, vid: int, name: str) -> None:
+        self._mutate("remove_property", [vid, name])
+
+    def remove_edge(self, eid: int) -> None:
+        self._mutate("remove_edge", [eid])
+
+    def remove_vertex(self, vid: int) -> None:
+        self._mutate("remove_vertex", [vid])
+
+    def create_property_index(self, label: str, prop: str) -> None:
+        self._mutate("create_property_index", [label, prop])
+
+    def _mutate(self, op: str, args: list) -> dict:
+        self._require_open()
+        self._session._finish_open_result()
+        return self._session._conn.request(wire.encode_mutate(op, args))
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def commit(self) -> None:
+        """Commit; returns once the server made the commit durable
+        (the acknowledgement rides the server's group-commit fsync)."""
+        self._require_open()
+        self._session._finish_open_result()
+        self._closed = True
+        self._session._conn.request(wire.encode_simple(wire.MSG_COMMIT))
+
+    def rollback(self) -> None:
+        self._require_open()
+        self._session._finish_open_result()
+        self._closed = True
+        self._session._conn.request(
+            wire.encode_simple(wire.MSG_ROLLBACK)
+        )
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise TransactionError("transaction is closed")
+
+    def __enter__(self) -> "RemoteTransaction":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if not self._closed:
+            self.rollback()

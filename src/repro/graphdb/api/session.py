@@ -158,8 +158,18 @@ class Session:
     # Transactions
     # ------------------------------------------------------------------
     def begin_tx(self) -> Transaction:
-        """Open an explicit transaction (one at a time per graph)."""
+        """Open an explicit transaction (one at a time per graph).
+
+        Read-only databases (``connect(..., readonly=True)``) refuse:
+        their graph is a recovered point-in-time view with no WAL
+        attached, so any mutation would silently never be durable.
+        """
         self._require_open()
+        if getattr(self._database, "readonly", False):
+            raise TransactionError(
+                "database was opened read-only; writes are rejected "
+                "(reopen without readonly=True to mutate)"
+            )
         if self._transaction is not None and not self._transaction.closed:
             raise TransactionError(
                 "this session already has an open transaction"

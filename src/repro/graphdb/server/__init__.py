@@ -1,0 +1,32 @@
+"""Network layer: serve one graph database over TCP.
+
+The server half (:class:`GraphServer`) speaks the length+CRC framed
+binary protocol defined in :mod:`.protocol`; the client half lives in
+:mod:`repro.graphdb.api.remote` and is reached through the familiar
+entry point::
+
+    from repro.graphdb import connect
+
+    with connect("repro://127.0.0.1:7688") as db:
+        with db.session() as session:
+            for record in session.run("MATCH (d:Drug) RETURN d.name"):
+                ...
+
+See ``docs/SERVER.md`` for the wire format, the MVCC/epoch read
+semantics, and the group-commit write path.
+"""
+
+from repro.graphdb.server.protocol import DEFAULT_PORT, PROTOCOL_VERSION
+from repro.graphdb.server.server import (
+    GraphServer,
+    GroupCommitter,
+    ServerConfig,
+)
+
+__all__ = [
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "GraphServer",
+    "GroupCommitter",
+    "ServerConfig",
+]

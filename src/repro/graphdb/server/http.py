@@ -1,0 +1,87 @@
+"""Minimal HTTP sidecar: ``/health`` and ``/metrics``.
+
+A deliberately tiny HTTP/1.0-style responder on asyncio streams - just
+enough for a probe or a Prometheus scrape, with ``Connection: close``
+semantics (one request per socket).  It shares the event loop with the
+wire-protocol listener, so what it reports is always coherent with
+what the server is doing.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.graphdb import observe
+
+_MAX_HEADER_BYTES = 16384
+
+
+async def handle_http_client(server, reader, writer) -> None:
+    """Serve one HTTP request on ``reader``/``writer`` and close."""
+    try:
+        request_line = await reader.readline()
+        total = len(request_line)
+        # Drain headers (ignored) up to a sanity bound.
+        while True:
+            line = await reader.readline()
+            total += len(line)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if total > _MAX_HEADER_BYTES:
+                writer.close()
+                return
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            writer.close()
+            return
+        method, path = parts[0], parts[1]
+        if method != "GET":
+            _respond(writer, 405, "text/plain", b"method not allowed\n")
+        elif path == "/health":
+            _respond(
+                writer, 200, "application/json",
+                json.dumps(_health(server)).encode() + b"\n",
+            )
+        elif path == "/metrics":
+            _respond(
+                writer,
+                200,
+                "text/plain; version=0.0.4",
+                observe.render_prometheus().encode(),
+            )
+        else:
+            _respond(writer, 404, "text/plain", b"not found\n")
+        await writer.drain()
+    except (ConnectionError, OSError):
+        pass
+    finally:
+        writer.close()
+
+
+def _health(server) -> dict:
+    graph = server.database.graph
+    return {
+        "status": "ok",
+        "readonly": server.readonly,
+        "connections": server.connection_count,
+        "generation": server.generation,
+        "epoch": graph.mutation_epoch,
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "commits": server.committer.commits,
+        "commit_fsyncs": server.committer.flushes,
+    }
+
+
+_REASONS = {200: "OK", 404: "Not Found", 405: "Method Not Allowed"}
+
+
+def _respond(writer, status: int, content_type: str,
+             body: bytes) -> None:
+    head = (
+        f"HTTP/1.0 {status} {_REASONS.get(status, 'Error')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)

@@ -1,0 +1,387 @@
+"""The ``repro`` wire protocol: framed binary messages, stdlib-only.
+
+Framing reuses the ``RPGWAL01`` record idiom - every message travels
+as one self-describing frame::
+
+    frame:   length u32 LE | crc u32 LE (zlib.crc32 of payload) | payload
+    payload: msg_type u8   | message-specific fields
+
+Fields are built from the storage codec's primitives (uvarint, tagged
+values, property maps - :mod:`repro.graphdb.storage.codec`), so the
+protocol needs no third-party serializer and shares its compatibility
+discipline: appending message types or meta keys is compatible,
+renumbering is a version bump negotiated in HELLO.
+
+Message catalog (client -> server)::
+
+    HELLO    0x01  version uvarint | client-info props
+    RUN      0x02  query str | params props | options props
+    PULL     0x03  n uvarint
+    DISCARD  0x04  (empty)
+    GOODBYE  0x0F  (empty)
+    BEGIN    0x10  (empty)
+    COMMIT   0x11  (empty)
+    ROLLBACK 0x12  (empty)
+    MUTATE   0x13  op str | args wire-value list
+
+and (server -> client)::
+
+    SUCCESS  0x70  meta props
+    RECORD   0x71  n uvarint | n wire values
+    ERROR    0x7F  code str | message str
+
+``RUN`` options: ``timeout`` (float seconds), ``max_rows`` (int),
+``explain`` (1 = plan only, 2 = EXPLAIN ANALYZE).  ``MUTATE`` ops use
+the WAL's mutation vocabulary (``add_vertex``, ``add_edge``,
+``set_property``, ``remove_property``, ``remove_edge``,
+``remove_vertex``, ``create_property_index``).
+
+Wire values extend the codec's tagged values with three tags from the
+reserved range, so result rows can carry graph entity references::
+
+    0x40  vertex ref: uvarint vid   -> VertexBinding(vid)
+    0x41  edge ref:   uvarint eid   -> EdgeBinding(eid)
+    0x42  wire list:  uvarint n | n wire values
+    0x43  wire map:   codec props   -> dict (MUTATE property payloads)
+
+(The codec's own ``TAG_LIST`` still decodes - parameter maps use it -
+but rows are encoded with wire lists so nested entity refs survive.)
+
+``ERROR.code`` is the exception class name; the client maps it back
+onto the driver hierarchy (:data:`ERROR_CLASSES`), so a remote
+``QueryTimeoutError`` raises exactly like a local one.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.exceptions import (
+    GraphError,
+    ParameterError,
+    QueryError,
+    QuerySyntaxError,
+    QueryTimeoutError,
+    ResourceLimitError,
+    StorageError,
+    TransactionError,
+)
+from repro.graphdb.query.executor import EdgeBinding, VertexBinding
+from repro.graphdb.storage.codec import (
+    CodecError,
+    read_props,
+    read_str,
+    read_uvarint,
+    read_value,
+    write_props,
+    write_str,
+    write_uvarint,
+    write_value,
+)
+
+#: Protocol revision carried in HELLO; the server refuses mismatches.
+PROTOCOL_VERSION = 1
+
+#: Default TCP port (one off Bolt's 7687, to coexist with a real Neo4j).
+DEFAULT_PORT = 7688
+
+_FRAME = struct.Struct("<II")
+FRAME_HEADER_BYTES = _FRAME.size
+
+#: A frame larger than this is a protocol violation, not data.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+# Client -> server.
+MSG_HELLO = 0x01
+MSG_RUN = 0x02
+MSG_PULL = 0x03
+MSG_DISCARD = 0x04
+MSG_GOODBYE = 0x0F
+MSG_BEGIN = 0x10
+MSG_COMMIT = 0x11
+MSG_ROLLBACK = 0x12
+MSG_MUTATE = 0x13
+
+# Server -> client.
+MSG_SUCCESS = 0x70
+MSG_RECORD = 0x71
+MSG_ERROR = 0x7F
+
+MSG_NAMES = {
+    MSG_HELLO: "hello",
+    MSG_RUN: "run",
+    MSG_PULL: "pull",
+    MSG_DISCARD: "discard",
+    MSG_GOODBYE: "goodbye",
+    MSG_BEGIN: "begin",
+    MSG_COMMIT: "commit",
+    MSG_ROLLBACK: "rollback",
+    MSG_MUTATE: "mutate",
+    MSG_SUCCESS: "success",
+    MSG_RECORD: "record",
+    MSG_ERROR: "error",
+}
+
+# Wire value tags (alongside the codec's 0-6 range).
+WIRE_VERTEX = 0x40
+WIRE_EDGE = 0x41
+WIRE_LIST = 0x42
+WIRE_MAP = 0x43
+
+#: Mutation ops a MUTATE message may carry, with their arities.
+MUTATION_OPS = {
+    "add_vertex": 2,          # labels (str list), props
+    "add_edge": 4,            # src, dst, label, props
+    "set_property": 3,        # vid, name, value
+    "remove_property": 2,     # vid, name
+    "remove_edge": 1,         # eid
+    "remove_vertex": 1,       # vid
+    "create_property_index": 2,  # label, prop
+}
+
+#: ERROR code -> driver exception class (client-side mapping).  Codes
+#: outside the table degrade to :class:`GraphError`.
+ERROR_CLASSES = {
+    "GraphError": GraphError,
+    "ParameterError": ParameterError,
+    "ProtocolError": lambda msg: ProtocolError(msg),
+    "QueryError": QueryError,
+    "QuerySyntaxError": QuerySyntaxError,
+    "QueryTimeoutError": QueryTimeoutError,
+    "ResourceLimitError": ResourceLimitError,
+    "StorageError": StorageError,
+    "TransactionError": TransactionError,
+}
+
+
+class ProtocolError(GraphError):
+    """Raised for malformed frames, bad CRCs, or out-of-order messages."""
+
+
+def error_code(exc: BaseException) -> str:
+    """The wire code for an exception: the nearest mapped class name."""
+    for cls in type(exc).__mro__:
+        if cls.__name__ in ERROR_CLASSES:
+            return cls.__name__
+    return "GraphError"
+
+
+def exception_for(code: str, message: str) -> GraphError:
+    """Rehydrate a wire ERROR into the driver exception hierarchy."""
+    factory = ERROR_CLASSES.get(code, GraphError)
+    return factory(message)
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def pack_frame(payload: bytes) -> bytes:
+    """One wire frame: length + CRC header, then the payload."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds limit"
+        )
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def frame_length(header: bytes) -> int:
+    """Payload length promised by an 8-byte frame header."""
+    length, _crc = _FRAME.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds limit")
+    return length
+
+
+def check_frame(header: bytes, payload: bytes) -> bytes:
+    """Validate a received payload against its header CRC."""
+    length, crc = _FRAME.unpack(header)
+    if len(payload) != length:
+        raise ProtocolError(
+            f"frame payload is {len(payload)} bytes, header says {length}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise ProtocolError("frame checksum mismatch")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Wire values (codec values + entity references)
+# ----------------------------------------------------------------------
+def write_wire_value(buf: bytearray, value: object) -> None:
+    if isinstance(value, VertexBinding):
+        buf.append(WIRE_VERTEX)
+        write_uvarint(buf, value.vid)
+    elif isinstance(value, EdgeBinding):
+        buf.append(WIRE_EDGE)
+        write_uvarint(buf, value.eid)
+    elif isinstance(value, (list, tuple)):
+        buf.append(WIRE_LIST)
+        write_uvarint(buf, len(value))
+        for item in value:
+            write_wire_value(buf, item)
+    elif isinstance(value, dict):
+        buf.append(WIRE_MAP)
+        write_props(buf, value)
+    else:
+        write_value(buf, value)
+
+
+def read_wire_value(data: bytes, pos: int) -> tuple[object, int]:
+    if pos >= len(data):
+        raise CodecError("truncated wire value")
+    tag = data[pos]
+    if tag == WIRE_VERTEX:
+        vid, pos = read_uvarint(data, pos + 1)
+        return VertexBinding(vid), pos
+    if tag == WIRE_EDGE:
+        eid, pos = read_uvarint(data, pos + 1)
+        return EdgeBinding(eid), pos
+    if tag == WIRE_LIST:
+        count, pos = read_uvarint(data, pos + 1)
+        if count > MAX_FRAME_BYTES:
+            raise CodecError(f"wire list length {count} exceeds limit")
+        items = []
+        for _ in range(count):
+            item, pos = read_wire_value(data, pos)
+            items.append(item)
+        return items, pos
+    if tag == WIRE_MAP:
+        return read_props(data, pos + 1)
+    return read_value(data, pos)
+
+
+# ----------------------------------------------------------------------
+# Message encoders
+# ----------------------------------------------------------------------
+def encode_hello(client: dict | None = None) -> bytes:
+    buf = bytearray((MSG_HELLO,))
+    write_uvarint(buf, PROTOCOL_VERSION)
+    write_props(buf, client or {})
+    return bytes(buf)
+
+
+def encode_run(
+    query: str,
+    params: dict | None = None,
+    options: dict | None = None,
+) -> bytes:
+    buf = bytearray((MSG_RUN,))
+    write_str(buf, query)
+    write_props(buf, params or {})
+    write_props(buf, options or {})
+    return bytes(buf)
+
+
+def encode_pull(n: int) -> bytes:
+    if n < 1:
+        raise ProtocolError(f"PULL batch size must be positive, got {n}")
+    buf = bytearray((MSG_PULL,))
+    write_uvarint(buf, n)
+    return bytes(buf)
+
+
+def encode_mutate(op: str, args: tuple | list) -> bytes:
+    if op not in MUTATION_OPS:
+        raise ProtocolError(f"unsupported mutation op {op!r}")
+    buf = bytearray((MSG_MUTATE,))
+    write_str(buf, op)
+    write_wire_value(buf, list(args))
+    return bytes(buf)
+
+
+def encode_success(meta: dict | None = None) -> bytes:
+    buf = bytearray((MSG_SUCCESS,))
+    write_props(buf, meta or {})
+    return bytes(buf)
+
+
+def encode_record(values: tuple | list) -> bytes:
+    buf = bytearray((MSG_RECORD,))
+    write_uvarint(buf, len(values))
+    for value in values:
+        write_wire_value(buf, value)
+    return bytes(buf)
+
+
+def encode_error(code: str, message: str) -> bytes:
+    buf = bytearray((MSG_ERROR,))
+    write_str(buf, code)
+    write_str(buf, message)
+    return bytes(buf)
+
+
+def encode_simple(msg_type: int) -> bytes:
+    """DISCARD / GOODBYE / BEGIN / COMMIT / ROLLBACK: the bare opcode."""
+    return bytes((msg_type,))
+
+
+# ----------------------------------------------------------------------
+# Message decoder
+# ----------------------------------------------------------------------
+def decode_message(payload: bytes) -> tuple[int, dict]:
+    """One payload -> ``(msg_type, fields)``.
+
+    Raises :class:`ProtocolError` for unknown types or malformed
+    bodies (codec errors are wrapped, so transport code has a single
+    failure type).
+    """
+    if not payload:
+        raise ProtocolError("empty message payload")
+    msg_type = payload[0]
+    pos = 1
+    try:
+        if msg_type == MSG_HELLO:
+            version, pos = read_uvarint(payload, pos)
+            client, pos = read_props(payload, pos)
+            return msg_type, {"version": version, "client": client}
+        if msg_type == MSG_RUN:
+            query, pos = read_str(payload, pos)
+            params, pos = read_props(payload, pos)
+            options, pos = read_props(payload, pos)
+            return msg_type, {
+                "query": query, "params": params, "options": options,
+            }
+        if msg_type == MSG_PULL:
+            n, pos = read_uvarint(payload, pos)
+            return msg_type, {"n": n}
+        if msg_type == MSG_MUTATE:
+            op, pos = read_str(payload, pos)
+            args, pos = read_wire_value(payload, pos)
+            if op not in MUTATION_OPS:
+                raise ProtocolError(f"unsupported mutation op {op!r}")
+            if (
+                not isinstance(args, list)
+                or len(args) != MUTATION_OPS[op]
+            ):
+                raise ProtocolError(
+                    f"mutation {op!r} expects {MUTATION_OPS[op]} "
+                    "arguments"
+                )
+            return msg_type, {"op": op, "args": args}
+        if msg_type == MSG_SUCCESS:
+            meta, pos = read_props(payload, pos)
+            return msg_type, {"meta": meta}
+        if msg_type == MSG_RECORD:
+            count, pos = read_uvarint(payload, pos)
+            if count > MAX_FRAME_BYTES:
+                raise ProtocolError(f"record width {count} exceeds limit")
+            values = []
+            for _ in range(count):
+                value, pos = read_wire_value(payload, pos)
+                values.append(value)
+            return msg_type, {"values": tuple(values)}
+        if msg_type == MSG_ERROR:
+            code, pos = read_str(payload, pos)
+            message, pos = read_str(payload, pos)
+            return msg_type, {"code": code, "message": message}
+        if msg_type in (
+            MSG_DISCARD, MSG_GOODBYE, MSG_BEGIN, MSG_COMMIT, MSG_ROLLBACK
+        ):
+            return msg_type, {}
+    except CodecError as exc:
+        raise ProtocolError(
+            f"malformed {MSG_NAMES.get(msg_type, hex(msg_type))} "
+            f"message: {exc}"
+        ) from exc
+    raise ProtocolError(f"unknown message type 0x{msg_type:02x}")

@@ -171,6 +171,18 @@ class GraphStore:
         """Force buffered WAL records to disk (fsync included)."""
         self._wal.flush(fsync=True)
 
+    def sync_group(self, commits: int) -> None:
+        """Group commit: one fsync making ``commits`` commits durable.
+
+        Identical durability to :meth:`sync`; additionally records the
+        batch size in the ``repro_wal_group_commit_batch_size``
+        histogram, so the fsync-per-commit amortization is observable
+        (an in-process ``Transaction.commit`` reports batches of 1; the
+        server's writer task batches every commit that queued while the
+        previous fsync was in flight).
+        """
+        self._wal.group_commit(commits)
+
     def wal_size_bytes(self) -> int:
         return self._wal.size_bytes()
 
@@ -309,6 +321,20 @@ class GraphStore:
         self._closed = True
         self.graph.remove_listener(self._on_mutation)
         self._wal.close()
+
+    def abandon(self) -> None:
+        """Detach without flushing - crash-emulation shutdown.
+
+        The server's fatal path (an injected :class:`SimulatedCrash`)
+        must leave the directory exactly as a killed process would:
+        buffered WAL records are dropped, nothing is flushed, and the
+        next open recovers from what actually reached disk.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.graph.remove_listener(self._on_mutation)
+        self._wal.abandon()
 
     @property
     def closed(self) -> bool:

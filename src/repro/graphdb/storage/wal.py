@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import time
 import zlib
 from dataclasses import dataclass
@@ -83,6 +84,11 @@ _WAL_BATCH_RECORDS = observe.REGISTRY.histogram(
 )
 _WAL_FSYNC_SECONDS = observe.REGISTRY.histogram(
     "repro_wal_fsync_seconds", help="WAL fsync wall time."
+)
+_WAL_GROUP_COMMIT_BATCH = observe.REGISTRY.histogram(
+    "repro_wal_group_commit_batch_size",
+    buckets=observe.DEFAULT_SIZE_BUCKETS,
+    help="Transaction commits made durable per group-commit fsync.",
 )
 _WAL_SIZE_BYTES = observe.REGISTRY.gauge(
     "repro_wal_size_bytes",
@@ -338,6 +344,16 @@ class WriteAheadLog:
         self._pending: list[bytes] = []
         self._pending_bytes = 0
         self.records_appended = 0
+        #: Buffer lock: guards the pending-record list so an appender
+        #: on the event-loop thread and a group-commit flush running in
+        #: an executor thread never race on the batch swap.  Held only
+        #: for list manipulation, never across I/O.
+        self._buffer_lock = threading.Lock()
+        #: Write lock: serializes whole flushes (write + fsync), so two
+        #: overlapping group commits cannot interleave their batches on
+        #: disk.  Appends do NOT take it - buffering stays wait-free
+        #: while an fsync is in flight.
+        self._write_lock = threading.Lock()
         #: Set after an uncertain write failure; see
         #: :class:`WalPoisonedError`.
         self._failed = False
@@ -381,15 +397,18 @@ class WriteAheadLog:
             )
         payload = encode_mutation(op, args)
         record = _RECORD.pack(len(payload), zlib.crc32(payload)) + payload
-        self._pending.append(record)
-        self._pending_bytes += len(record)
-        self.records_appended += 1
+        with self._buffer_lock:
+            self._pending.append(record)
+            self._pending_bytes += len(record)
+            self.records_appended += 1
+            pending_records = len(self._pending)
+            pending_bytes = self._pending_bytes
         _WAL_APPENDS.inc()
         if self.sync == "always":
             self.flush()
         elif self.sync == "batch" and (
-            len(self._pending) >= self.batch_ops
-            or self._pending_bytes >= self.batch_bytes
+            pending_records >= self.batch_ops
+            or pending_bytes >= self.batch_bytes
         ):
             self.flush()
 
@@ -403,56 +422,93 @@ class WriteAheadLog:
         reopened and recovery re-establishes the valid end.  Transient
         ``EINTR``/``EAGAIN`` fsync failures are retried with bounded
         backoff before poisoning.
+
+        Thread contract: whole flushes serialize on the write lock, and
+        the pending batch is detached under the buffer lock, so a flush
+        running in an executor thread (the server's group commit) only
+        ever covers records fully appended before its swap - later
+        appends land in the next batch.
         """
-        if self._failed:
-            raise WalPoisonedError(
-                f"WAL {self.path.name} is poisoned after an earlier "
-                "I/O failure; reopen the store to resume writing"
-            )
-        try:
-            if self._pending:
-                batch = b"".join(self._pending)
-                batch_records = len(self._pending)
-                # Clear *before* writing: a torn write must not be
-                # re-attempted after the same bytes partially landed.
-                self._pending.clear()
-                self._pending_bytes = 0
-                faults.write(FP_FLUSH_WRITE, self._fh, batch)
-                _WAL_FLUSHED_BYTES.inc(len(batch))
-                _WAL_BATCH_RECORDS.observe(batch_records)
-            self._fh.flush()
-            if fsync is None:
-                fsync = self.sync != "never"
-            if fsync:
-                faults.fire(FP_PRE_FSYNC)
-                timing = observe.REGISTRY.enabled
-                started = time.perf_counter() if timing else 0.0
-                faults.retrying(
-                    lambda: (
-                        faults.fire(FP_FLUSH_FSYNC),
-                        os.fsync(self._fh.fileno()),
-                    ),
-                    "fsync WAL",
+        with self._write_lock:
+            if self._failed:
+                raise WalPoisonedError(
+                    f"WAL {self.path.name} is poisoned after an earlier "
+                    "I/O failure; reopen the store to resume writing"
                 )
-                if timing:
-                    _WAL_FSYNC_SECONDS.observe(
-                        time.perf_counter() - started
+            try:
+                # Detach *before* writing: a torn write must not be
+                # re-attempted after the same bytes partially landed.
+                with self._buffer_lock:
+                    batch_records = len(self._pending)
+                    if batch_records:
+                        batch = b"".join(self._pending)
+                        self._pending.clear()
+                        self._pending_bytes = 0
+                    else:
+                        batch = b""
+                if batch:
+                    faults.write(FP_FLUSH_WRITE, self._fh, batch)
+                    _WAL_FLUSHED_BYTES.inc(len(batch))
+                    _WAL_BATCH_RECORDS.observe(batch_records)
+                self._fh.flush()
+                if fsync is None:
+                    fsync = self.sync != "never"
+                if fsync:
+                    faults.fire(FP_PRE_FSYNC)
+                    timing = observe.REGISTRY.enabled
+                    started = time.perf_counter() if timing else 0.0
+                    faults.retrying(
+                        lambda: (
+                            faults.fire(FP_FLUSH_FSYNC),
+                            os.fsync(self._fh.fileno()),
+                        ),
+                        "fsync WAL",
                     )
-            _WAL_FLUSHES.inc()
-            _WAL_SIZE_BYTES.set(self._fh.tell())
-        except BaseException:
-            self._failed = True
-            _WAL_POISONED.inc()
-            observe.EVENTS.emit(
-                "wal_poisoned",
-                path=str(self.path),
-                generation=self.generation,
-            )
-            raise
+                    if timing:
+                        _WAL_FSYNC_SECONDS.observe(
+                            time.perf_counter() - started
+                        )
+                _WAL_FLUSHES.inc()
+                _WAL_SIZE_BYTES.set(self._fh.tell())
+            except BaseException:
+                self._failed = True
+                _WAL_POISONED.inc()
+                observe.EVENTS.emit(
+                    "wal_poisoned",
+                    path=str(self.path),
+                    generation=self.generation,
+                )
+                raise
+
+    def group_commit(self, commits: int) -> None:
+        """One durable fsync covering ``commits`` acknowledged commits.
+
+        The transaction commits themselves were already appended (WAL
+        records buffer in memory until a flush); this forces the whole
+        batch to disk with a single fsync and records how many commits
+        it amortized over.  One caller at a time actually syncs (the
+        write lock serializes); concurrent callers simply ride behind
+        it, which is exactly the group-commit contract the server's
+        writer task relies on.
+        """
+        self.flush(fsync=True)
+        if commits > 0:
+            _WAL_GROUP_COMMIT_BATCH.observe(commits)
 
     @property
     def failed(self) -> bool:
         return self._failed
+
+    def abandon(self) -> None:
+        """Drop buffered records and refuse all further writes.
+
+        Used when the process is going down *as if* killed (the
+        server's fatal-crash path): nothing buffered may be flushed on
+        the way out, because a real ``kill -9`` would not have flushed
+        it either - recovery must re-establish the valid end of the
+        log from what actually reached disk.
+        """
+        self._failed = True
 
     def size_bytes(self) -> int:
         """Current on-disk size plus the buffered tail."""

@@ -1,0 +1,194 @@
+"""Wire protocol unit tests: framing, codecs, and error mapping."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.exceptions import (
+    GraphError,
+    QuerySyntaxError,
+    QueryTimeoutError,
+    ResourceLimitError,
+    TransactionError,
+)
+from repro.graphdb.query.executor import EdgeBinding, VertexBinding
+from repro.graphdb.server import protocol as wire
+
+
+def roundtrip(payload: bytes):
+    frame = wire.pack_frame(payload)
+    header, body = frame[:wire.FRAME_HEADER_BYTES], frame[
+        wire.FRAME_HEADER_BYTES:
+    ]
+    assert wire.frame_length(header) == len(body)
+    return wire.decode_message(wire.check_frame(header, body))
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def test_frame_roundtrip_and_crc():
+    payload = wire.encode_run("MATCH (n) RETURN n", {"x": 1}, {})
+    frame = wire.pack_frame(payload)
+    header, body = frame[:8], frame[8:]
+    assert wire.check_frame(header, body) == payload
+
+
+def test_corrupt_payload_fails_crc():
+    payload = wire.encode_success({"ok": True})
+    frame = bytearray(wire.pack_frame(payload))
+    frame[-1] ^= 0xFF
+    with pytest.raises(wire.ProtocolError, match="checksum"):
+        wire.check_frame(bytes(frame[:8]), bytes(frame[8:]))
+
+
+def test_length_mismatch_rejected():
+    payload = wire.encode_success({})
+    header = wire.pack_frame(payload)[:8]
+    with pytest.raises(wire.ProtocolError, match="bytes"):
+        wire.check_frame(header, payload + b"\x00")
+
+
+def test_oversized_frame_rejected_both_directions():
+    with pytest.raises(wire.ProtocolError, match="exceeds"):
+        wire.pack_frame(b"\x00" * (wire.MAX_FRAME_BYTES + 1))
+    import struct
+
+    huge = struct.pack("<II", wire.MAX_FRAME_BYTES + 1, 0)
+    with pytest.raises(wire.ProtocolError, match="exceeds"):
+        wire.frame_length(huge)
+
+
+# ----------------------------------------------------------------------
+# Message roundtrips
+# ----------------------------------------------------------------------
+def test_hello_roundtrip():
+    msg_type, fields = roundtrip(wire.encode_hello({"app": "t"}))
+    assert msg_type == wire.MSG_HELLO
+    assert fields == {
+        "version": wire.PROTOCOL_VERSION, "client": {"app": "t"},
+    }
+
+
+def test_run_roundtrip_with_params_and_options():
+    msg_type, fields = roundtrip(wire.encode_run(
+        "MATCH (d:Drug {id: $id}) RETURN d.name",
+        {"id": 7, "names": ["a", "b"], "f": 1.5, "flag": True,
+         "nothing": None},
+        {"timeout": 2.5, "max_rows": 100},
+    ))
+    assert msg_type == wire.MSG_RUN
+    assert fields["params"]["id"] == 7
+    assert fields["params"]["names"] == ["a", "b"]
+    assert fields["params"]["nothing"] is None
+    assert fields["options"] == {"timeout": 2.5, "max_rows": 100}
+
+
+def test_pull_and_simple_messages():
+    assert roundtrip(wire.encode_pull(64)) == (wire.MSG_PULL, {"n": 64})
+    for msg_type in (
+        wire.MSG_DISCARD, wire.MSG_GOODBYE, wire.MSG_BEGIN,
+        wire.MSG_COMMIT, wire.MSG_ROLLBACK,
+    ):
+        assert roundtrip(wire.encode_simple(msg_type)) == (msg_type, {})
+
+
+def test_pull_batch_must_be_positive():
+    with pytest.raises(wire.ProtocolError):
+        wire.encode_pull(0)
+
+
+def test_record_roundtrip_with_entity_refs():
+    values = (
+        VertexBinding(3), EdgeBinding(9), "x", 42, 2.5, None, True,
+        [VertexBinding(1), [EdgeBinding(2), "deep"]],
+    )
+    msg_type, fields = roundtrip(wire.encode_record(values))
+    assert msg_type == wire.MSG_RECORD
+    assert fields["values"] == (
+        VertexBinding(3), EdgeBinding(9), "x", 42, 2.5, None, True,
+        [VertexBinding(1), [EdgeBinding(2), "deep"]],
+    )
+    # Decoded refs are the executor's real binding types, so remote
+    # rows compare equal to in-process rows.
+    assert isinstance(fields["values"][0], VertexBinding)
+
+
+def test_mutate_roundtrip_with_props_map():
+    msg_type, fields = roundtrip(wire.encode_mutate(
+        "add_vertex", [["Drug", "Generic"], {"name": "x", "tier": 2}]
+    ))
+    assert msg_type == wire.MSG_MUTATE
+    assert fields["op"] == "add_vertex"
+    assert fields["args"] == [["Drug", "Generic"],
+                              {"name": "x", "tier": 2}]
+
+
+def test_mutate_rejects_unknown_op_and_bad_arity():
+    with pytest.raises(wire.ProtocolError):
+        wire.encode_mutate("drop_table", [])
+    bad = bytearray((wire.MSG_MUTATE,))
+    from repro.graphdb.storage.codec import write_str
+
+    write_str(bad, "remove_edge")
+    wire.write_wire_value(bad, [1, 2, 3])  # remove_edge wants 1 arg
+    with pytest.raises(wire.ProtocolError, match="expects 1"):
+        wire.decode_message(bytes(bad))
+
+
+def test_error_roundtrip():
+    msg_type, fields = roundtrip(
+        wire.encode_error("QueryTimeoutError", "took too long")
+    )
+    assert msg_type == wire.MSG_ERROR
+    assert fields == {
+        "code": "QueryTimeoutError", "message": "took too long",
+    }
+
+
+def test_unknown_message_type_and_truncated_body():
+    with pytest.raises(wire.ProtocolError, match="unknown"):
+        wire.decode_message(b"\xee")
+    with pytest.raises(wire.ProtocolError, match="malformed"):
+        wire.decode_message(bytes((wire.MSG_RUN,)) + b"\x05ab")
+    with pytest.raises(wire.ProtocolError, match="empty"):
+        wire.decode_message(b"")
+
+
+# ----------------------------------------------------------------------
+# Error mapping
+# ----------------------------------------------------------------------
+def test_error_code_walks_the_hierarchy():
+    assert wire.error_code(QueryTimeoutError("x")) == "QueryTimeoutError"
+    assert wire.error_code(ResourceLimitError("x")) == "ResourceLimitError"
+    assert wire.error_code(QuerySyntaxError("x")) == "QuerySyntaxError"
+    assert wire.error_code(ValueError("x")) == "GraphError"
+
+    class CustomTxError(TransactionError):
+        pass
+
+    assert wire.error_code(CustomTxError("x")) == "TransactionError"
+
+
+def test_exception_for_rehydrates_driver_classes():
+    exc = wire.exception_for("TransactionError", "nope")
+    assert isinstance(exc, TransactionError)
+    assert str(exc) == "nope"
+    assert isinstance(
+        wire.exception_for("NoSuchError", "m"), GraphError
+    )
+    assert isinstance(
+        wire.exception_for("ProtocolError", "m"), wire.ProtocolError
+    )
+
+
+def test_crc_is_of_payload_only():
+    payload = wire.encode_success({"a": 1})
+    frame = wire.pack_frame(payload)
+    import struct
+
+    length, crc = struct.unpack("<II", frame[:8])
+    assert length == len(payload)
+    assert crc == zlib.crc32(payload)

@@ -202,7 +202,8 @@ class TestCatalog:
         for name in names:
             layer = name.split(".")[0]
             assert layer in (
-                "wal", "snapshot", "store", "recovery", "parallel"
+                "wal", "snapshot", "store", "recovery", "parallel",
+                "server",
             )
 
 
